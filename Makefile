@@ -1,0 +1,45 @@
+# Convenience targets for the multi-GPU OpenACC reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short cover bench eval eval-json examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# The full benchmark matrix as testing.B benches (one per table/figure).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation (Tables I-II, Figs 7-9, ablations,
+# cluster study) with result verification.
+eval:
+	$(GO) run ./cmd/accbench -verify all
+
+eval-json:
+	$(GO) run ./cmd/accbench -json all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/md
+	$(GO) run ./examples/kmeans
+	$(GO) run ./examples/bfs
+	$(GO) run ./examples/stencil1d
+	$(GO) run ./examples/ablation
+
+clean:
+	$(GO) clean ./...

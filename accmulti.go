@@ -1,0 +1,149 @@
+// Package accmulti is a pure-Go reproduction of "Integrating Multi-GPU
+// Execution in an OpenACC Compiler" (Komoda, Miwa, Nakamura, Maruyama;
+// ICPP 2013): an OpenACC compiler and runtime that execute single-GPU
+// OpenACC C programs across the multiple GPUs of one node, plus the
+// paper's two directive extensions:
+//
+//	#pragma acc localaccess(arr) stride(s[, left[, right]])
+//	#pragma acc localaccess(arr) bounds(lowerExpr, upperExpr)
+//	#pragma acc reductiontoarray(op: arr[indexExpr])
+//
+// Because no CUDA hardware is assumed, the GPUs, their memories and the
+// PCIe bus are provided by a deterministic simulator: kernels execute
+// for real on goroutine worker pools (results are bit-testable), while
+// time is virtual, priced from counted work and transfer volumes by a
+// calibrated machine model. See DESIGN.md for the substitution map.
+//
+// Quick start:
+//
+//	prog, err := accmulti.Compile(source)
+//	res, err := prog.Run(accmulti.NewBindings().SetScalar("n", 1e6),
+//	    accmulti.Config{Machine: accmulti.Desktop()})
+//	fmt.Println(res.Report)
+package accmulti
+
+import (
+	"accmulti/internal/core"
+	"accmulti/internal/ir"
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+)
+
+// Compile parses, analyzes and translates OpenACC C source into an
+// executable program.
+func Compile(source string) (*Program, error) {
+	p, err := core.Compile(source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{p: p}, nil
+}
+
+// Program is a compiled OpenACC program.
+type Program struct{ p *core.Program }
+
+// GeneratedSource returns the translator's CUDA-like output, the
+// analogue of the paper's source-to-source compilation result.
+func (p *Program) GeneratedSource() string { return p.p.GeneratedSource() }
+
+// Stats reports the paper's Table II-style static program statistics.
+func (p *Program) Stats() Stats { return p.p.Stats() }
+
+// Run binds inputs and executes the program.
+func (p *Program) Run(b *Bindings, cfg Config) (*Result, error) {
+	res, err := p.p.Run(b, core.Config(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res: res}, nil
+}
+
+// DeviceMemoryUsage reports the single-GPU device footprint of the
+// program's arrays under the given bindings (Table II column A).
+func (p *Program) DeviceMemoryUsage(b *Bindings) (int64, error) {
+	return core.DeviceMemoryUsage(p.p, b)
+}
+
+// Re-exported configuration and data types. The aliases keep one
+// canonical definition in the internal packages while giving embedders
+// a single import.
+type (
+	// Config selects the simulated machine and runtime options.
+	Config = core.Config
+	// Stats are the static program statistics.
+	Stats = core.Stats
+	// Bindings attach host data to a program's global arrays and
+	// scalar parameters.
+	Bindings = ir.Bindings
+	// HostArray is host-memory storage for one array.
+	HostArray = ir.HostArray
+	// MachineSpec describes a simulated platform.
+	MachineSpec = sim.MachineSpec
+	// Options are the runtime mode and ablation switches.
+	Options = rt.Options
+	// Mode selects OpenMP / stock OpenACC / CUDA / multi-GPU runs.
+	Mode = rt.Mode
+	// Report is the execution accounting (Fig. 7/8/9 inputs).
+	Report = rt.Report
+)
+
+// Runtime modes, matching the comparison bars of the paper's Figure 7.
+const (
+	// ModeMultiGPU is the paper's proposed system (default).
+	ModeMultiGPU = rt.ModeMultiGPU
+	// ModeCPU is the OpenMP baseline.
+	ModeCPU = rt.ModeCPU
+	// ModeBaseline is a stock single-GPU OpenACC compiler.
+	ModeBaseline = rt.ModeBaseline
+	// ModeCUDA is the hand-written single-GPU CUDA baseline.
+	ModeCUDA = rt.ModeCUDA
+)
+
+// NewBindings returns an empty binding set.
+func NewBindings() *Bindings { return ir.NewBindings() }
+
+// Desktop returns the paper's desktop platform (1 CPU, 2 GPUs).
+func Desktop() MachineSpec { return sim.Desktop() }
+
+// SupercomputerNode returns the paper's TSUBAME2.0 thin node
+// (2 CPUs, 3 GPUs).
+func SupercomputerNode() MachineSpec { return sim.SupercomputerNode() }
+
+// Result carries the outputs of one run.
+type Result struct{ res *core.Result }
+
+// Report returns the run's accounting.
+func (r *Result) Report() *Report { return r.res.Report }
+
+// Float32 returns the final contents of a float array.
+func (r *Result) Float32(name string) ([]float32, error) {
+	a, err := r.res.Instance.Array(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.F32, nil
+}
+
+// Int32 returns the final contents of an int array.
+func (r *Result) Int32(name string) ([]int32, error) {
+	a, err := r.res.Instance.Array(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.I32, nil
+}
+
+// Scalar returns a scalar's final value.
+func (r *Result) Scalar(name string) (float64, error) {
+	return r.res.Instance.ScalarF(name)
+}
+
+// NewFloat32Array allocates host storage for a float array parameter.
+func NewFloat32Array(n int) *HostArray {
+	return &HostArray{F32: make([]float32, n)}
+}
+
+// NewInt32Array allocates host storage for an int array parameter.
+func NewInt32Array(n int) *HostArray {
+	return &HostArray{I32: make([]int32, n)}
+}

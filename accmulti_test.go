@@ -1,0 +1,145 @@
+package accmulti
+
+import (
+	"strings"
+	"testing"
+)
+
+const facadeSrc = `
+int n;
+float a;
+float x[n], y[n];
+float checksum;
+
+void main() {
+    int i;
+    checksum = 0.0;
+    #pragma acc data copyin(x) copy(y)
+    {
+        #pragma acc localaccess(x) stride(1)
+        #pragma acc localaccess(y) stride(1)
+        #pragma acc parallel loop reduction(+:checksum)
+        for (i = 0; i < n; i++) {
+            y[i] = a * x[i] + y[i];
+            checksum += y[i];
+        }
+    }
+}
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	prog, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10000
+	x := NewFloat32Array(n)
+	y := NewFloat32Array(n)
+	for i := 0; i < n; i++ {
+		x.F32[i] = 1
+		y.F32[i] = 2
+	}
+	bind := NewBindings().SetScalar("n", n).SetScalar("a", 3).
+		SetArray("x", x).SetArray("y", y)
+
+	res, err := prog.Run(bind, Config{Machine: Desktop()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Float32("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if out[i] != 5 {
+			t.Fatalf("y[%d] = %g, want 5", i, out[i])
+		}
+	}
+	sum, err := res.Scalar("checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 5*n {
+		t.Fatalf("checksum = %g, want %d", sum, 5*n)
+	}
+	rep := res.Report()
+	if rep.Total() <= 0 || rep.BytesH2D == 0 {
+		t.Errorf("report incomplete: %v", rep)
+	}
+}
+
+func TestFacadeModes(t *testing.T) {
+	prog, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeCPU, ModeBaseline, ModeCUDA, ModeMultiGPU} {
+		bind := NewBindings().SetScalar("n", 100).SetScalar("a", 1)
+		res, err := prog.Run(bind, Config{
+			Machine: SupercomputerNode(),
+			Options: Options{Mode: mode},
+		})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Report().KernelLaunches != 1 {
+			t.Errorf("mode %v: launches = %d", mode, res.Report().KernelLaunches)
+		}
+	}
+}
+
+func TestFacadeGeneratedSourceAndStats(t *testing.T) {
+	prog, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.GeneratedSource(), "__global__") {
+		t.Error("generated source missing kernel")
+	}
+	s := prog.Stats()
+	if s.ParallelLoops != 1 || s.LocalAccessArrays != 2 || s.ArraysInLoops != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	mem, err := prog.DeviceMemoryUsage(NewBindings().SetScalar("n", 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem != 8000 {
+		t.Errorf("device memory = %d, want 8000", mem)
+	}
+}
+
+func TestFacadeCompileError(t *testing.T) {
+	if _, err := Compile("void main() { x = 1; }"); err == nil {
+		t.Error("undeclared identifier should fail")
+	}
+}
+
+func TestFacadeInt32Arrays(t *testing.T) {
+	prog, err := Compile(`
+int n;
+int v[n];
+void main() {
+    int i;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) { v[i] = 2 * i; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(NewBindings().SetScalar("n", 8), Config{Machine: Desktop()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Int32("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range v {
+		if got != int32(2*i) {
+			t.Fatalf("v[%d] = %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package accmulti
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation, plus ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark executes the full functional
+// simulation and reports the paper's metric as custom units
+// (sim-µs/op, speedup-vs-OpenMP, normalized breakdowns), so
+// `go test -bench=. -benchmem` regenerates the evaluation's rows.
+//
+// Benchmarks run at reduced input scales (fractions of the paper's
+// sizes) so a full sweep stays in the minutes; cmd/accbench runs the
+// same harness at larger scales.
+
+import (
+	"fmt"
+	"testing"
+
+	"accmulti/internal/apps"
+	"accmulti/internal/core"
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+)
+
+// benchScales keeps go-test sweeps fast; the shapes (who wins, rough
+// factors) already hold at these sizes. cmd/accbench runs the same
+// matrix at larger scales through internal/bench.
+var benchScales = map[string]float64{
+	"MD":     0.25,
+	"KMEANS": 0.02,
+	"BFS":    0.04,
+}
+
+// runPoint executes one app/machine/mode configuration and returns the
+// simulated report.
+func runPoint(b *testing.B, appName string, spec sim.MachineSpec, opts rt.Options) *rt.Report {
+	b.Helper()
+	app, err := apps.ByName(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := core.Compile(app.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := app.Generate(benchScales[appName], 20130701)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := prog.Run(in.Bindings, core.Config{Machine: spec, Options: opts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Report
+}
+
+// BenchmarkTable1MachineModels instantiates the two evaluation
+// platforms (paper Table I) once per iteration.
+func BenchmarkTable1MachineModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, spec := range []sim.MachineSpec{sim.Desktop(), sim.SupercomputerNode()} {
+			if _, err := sim.NewMachine(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Characteristics compiles the three applications and
+// reports their Table II columns as benchmark metrics.
+func BenchmarkTable2Characteristics(b *testing.B) {
+	for _, app := range apps.All() {
+		b.Run(app.Name, func(b *testing.B) {
+			var prog *core.Program
+			var err error
+			for i := 0; i < b.N; i++ {
+				prog, err = core.Compile(app.Source)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			s := prog.Stats()
+			b.ReportMetric(float64(s.ParallelLoops), "loops(B)")
+			b.ReportMetric(float64(s.LocalAccessArrays), "localaccess(D-num)")
+			b.ReportMetric(float64(s.ArraysInLoops), "arrays(D-den)")
+		})
+	}
+}
+
+// BenchmarkFig7RelativePerformance reproduces the paper's Figure 7:
+// every version bar on both machines, reporting speedup-vs-OpenMP.
+func BenchmarkFig7RelativePerformance(b *testing.B) {
+	for _, machine := range []sim.MachineSpec{sim.Desktop(), sim.SupercomputerNode()} {
+		for _, appName := range []string{"MD", "KMEANS", "BFS"} {
+			name := fmt.Sprintf("%s/%s", short(machine.Name), appName)
+			b.Run(name, func(b *testing.B) {
+				var omp, best float64
+				for i := 0; i < b.N; i++ {
+					ompRep := runPoint(b, appName, machine, rt.Options{Mode: rt.ModeCPU})
+					omp = float64(ompRep.Total())
+					for g := 1; g <= machine.NumGPUs; g++ {
+						rep := runPoint(b, appName, machine.WithGPUs(g), rt.Options{Mode: rt.ModeMultiGPU})
+						if s := omp / float64(rep.Total()); s > best {
+							best = s
+						}
+					}
+				}
+				b.ReportMetric(best, "best-speedup-vs-OpenMP")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Breakdown reproduces Figure 8: the multi-GPU runs'
+// GPU-GPU / CPU-GPU / KERNELS split, normalized to the 1-GPU total.
+func BenchmarkFig8Breakdown(b *testing.B) {
+	for _, machine := range []sim.MachineSpec{sim.Desktop(), sim.SupercomputerNode()} {
+		for _, appName := range []string{"MD", "KMEANS", "BFS"} {
+			name := fmt.Sprintf("%s/%s/%dGPU", short(machine.Name), appName, machine.NumGPUs)
+			b.Run(name, func(b *testing.B) {
+				var gg, cg, ker float64
+				for i := 0; i < b.N; i++ {
+					base := runPoint(b, appName, machine.WithGPUs(1), rt.Options{})
+					rep := runPoint(b, appName, machine, rt.Options{})
+					norm := float64(base.Total())
+					gg = float64(rep.GPUGPUTime) / norm
+					cg = float64(rep.CPUGPUTime) / norm
+					ker = float64(rep.KernelTime) / norm
+				}
+				b.ReportMetric(gg, "gpu-gpu")
+				b.ReportMetric(cg, "cpu-gpu")
+				b.ReportMetric(ker, "kernels")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9Memory reproduces Figure 9: peak device memory split
+// into User and System, normalized to the 1-GPU user bytes.
+func BenchmarkFig9Memory(b *testing.B) {
+	for _, appName := range []string{"MD", "KMEANS", "BFS"} {
+		b.Run(appName, func(b *testing.B) {
+			var user, system float64
+			for i := 0; i < b.N; i++ {
+				base := runPoint(b, appName, sim.Desktop().WithGPUs(1), rt.Options{})
+				rep := runPoint(b, appName, sim.Desktop(), rt.Options{})
+				user = float64(rep.PeakUserBytes) / float64(base.PeakUserBytes)
+				system = float64(rep.PeakSystemBytes) / float64(base.PeakUserBytes)
+			}
+			b.ReportMetric(user, "user-norm")
+			b.ReportMetric(system, "system-norm")
+		})
+	}
+}
+
+// BenchmarkAblationChunkSize sweeps the second-level dirty chunk size
+// on BFS — the paper chose 1 MB experimentally (§IV-D1).
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for _, chunk := range []int64{64 << 10, 1 << 20, 16 << 20} {
+		b.Run(fmt.Sprintf("%dKiB", chunk>>10), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				rep := runPoint(b, "BFS", sim.Desktop(), rt.Options{ChunkBytes: chunk})
+				total = float64(rep.Total().Microseconds())
+			}
+			b.ReportMetric(total, "sim-µs")
+		})
+	}
+}
+
+// BenchmarkAblationTwoLevelDirty compares the two-level dirty-bit
+// scheme against the single-level degradation on BFS.
+func BenchmarkAblationTwoLevelDirty(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"two-level", false}, {"single-level", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var p2p float64
+			for i := 0; i < b.N; i++ {
+				rep := runPoint(b, "BFS", sim.Desktop(), rt.Options{DisableTwoLevelDirty: tc.disable})
+				p2p = float64(rep.BytesP2P)
+			}
+			b.ReportMetric(p2p/1e6, "p2p-MB")
+		})
+	}
+}
+
+// BenchmarkAblationDistribution compares distribution-based placement
+// against replica-only placement on MD.
+func BenchmarkAblationDistribution(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"distribution", false}, {"replica-only", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var h2d float64
+			for i := 0; i < b.N; i++ {
+				rep := runPoint(b, "MD", sim.Desktop(), rt.Options{DisableDistribution: tc.disable})
+				h2d = float64(rep.BytesH2D)
+			}
+			b.ReportMetric(h2d/1e6, "h2d-MB")
+		})
+	}
+}
+
+// BenchmarkAblationLayoutTransform compares the 2-D coalescing layout
+// transform on and off on KMEANS.
+func BenchmarkAblationLayoutTransform(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"transformed", false}, {"row-major", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var kern float64
+			for i := 0; i < b.N; i++ {
+				rep := runPoint(b, "KMEANS", sim.Desktop().WithGPUs(1), rt.Options{DisableLayoutTransform: tc.disable})
+				kern = float64(rep.KernelTime.Microseconds())
+			}
+			b.ReportMetric(kern, "kernel-µs")
+		})
+	}
+}
+
+// BenchmarkAblationReductionToArray compares the extension against the
+// stock compiler's serialized array reductions on KMEANS (1 GPU).
+func BenchmarkAblationReductionToArray(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mode rt.Mode
+	}{{"reductiontoarray", rt.ModeCUDA}, {"serialized-stock", rt.ModeBaseline}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var kern float64
+			for i := 0; i < b.N; i++ {
+				rep := runPoint(b, "KMEANS", sim.Desktop().WithGPUs(1), rt.Options{Mode: tc.mode})
+				kern = float64(rep.KernelTime.Microseconds())
+			}
+			b.ReportMetric(kern, "kernel-µs")
+		})
+	}
+}
+
+// BenchmarkAblationReloadSkip compares the loader's reload-skip
+// optimization against always reloading on KMEANS.
+func BenchmarkAblationReloadSkip(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"skip-unchanged", false}, {"always-reload", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var h2d float64
+			for i := 0; i < b.N; i++ {
+				rep := runPoint(b, "KMEANS", sim.Desktop(), rt.Options{DisableReloadSkip: tc.disable})
+				h2d = float64(rep.BytesH2D)
+			}
+			b.ReportMetric(h2d/1e6, "h2d-MB")
+		})
+	}
+}
+
+// BenchmarkCompile measures compiler throughput on the three apps.
+func BenchmarkCompile(b *testing.B) {
+	for _, app := range apps.All() {
+		b.Run(app.Name, func(b *testing.B) {
+			b.SetBytes(int64(len(app.Source)))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(app.Source); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelInterpreter measures the functional kernel execution
+// rate (iterations/s of the MD force loop on the simulated GPUs).
+func BenchmarkKernelInterpreter(b *testing.B) {
+	app, _ := apps.ByName("MD")
+	prog, err := core.Compile(app.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := app.Generate(0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Run(in.Bindings, core.Config{Machine: sim.Desktop()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func short(machine string) string {
+	if machine == "Desktop Machine" {
+		return "Desktop"
+	}
+	return "SuperNode"
+}

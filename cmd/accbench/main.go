@@ -1,0 +1,138 @@
+// Command accbench regenerates the paper's evaluation: Table I,
+// Table II, Figures 7-9, and the ablation studies.
+//
+// Usage:
+//
+//	accbench [-scale f] [-apps MD,KMEANS,BFS] [-verify] [-seed n] [targets...]
+//
+// Targets: table1 table2 fig7 fig8 fig9 ablations cluster all (default: all).
+// -scale multiplies the per-app default benchmark scales (fractions of
+// the paper's input sizes chosen so the functional simulation finishes
+// in minutes); -scale with appname=frac pairs in -appscale pins exact
+// fractions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"accmulti/internal/bench"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 1.0, "multiplier on the per-app default bench scales")
+		appScale = flag.String("appscale", "", "per-app input fractions, e.g. MD=1.0,BFS=0.05")
+		appsFlag = flag.String("apps", "", "comma-separated subset of MD,KMEANS,BFS")
+		verify   = flag.Bool("verify", false, "verify every run against the Go references")
+		seed     = flag.Int64("seed", 0, "input generator seed (0 = default)")
+		jsonOut  = flag.Bool("json", false, "emit the selected sections as JSON instead of text")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Verify: *verify}
+	if *appsFlag != "" {
+		cfg.Apps = strings.Split(*appsFlag, ",")
+	}
+	if *appScale != "" {
+		cfg.AppScale = map[string]float64{}
+		for _, kv := range strings.Split(*appScale, ",") {
+			name, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				fatal(fmt.Errorf("bad -appscale entry %q (want APP=fraction)", kv))
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -appscale entry %q: %v", kv, err))
+			}
+			cfg.AppScale[name] = f
+		}
+	}
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, t := range targets {
+		want[t] = true
+	}
+	all := want["all"]
+
+	var (
+		figRes    *bench.Results
+		table2    []bench.Table2Row
+		ablations []bench.AblationRow
+		cluster   []bench.ClusterRow
+		err       error
+	)
+	if all || want["table2"] {
+		if table2, err = bench.Table2(cfg); err != nil {
+			fatal(err)
+		}
+	}
+	if all || want["fig7"] || want["fig8"] || want["fig9"] {
+		if figRes, err = bench.RunAll(cfg); err != nil {
+			fatal(err)
+		}
+	}
+	if all || want["ablations"] {
+		if ablations, err = bench.Ablations(cfg); err != nil {
+			fatal(err)
+		}
+	}
+	if all || want["cluster"] {
+		if cluster, err = bench.ClusterStudy(cfg); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if all || want["table1"] {
+		bench.RenderTable1(os.Stdout)
+		fmt.Println()
+	}
+	if table2 != nil {
+		bench.RenderTable2(os.Stdout, table2)
+		fmt.Println()
+	}
+	if figRes != nil {
+		if all || want["fig7"] {
+			bench.RenderFig7(os.Stdout, figRes)
+			fmt.Println()
+			head := figRes.Headline()
+			fmt.Printf("Headline: best Proposal speedups vs OpenMP: %.2fx (%s), %.2fx (%s)\n\n",
+				head["Desktop Machine"], "Desktop Machine",
+				head["Supercomputer Node"], "Supercomputer Node")
+		}
+		if all || want["fig8"] {
+			bench.RenderFig8(os.Stdout, figRes)
+			fmt.Println()
+		}
+		if all || want["fig9"] {
+			bench.RenderFig9(os.Stdout, figRes)
+			fmt.Println()
+		}
+	}
+	if ablations != nil {
+		bench.RenderAblations(os.Stdout, ablations)
+		fmt.Println()
+	}
+	if cluster != nil {
+		bench.RenderCluster(os.Stdout, cluster)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "accbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles this command once per test binary.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "accc")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestAcccGeneratesCode(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "../../examples/testdata/saxpy.c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("accc: %v\n%s", err, out)
+	}
+	for _, want := range []string{"__global__", "ACC_STORE(y", "acc_comm_sync"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestAcccStats(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-stats", "../../examples/testdata/histogram.c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("accc -stats: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "reduction arrays:   1") {
+		t.Errorf("stats output wrong:\n%s", out)
+	}
+}
+
+func TestAcccStdinAndErrors(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "-")
+	cmd.Stdin = strings.NewReader("int n;\nvoid main() { n = 1; }")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("stdin compile: %v\n%s", err, out)
+	}
+
+	cmd = exec.Command(bin, "-")
+	cmd.Stdin = strings.NewReader("void main() { oops = 1; }")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("bad program should exit nonzero")
+	}
+	if !strings.Contains(string(out), "undeclared") {
+		t.Errorf("error output: %s", out)
+	}
+
+	if _, err := exec.Command(bin, "/nonexistent.c").CombinedOutput(); err == nil {
+		t.Error("missing file should exit nonzero")
+	}
+	if _, err := exec.Command(bin).CombinedOutput(); err == nil {
+		t.Error("no arguments should exit nonzero")
+	}
+}

@@ -1,0 +1,153 @@
+// Command accrun compiles an OpenACC C file and executes it on a
+// simulated multi-GPU machine, printing the execution report (time
+// breakdown, transfer volumes, device memory peaks). Scalar parameters
+// are bound with -set name=value; arrays not bound start zeroed.
+//
+// Usage:
+//
+//	accrun [-machine desktop|super] [-gpus n] [-mode proposal|openmp|baseline|cuda]
+//	       [-set n=1000 -set a=2.5 ...] [-print arr] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"accmulti/internal/core"
+	"accmulti/internal/ir"
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+)
+
+type setFlags []string
+
+func (s *setFlags) String() string     { return strings.Join(*s, ",") }
+func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var sets setFlags
+	machine := flag.String("machine", "desktop", "platform: desktop or super")
+	gpus := flag.Int("gpus", 0, "override GPU count (0 = platform default)")
+	mode := flag.String("mode", "proposal", "proposal, openmp, baseline or cuda")
+	trace := flag.Bool("trace", false, "print one line per runtime event (loader, kernels, comm)")
+	kernels := flag.Bool("kernels", false, "print a per-kernel statistics table after the run")
+	printArr := flag.String("print", "", "print this array's first elements after the run")
+	flag.Var(&sets, "set", "bind a scalar parameter, name=value (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: accrun [flags] file.c (use - for stdin)")
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if name := flag.Arg(0); name == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(name)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var spec sim.MachineSpec
+	switch *machine {
+	case "desktop":
+		spec = sim.Desktop()
+	case "super", "supercomputer":
+		spec = sim.SupercomputerNode()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+	if *gpus > 0 {
+		spec = spec.WithGPUs(*gpus)
+	}
+
+	var opts rt.Options
+	switch *mode {
+	case "proposal":
+		opts.Mode = rt.ModeMultiGPU
+	case "openmp":
+		opts.Mode = rt.ModeCPU
+	case "baseline":
+		opts.Mode = rt.ModeBaseline
+	case "cuda":
+		opts.Mode = rt.ModeCUDA
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *trace {
+		opts.Trace = os.Stderr
+	}
+
+	b := ir.NewBindings()
+	for _, kv := range sets {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -set %q (want name=value)", kv))
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -set %q: %v", kv, err))
+		}
+		b.SetScalar(name, f)
+	}
+
+	prog, err := core.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := prog.Run(b, core.Config{Machine: spec, Options: opts})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("machine: %s (%d GPUs), mode %s\n", spec.Name, spec.NumGPUs, opts.Mode)
+	fmt.Println(res.Report)
+	if *kernels {
+		names := make([]string, 0, len(res.Report.PerKernel))
+		for name := range res.Report.PerKernel {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("%-14s %8s %14s %14s %14s\n", "kernel", "launches", "time", "flops", "bytes")
+		for _, name := range names {
+			ks := res.Report.PerKernel[name]
+			fmt.Printf("%-14s %8d %14s %14d %14d\n",
+				name, ks.Launches, ks.Time.Round(time.Microsecond),
+				ks.Counters.Flops, ks.Counters.BytesRead+ks.Counters.BytesWritten)
+		}
+	}
+	if *printArr != "" {
+		a, err := res.Instance.Array(*printArr)
+		if err != nil {
+			fatal(err)
+		}
+		n := a.Len()
+		if n > 10 {
+			n = 10
+		}
+		fmt.Printf("%s[0:%d] =", *printArr, n)
+		for i := int64(0); i < n; i++ {
+			switch {
+			case a.F32 != nil:
+				fmt.Printf(" %g", a.F32[i])
+			case a.F64 != nil:
+				fmt.Printf(" %g", a.F64[i])
+			default:
+				fmt.Printf(" %d", a.I32[i])
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "accrun:", err)
+	os.Exit(1)
+}

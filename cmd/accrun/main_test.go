@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "accrun")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestAccrunSaxpy(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin,
+		"-gpus", "2", "-set", "n=10000", "-set", "a=2.0", "-print", "y",
+		"../../examples/testdata/saxpy.c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("accrun: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "Desktop Machine (2 GPUs), mode Proposal") {
+		t.Errorf("header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "y[0:10] = 0 0 0") {
+		t.Errorf("printed array missing (zero inputs give zero saxpy):\n%s", s)
+	}
+}
+
+func TestAccrunModesAndMachines(t *testing.T) {
+	bin := buildTool(t)
+	for _, args := range [][]string{
+		{"-machine", "super", "-mode", "openmp"},
+		{"-machine", "super", "-mode", "baseline"},
+		{"-mode", "cuda"},
+	} {
+		full := append(args, "-set", "n=1000", "../../examples/testdata/dotprod.c")
+		if out, err := exec.Command(bin, full...).CombinedOutput(); err != nil {
+			t.Errorf("accrun %v: %v\n%s", args, err, out)
+		}
+	}
+}
+
+func TestAccrunTrace(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-trace", "-set", "n=1000", "-set", "k=4",
+		"../../examples/testdata/histogram.c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("accrun -trace: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "loader: kernel") {
+		t.Errorf("trace output missing:\n%s", out)
+	}
+}
+
+func TestAccrunErrors(t *testing.T) {
+	bin := buildTool(t)
+	cases := [][]string{
+		{"-machine", "vax", "../../examples/testdata/saxpy.c"},
+		{"-mode", "quantum", "../../examples/testdata/saxpy.c"},
+		{"-set", "noequals", "../../examples/testdata/saxpy.c"},
+		{"-set", "n=abc", "../../examples/testdata/saxpy.c"},
+		{"/nonexistent.c"},
+		{},
+	}
+	for _, args := range cases {
+		if _, err := exec.Command(bin, args...).CombinedOutput(); err == nil {
+			t.Errorf("accrun %v should exit nonzero", args)
+		}
+	}
+}
+
+func TestAccrunKernelsTable(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-kernels", "-set", "n=1000", "-set", "a=1.0",
+		"../../examples/testdata/saxpy.c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("accrun -kernels: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "launches") || !strings.Contains(s, "main_L") {
+		t.Errorf("kernel table missing:\n%s", s)
+	}
+}

@@ -1,0 +1,118 @@
+// KMEANS example: the paper's Rodinia-style clustering workload,
+// showing the reductiontoarray extension. The assignment loop reduces
+// into the new-center accumulators with dynamically computed indices —
+// a pattern stock OpenACC compilers must serialize — and the runtime
+// completes the reduction hierarchically across GPUs.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"accmulti"
+)
+
+const source = `
+int n, k, nf, iters;
+float feat[n * nf];
+float clusters[k * nf];
+float newc[k * nf];
+int count[k];
+int member[n];
+float delta;
+
+void main() {
+    int it, i, j;
+    #pragma acc data copyin(feat) copy(clusters, member) create(newc, count)
+    {
+        for (it = 0; it < iters; it++) {
+            delta = 0.0;
+            #pragma acc localaccess(feat) stride(nf)
+            #pragma acc localaccess(member) stride(1)
+            #pragma acc parallel loop reduction(+:delta)
+            for (i = 0; i < n; i++) {
+                int f, best, c;
+                float bestd;
+                bestd = 1.0e30;
+                best = 0;
+                for (c = 0; c < k; c++) {
+                    float d, diff;
+                    d = 0.0;
+                    for (f = 0; f < nf; f++) {
+                        diff = feat[i * nf + f] - clusters[c * nf + f];
+                        d += diff * diff;
+                    }
+                    if (d < bestd) { bestd = d; best = c; }
+                }
+                if (member[i] != best) { delta += 1.0; }
+                member[i] = best;
+                for (f = 0; f < nf; f++) {
+                    #pragma acc reductiontoarray(+: newc[best * nf + f])
+                    newc[best * nf + f] += feat[i * nf + f];
+                }
+                #pragma acc reductiontoarray(+: count[best])
+                count[best] += 1;
+            }
+            #pragma acc parallel loop
+            for (j = 0; j < k * nf; j++) {
+                if (count[j / nf] > 0) {
+                    clusters[j] = newc[j] / (float)count[j / nf];
+                }
+                newc[j] = 0.0;
+            }
+            for (j = 0; j < k; j++) { count[j] = 0; }
+            #pragma acc update device(count)
+        }
+    }
+}
+`
+
+func main() {
+	const (
+		n, nf, k = 40000, 16, 4
+		iters    = 12
+	)
+	prog, err := accmulti.Compile(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Four well-separated blobs.
+	rng := rand.New(rand.NewSource(7))
+	centers := make([]float32, k*nf)
+	for i := range centers {
+		centers[i] = float32(rng.NormFloat64() * 8)
+	}
+	feat := accmulti.NewFloat32Array(n * nf)
+	for p := 0; p < n; p++ {
+		c := p % k
+		for f := 0; f < nf; f++ {
+			feat.F32[p*nf+f] = centers[c*nf+f] + float32(rng.NormFloat64())
+		}
+	}
+	clusters := accmulti.NewFloat32Array(k * nf)
+	copy(clusters.F32, feat.F32[:k*nf]) // seed with the first k points
+
+	bind := accmulti.NewBindings().
+		SetScalar("n", n).SetScalar("k", k).SetScalar("nf", nf).SetScalar("iters", iters).
+		SetArray("feat", feat).SetArray("clusters", clusters)
+
+	res, err := prog.Run(bind, accmulti.Config{Machine: accmulti.Desktop()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report: %v\n", res.Report())
+
+	member, _ := res.Int32("member")
+	sizes := make([]int, k)
+	for _, m := range member {
+		sizes[m]++
+	}
+	fmt.Printf("cluster sizes after %d iterations: %v (ideal %d each)\n", iters, sizes, n/k)
+	got, _ := res.Float32("clusters")
+	fmt.Printf("first center, first 4 features: %.2f %.2f %.2f %.2f\n",
+		got[0], got[1], got[2], got[3])
+}

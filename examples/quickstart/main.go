@@ -1,0 +1,83 @@
+// Quickstart: compile a single-GPU OpenACC program and run it
+// unchanged on one and two simulated GPUs, printing the report the
+// runtime keeps (the quantities behind the paper's figures).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accmulti"
+)
+
+// A daxpy-like kernel with a scalar reduction. The localaccess
+// directives tell the compiler each iteration reads only x[i] and
+// y[i], so both arrays are distributed across GPUs instead of
+// replicated.
+const source = `
+int n;
+float a;
+float x[n], y[n];
+float checksum;
+
+void main() {
+    int i;
+    checksum = 0.0;
+    #pragma acc data copyin(x) copy(y)
+    {
+        #pragma acc localaccess(x) stride(1)
+        #pragma acc localaccess(y) stride(1)
+        #pragma acc parallel loop reduction(+:checksum)
+        for (i = 0; i < n; i++) {
+            y[i] = a * x[i] + y[i];
+            checksum += y[i];
+        }
+    }
+}
+`
+
+func main() {
+	prog, err := accmulti.Compile(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 1 << 20
+	x := accmulti.NewFloat32Array(n)
+	y := accmulti.NewFloat32Array(n)
+	for i := 0; i < n; i++ {
+		x.F32[i] = float32(i%100) * 0.01
+		y.F32[i] = 1
+	}
+
+	for _, gpus := range []int{1, 2} {
+		// Rebind fresh inputs for each run.
+		xi := accmulti.NewFloat32Array(n)
+		yi := accmulti.NewFloat32Array(n)
+		copy(xi.F32, x.F32)
+		copy(yi.F32, y.F32)
+		bind := accmulti.NewBindings().
+			SetScalar("n", n).
+			SetScalar("a", 2.0).
+			SetArray("x", xi).
+			SetArray("y", yi)
+
+		res, err := prog.Run(bind, accmulti.Config{
+			Machine: accmulti.Desktop().WithGPUs(gpus),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum, _ := res.Scalar("checksum")
+		fmt.Printf("%d GPU(s): %v  (checksum %.1f)\n", gpus, res.Report(), sum)
+	}
+
+	fmt.Println("\nGenerated CUDA-like code (excerpt):")
+	src := prog.GeneratedSource()
+	if len(src) > 900 {
+		src = src[:900] + "...\n"
+	}
+	fmt.Print(src)
+}

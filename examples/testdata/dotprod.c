@@ -1,0 +1,17 @@
+/* Dot product: a scalar reduction merged hierarchically across GPUs.
+ *   go run ./cmd/accrun -gpus 3 -machine super -set n=500000 examples/testdata/dotprod.c
+ */
+int n;
+float x[n], y[n];
+float dot;
+
+void main() {
+    int i;
+    dot = 0.0;
+    #pragma acc localaccess(x) stride(1)
+    #pragma acc localaccess(y) stride(1)
+    #pragma acc parallel loop reduction(+:dot)
+    for (i = 0; i < n; i++) {
+        dot += x[i] * y[i];
+    }
+}

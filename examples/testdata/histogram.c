@@ -1,0 +1,21 @@
+/* Histogram: the reductiontoarray extension with dynamic bucket
+ * indices — the pattern stock OpenACC compilers must serialize.
+ *   go run ./cmd/accrun -set n=100000 -set k=16 -print hist examples/testdata/histogram.c
+ */
+int n, k;
+int data[n];
+int hist[k];
+
+void main() {
+    int i;
+    #pragma acc data copyin(data) copy(hist)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            int b;
+            b = (data[i] % k + k) % k;
+            #pragma acc reductiontoarray(+: hist[b])
+            hist[b] += 1;
+        }
+    }
+}

@@ -1,0 +1,20 @@
+/* saxpy with localaccess footprints: both vectors distribute across
+ * GPUs instead of replicating. Run with:
+ *   go run ./cmd/accrun -gpus 2 -set n=1000000 -set a=2.0 examples/testdata/saxpy.c
+ */
+int n;
+float a;
+float x[n], y[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(x) copy(y)
+    {
+        #pragma acc localaccess(x) stride(1)
+        #pragma acc localaccess(y) stride(1)
+        #pragma acc parallel loop gang vector
+        for (i = 0; i < n; i++) {
+            y[i] = a * x[i] + y[i];
+        }
+    }
+}

@@ -1,0 +1,3 @@
+module accmulti
+
+go 1.22

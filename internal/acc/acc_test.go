@@ -1,0 +1,257 @@
+package acc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, text string) *Directive {
+	t.Helper()
+	d, err := ParseDirective(text, 1)
+	if err != nil {
+		t.Fatalf("ParseDirective(%q): %v", text, err)
+	}
+	return d
+}
+
+func TestParseDataDirective(t *testing.T) {
+	d := mustParse(t, "acc data copyin(a, b) copy(c) copyout(d) create(tmp)")
+	if d.Kind != KindData {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	args, err := d.DataArgs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []DataArg{
+		{"a", ClassCopyIn}, {"b", ClassCopyIn},
+		{"c", ClassCopy}, {"d", ClassCopyOut}, {"tmp", ClassCreate},
+	}
+	if len(args) != len(want) {
+		t.Fatalf("args = %v", args)
+	}
+	for i := range want {
+		if args[i] != want[i] {
+			t.Errorf("arg %d = %v, want %v", i, args[i], want[i])
+		}
+	}
+}
+
+func TestParseParallelLoop(t *testing.T) {
+	d := mustParse(t, "acc parallel loop gang vector reduction(+:sum) reduction(max:m) copyin(x)")
+	if d.Kind != KindParallelLoop {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	reds, err := d.Reductions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reds) != 2 || reds[0] != (Reduction{"+", "sum"}) || reds[1] != (Reduction{"max", "m"}) {
+		t.Fatalf("reductions = %v", reds)
+	}
+	if _, ok := d.Clause("gang"); !ok {
+		t.Error("gang clause missing")
+	}
+}
+
+func TestParseKernelsLoop(t *testing.T) {
+	d := mustParse(t, "acc kernels loop")
+	if d.Kind != KindParallelLoop {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	d := mustParse(t, "acc update host(newc, count) device(clusters)")
+	if d.Kind != KindUpdate {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	h, _ := d.Clause("host")
+	if len(h.Args) != 2 || h.Args[0] != "newc" {
+		t.Fatalf("host args = %v", h.Args)
+	}
+}
+
+func TestParseLocalAccessStride(t *testing.T) {
+	d := mustParse(t, "acc localaccess(nbr) stride(128)")
+	la, err := ParseLocalAccess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Array != "nbr" || !la.HasStride || la.Stride != "128" || la.Left != "0" || la.Right != "0" {
+		t.Fatalf("la = %+v", la)
+	}
+
+	d = mustParse(t, "acc localaccess(x) stride(1, 2)")
+	la, err = ParseLocalAccess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Left != "2" || la.Right != "2" {
+		t.Fatalf("symmetric halo: %+v", la)
+	}
+
+	d = mustParse(t, "acc localaccess(x) stride(1, 2, 3)")
+	la, err = ParseLocalAccess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Stride != "1" || la.Left != "2" || la.Right != "3" {
+		t.Fatalf("full stride form: %+v", la)
+	}
+}
+
+func TestParseLocalAccessBounds(t *testing.T) {
+	d := mustParse(t, "acc localaccess(edges) bounds(off[i], off[i+1]-1)")
+	la, err := ParseLocalAccess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.HasStride {
+		t.Fatal("bounds form should not report stride")
+	}
+	if la.Lower != "off[i]" || la.Upper != "off[i+1]-1" {
+		t.Fatalf("bounds = %q, %q", la.Lower, la.Upper)
+	}
+}
+
+func TestParseLocalAccessErrors(t *testing.T) {
+	for _, text := range []string{
+		"acc localaccess(x)",                        // no clause
+		"acc localaccess(x) stride(1) bounds(0, 1)", // both
+		"acc localaccess(x) stride()",               // empty
+		"acc localaccess(x) stride(1, 2, 3, 4)",     // too many
+		"acc localaccess(x) bounds(0)",              // too few
+		"acc localaccess(x, y) stride(1)",           // two arrays
+		"acc localaccess(3x) stride(1)",             // bad name
+	} {
+		d, err := ParseDirective(text, 1)
+		if err != nil {
+			continue // rejected at directive level is fine too
+		}
+		if _, err := ParseLocalAccess(d); err == nil {
+			t.Errorf("ParseLocalAccess(%q) should fail", text)
+		}
+	}
+}
+
+func TestParseReductionToArray(t *testing.T) {
+	d := mustParse(t, "acc reductiontoarray(+: newc[m*nf + f])")
+	r, err := ParseReductionToArray(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Op != "+" || r.Array != "newc" || r.Index != "m*nf + f" {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestParseReductionToArrayErrors(t *testing.T) {
+	for _, text := range []string{
+		"acc reductiontoarray(newc[i])",    // no op
+		"acc reductiontoarray(+: newc)",    // no index
+		"acc reductiontoarray(?: newc[i])", // bad op
+		"acc reductiontoarray(+: [i])",     // no array
+	} {
+		d, err := ParseDirective(text, 1)
+		if err != nil {
+			continue
+		}
+		if _, err := ParseReductionToArray(d); err == nil {
+			t.Errorf("ParseReductionToArray(%q) should fail", text)
+		}
+	}
+}
+
+func TestParseDirectiveErrors(t *testing.T) {
+	for _, text := range []string{
+		"omp parallel for",                   // not acc
+		"acc",                                // empty
+		"acc frobnicate",                     // unknown
+		"acc parallel",                       // bare parallel unsupported
+		"acc data copyin(a",                  // unbalanced
+		"acc data copyin(a,,b)",              // empty arg
+		"acc data copyin(a) gang",            // clause invalid on data
+		"acc update copyin(a)",               // clause invalid on update
+		"acc parallel loop reduction(sum)",   // reduction missing op
+		"acc parallel loop reduction(%:x)",   // bad op
+		"acc parallel loop reduction(+:a.b)", // not an identifier
+		"acc data copyin(a+b)",               // not an identifier
+	} {
+		d, err := ParseDirective(text, 7)
+		if err == nil {
+			// Some are only caught by the typed extractors.
+			if _, e2 := d.DataArgs(); e2 != nil {
+				continue
+			}
+			if _, e2 := d.Reductions(); e2 != nil {
+				continue
+			}
+			t.Errorf("ParseDirective(%q) should fail", text)
+		} else if !strings.Contains(err.Error(), "line 7") {
+			t.Errorf("error should carry line number: %v", err)
+		}
+	}
+}
+
+func TestNestedParensInClauseArgs(t *testing.T) {
+	d := mustParse(t, "acc localaccess(e) bounds(off[min(i, n-1)], off[i+1]-1)")
+	la, err := ParseLocalAccess(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Lower != "off[min(i, n-1)]" {
+		t.Fatalf("nested args broken: %q", la.Lower)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindData, KindParallelLoop, KindUpdate, KindLocalAccess, KindReductionToArray}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("Kind %d has bad String %q", k, s)
+		}
+		seen[s] = true
+	}
+	for _, c := range []DataClass{ClassCopy, ClassCopyIn, ClassCopyOut, ClassCreate} {
+		if c.String() == "" {
+			t.Errorf("DataClass %d has empty String", c)
+		}
+	}
+}
+
+// Property: any directive assembled from valid identifiers parses, and
+// DataArgs returns them in order.
+func TestDataArgsProperty(t *testing.T) {
+	names := []string{"a", "b2", "cc", "xs", "tmp", "zz9"}
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 || len(picks) > 8 {
+			return true
+		}
+		var used []string
+		for _, p := range picks {
+			used = append(used, names[int(p)%len(names)])
+		}
+		text := "acc data copyin(" + strings.Join(used, ", ") + ")"
+		d, err := ParseDirective(text, 1)
+		if err != nil {
+			return false
+		}
+		args, err := d.DataArgs()
+		if err != nil || len(args) != len(used) {
+			return false
+		}
+		for i := range used {
+			if args[i].Array != used[i] || args[i].Class != ClassCopyIn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

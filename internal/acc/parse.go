@@ -1,0 +1,222 @@
+package acc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseDirective parses the text of one `#pragma acc ...` line (the text
+// after "#pragma") into a structured Directive. line is the 1-based
+// source line for diagnostics.
+func ParseDirective(text string, line int) (*Directive, error) {
+	fields, err := splitClauses(text)
+	if err != nil {
+		return nil, fmt.Errorf("acc: line %d: %w", line, err)
+	}
+	if len(fields) == 0 || fields[0].Name != "acc" || len(fields[0].Args) != 0 {
+		return nil, fmt.Errorf("acc: line %d: pragma is not an acc directive: %q", line, text)
+	}
+	fields = fields[1:]
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("acc: line %d: empty acc directive", line)
+	}
+	d := &Directive{Line: line, Raw: strings.TrimSpace(text)}
+
+	head := fields[0]
+	switch head.Name {
+	case "data":
+		d.Kind = KindData
+		d.Clauses = fields[1:]
+	case "parallel", "kernels":
+		// Accept `parallel loop ...` and `kernels loop ...`; a bare
+		// `parallel`/`kernels` region must still contain a loop
+		// directive in this implementation, so require the loop word.
+		if len(fields) < 2 || fields[1].Name != "loop" || len(fields[1].Args) != 0 {
+			return nil, fmt.Errorf("acc: line %d: %s must be followed by loop (bare %s regions are not supported)", line, head.Name, head.Name)
+		}
+		d.Kind = KindParallelLoop
+		d.Clauses = fields[2:]
+	case "loop":
+		// A nested `#pragma acc loop` on an inner for: treated as a
+		// parallel-loop directive with no clauses of its own; the
+		// translator decides whether to honor nested parallelism.
+		d.Kind = KindParallelLoop
+		d.Clauses = fields[1:]
+	case "update":
+		d.Kind = KindUpdate
+		d.Clauses = fields[1:]
+	case "localaccess":
+		d.Kind = KindLocalAccess
+		d.Clauses = fields
+	case "reductiontoarray":
+		d.Kind = KindReductionToArray
+		d.Clauses = fields
+	default:
+		return nil, fmt.Errorf("acc: line %d: unknown directive %q", line, head.Name)
+	}
+	if err := checkClauseNames(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+var allowedClauses = map[Kind]map[string]bool{
+	KindData: {
+		"copy": true, "copyin": true, "copyout": true, "create": true,
+		"present": true,
+	},
+	KindParallelLoop: {
+		"copy": true, "copyin": true, "copyout": true, "create": true,
+		"present": true, "gang": true, "worker": true, "vector": true,
+		"num_gangs": true, "num_workers": true, "vector_length": true,
+		"reduction": true, "private": true, "independent": true,
+		"collapse": true,
+	},
+	KindUpdate: {
+		"host": true, "device": true, "self": true,
+	},
+	KindLocalAccess: {
+		"localaccess": true, "stride": true, "bounds": true,
+	},
+	KindReductionToArray: {
+		"reductiontoarray": true,
+	},
+}
+
+func checkClauseNames(d *Directive) error {
+	allowed := allowedClauses[d.Kind]
+	for _, c := range d.Clauses {
+		if !allowed[c.Name] {
+			return fmt.Errorf("acc: line %d: clause %q is not valid on %s", d.Line, c.Name, d.Kind)
+		}
+	}
+	return nil
+}
+
+// splitClauses tokenizes "acc parallel loop copyin(a, b[i]) gang" into
+// clause units, keeping parenthesized argument lists intact and
+// splitting their contents on top-level commas.
+func splitClauses(text string) ([]Clause, error) {
+	var out []Clause
+	i, n := 0, len(text)
+	for i < n {
+		r := rune(text[i])
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case isIdentStart(r):
+			start := i
+			for i < n && isIdentRune(rune(text[i])) {
+				i++
+			}
+			name := text[start:i]
+			// Skip spaces between name and '('.
+			j := i
+			for j < n && unicode.IsSpace(rune(text[j])) {
+				j++
+			}
+			if j < n && text[j] == '(' {
+				args, next, err := scanParenArgs(text, j)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Clause{Name: name, Args: args})
+				i = next
+			} else {
+				out = append(out, Clause{Name: name})
+			}
+		default:
+			return nil, fmt.Errorf("unexpected character %q in pragma", r)
+		}
+	}
+	return out, nil
+}
+
+// scanParenArgs scans a balanced "(...)" starting at text[open] == '('
+// and returns the top-level comma-separated arguments and the index
+// after the closing paren.
+func scanParenArgs(text string, open int) (args []string, next int, err error) {
+	depth := 0
+	start := open + 1
+	for i := open; i < len(text); i++ {
+		switch text[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+			if depth == 0 {
+				if arg := strings.TrimSpace(text[start:i]); arg != "" {
+					args = append(args, arg)
+				} else if len(args) > 0 {
+					return nil, 0, fmt.Errorf("empty argument in %q", text[open:i+1])
+				}
+				return args, i + 1, nil
+			}
+			if depth < 0 {
+				return nil, 0, fmt.Errorf("unbalanced parentheses in pragma")
+			}
+		case ',':
+			if depth == 1 {
+				arg := strings.TrimSpace(text[start:i])
+				if arg == "" {
+					return nil, 0, fmt.Errorf("empty argument in clause")
+				}
+				args = append(args, arg)
+				start = i + 1
+			}
+		}
+	}
+	return nil, 0, fmt.Errorf("unterminated parentheses in pragma")
+}
+
+// splitColon splits "op: rest" at the first top-level colon.
+func splitColon(s string) (op, rest string, err error) {
+	idx := strings.IndexByte(s, ':')
+	if idx < 0 {
+		return "", "", fmt.Errorf("expected op:target form")
+	}
+	op = strings.TrimSpace(s[:idx])
+	rest = strings.TrimSpace(s[idx+1:])
+	if op == "" || rest == "" {
+		return "", "", fmt.Errorf("expected op:target form")
+	}
+	return op, rest, nil
+}
+
+// splitIndex splits "arr[expr]" into the array name and index text.
+func splitIndex(s string) (arr, idx string, err error) {
+	open := strings.IndexByte(s, '[')
+	if open <= 0 || !strings.HasSuffix(s, "]") {
+		return "", "", fmt.Errorf("expected array[index] form, got %q", s)
+	}
+	arr = strings.TrimSpace(s[:open])
+	idx = strings.TrimSpace(s[open+1 : len(s)-1])
+	if !isIdent(arr) || idx == "" {
+		return "", "", fmt.Errorf("expected array[index] form, got %q", s)
+	}
+	return arr, idx, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !isIdentStart(r) {
+			return false
+		}
+		if i > 0 && !isIdentRune(r) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+// Package apps provides the paper's three evaluation applications —
+// MD (SHOC), KMEANS (Rodinia) and BFS (SHOC) — as OpenACC C sources
+// using the proposed directive extensions, together with deterministic
+// input generators (scaled replicas of the paper's inputs) and Go
+// reference implementations for verification.
+package apps
+
+import (
+	"fmt"
+
+	"accmulti/internal/ir"
+)
+
+// Input is a generated problem instance: bindings for the program plus
+// a verifier against the Go reference.
+type Input struct {
+	// Bindings attach the generated data.
+	Bindings *ir.Bindings
+	// Verify checks the final instance against the reference.
+	Verify func(inst *ir.Instance) error
+	// Desc describes the instance, e.g. "73728 atoms".
+	Desc string
+}
+
+// App is one benchmark application.
+type App struct {
+	// Name matches the paper ("MD", "KMEANS", "BFS").
+	Name string
+	// Suite is the benchmark suite of origin.
+	Suite string
+	// Description is a one-line summary (Table II).
+	Description string
+	// PaperInput names the input the paper used.
+	PaperInput string
+	// Source is the OpenACC C program.
+	Source string
+	// Generate builds an input at a fraction of the paper's size
+	// (scale 1.0 reproduces the paper's footprint).
+	Generate func(scale float64, seed int64) (*Input, error)
+	// DefaultScale keeps functional runs tractable in the harness.
+	DefaultScale float64
+}
+
+// All returns the paper's three applications in Table II order.
+func All() []*App {
+	return []*App{MD(), KMeans(), BFS()}
+}
+
+// Extended returns the applications beyond the paper's evaluation:
+// SPMV (bounds-form footprints on CSR), HOTSPOT2D (the paper's stated
+// future work — multidimensional arrays — expressed as row-block
+// footprints with halo exchange), and NBODY (the compute-bound n²
+// contrast case, which keeps scaling even across cluster nodes).
+func Extended() []*App {
+	return []*App{SpMV(), HotSpot(), NBody()}
+}
+
+// ByName looks an application up by name, searching the paper's three
+// and the extensions.
+func ByName(name string) (*App, error) {
+	for _, a := range append(All(), Extended()...) {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q (have MD, KMEANS, BFS, SPMV, HOTSPOT2D)", name)
+}
+
+func scaled(v int, scale float64) int {
+	n := int(float64(v) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

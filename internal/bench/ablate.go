@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"accmulti/internal/apps"
+	"accmulti/internal/core"
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Study, Variant string
+	Total          time.Duration
+	BytesH2D       int64
+	BytesP2P       int64
+}
+
+// Ablations runs the design-choice studies DESIGN.md calls out, all on
+// the desktop machine with both GPUs:
+//
+//   - two-level vs single-level dirty bits (BFS, paper §IV-D1)
+//   - chunk-size sweep (BFS; the paper chose 1 MB experimentally)
+//   - distribution vs replica-only placement (MD)
+//   - layout transform on/off (KMEANS)
+//   - reductiontoarray vs serialized baseline reduction (KMEANS, 1 GPU)
+//   - reload skip on/off (KMEANS)
+func Ablations(cfg Config) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []AblationRow
+
+	add := func(study, variant, appName string, spec sim.MachineSpec, opts rt.Options) error {
+		app, err := apps.ByName(appName)
+		if err != nil {
+			return err
+		}
+		prog, err := core.Compile(app.Source)
+		if err != nil {
+			return err
+		}
+		rep, err := runOnce(cfg, app, prog, spec, opts, cfg.scaleFor(appName))
+		if err != nil {
+			return fmt.Errorf("ablation %s/%s: %w", study, variant, err)
+		}
+		rows = append(rows, AblationRow{
+			Study: study, Variant: variant,
+			Total: rep.Total(), BytesH2D: rep.BytesH2D, BytesP2P: rep.BytesP2P,
+		})
+		return nil
+	}
+	desktop := sim.Desktop()
+
+	if err := add("dirty-bits", "two-level (1MB chunks)", "BFS", desktop, rt.Options{}); err != nil {
+		return nil, err
+	}
+	if err := add("dirty-bits", "single-level", "BFS", desktop, rt.Options{DisableTwoLevelDirty: true}); err != nil {
+		return nil, err
+	}
+
+	for _, chunk := range []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20} {
+		v := fmt.Sprintf("chunk %s", byteSize(chunk))
+		if err := add("chunk-size", v, "BFS", desktop, rt.Options{ChunkBytes: chunk}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := add("placement", "distribution (localaccess)", "MD", desktop, rt.Options{}); err != nil {
+		return nil, err
+	}
+	if err := add("placement", "replica-only", "MD", desktop, rt.Options{DisableDistribution: true}); err != nil {
+		return nil, err
+	}
+
+	if err := add("layout-transform", "transformed", "KMEANS", desktop, rt.Options{}); err != nil {
+		return nil, err
+	}
+	if err := add("layout-transform", "row-major", "KMEANS", desktop, rt.Options{DisableLayoutTransform: true}); err != nil {
+		return nil, err
+	}
+
+	one := desktop.WithGPUs(1)
+	if err := add("array-reduction", "reductiontoarray", "KMEANS", one, rt.Options{Mode: rt.ModeCUDA}); err != nil {
+		return nil, err
+	}
+	if err := add("array-reduction", "serialized (stock)", "KMEANS", one, rt.Options{Mode: rt.ModeBaseline}); err != nil {
+		return nil, err
+	}
+
+	if err := add("reload-skip", "skip unchanged", "KMEANS", desktop, rt.Options{}); err != nil {
+		return nil, err
+	}
+	if err := add("reload-skip", "always reload", "KMEANS", desktop, rt.Options{DisableReloadSkip: true}); err != nil {
+		return nil, err
+	}
+
+	return rows, nil
+}
+
+// RenderAblations prints the ablation table.
+func RenderAblations(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablations — design choices (desktop machine)")
+	fmt.Fprintln(w, strings.Repeat("-", 76))
+	fmt.Fprintf(w, "%-18s %-26s %12s %10s %10s\n", "Study", "Variant", "Total", "H2D", "P2P")
+	last := ""
+	for _, r := range rows {
+		study := r.Study
+		if study == last {
+			study = ""
+		} else if last != "" {
+			fmt.Fprintln(w)
+		}
+		last = r.Study
+		fmt.Fprintf(w, "%-18s %-26s %12s %10s %10s\n",
+			study, r.Variant, r.Total.Round(time.Microsecond),
+			byteSize(r.BytesH2D), byteSize(r.BytesP2P))
+	}
+}
+
+func byteSize(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

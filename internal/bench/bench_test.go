@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps shape tests fast; assertions are tolerant accordingly.
+func tinyCfg() Config {
+	return Config{
+		AppScale: map[string]float64{"MD": 0.15, "KMEANS": 0.01, "BFS": 0.02},
+	}
+}
+
+func TestRunAllShapeMD(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Apps = []string{"MD"}
+	res, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Machines {
+		p1 := res.Proposal("MD", m.Name, 1)
+		p2 := res.Proposal("MD", m.Name, 2)
+		if p1 == nil || p2 == nil {
+			t.Fatalf("%s: missing proposal points", m.Name)
+		}
+		if p1.Relative <= 1 {
+			t.Errorf("%s: MD Proposal(1) should beat OpenMP, got %.2f", m.Name, p1.Relative)
+		}
+		if p2.Relative <= p1.Relative {
+			t.Errorf("%s: MD should scale 1->2 GPUs: %.2f vs %.2f", m.Name, p1.Relative, p2.Relative)
+		}
+		// MD needs no inter-GPU communication (paper Table II text).
+		if p2.Report.BytesP2P != 0 {
+			t.Errorf("%s: MD moved %d P2P bytes", m.Name, p2.Report.BytesP2P)
+		}
+		// Fig 8: CPU-GPU transfers are what limits MD's scaling.
+		if p2.Breakdown[1] <= p2.Breakdown[2] {
+			t.Errorf("%s: MD breakdown should be CPU-GPU dominated: %+v", m.Name, p2.Breakdown)
+		}
+	}
+	// The stock compiler bar exists and trails the hand-CUDA bar.
+	cuda := res.find("MD", "Desktop Machine", "CUDA(1)")
+	stock := res.find("MD", "Desktop Machine", "OpenACC(1)")
+	if cuda == nil || stock == nil || cuda.Relative < stock.Relative {
+		t.Errorf("CUDA(1) should be at least as fast as stock OpenACC(1)")
+	}
+}
+
+func TestRunAllShapeBFSSupercomputer(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Apps = []string{"BFS"}
+	res, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := res.Proposal("BFS", "Supercomputer Node", 3)
+	if p3 == nil {
+		t.Fatal("missing BFS Proposal(3)")
+	}
+	// The paper's signature result: BFS on the supercomputer node is
+	// communication-bound and does not beat OpenMP.
+	if p3.Relative >= 1 {
+		t.Errorf("BFS@super Proposal(3) should trail OpenMP, got %.2f", p3.Relative)
+	}
+	if p3.Breakdown[0] <= 0 {
+		t.Error("BFS@super must show GPU-GPU time")
+	}
+	// Fig 9: multi-GPU BFS carries visible System memory overhead but
+	// far less than proportional User replication.
+	if p3.MemSystem <= 0 {
+		t.Error("BFS@super should report System memory")
+	}
+	if p3.MemUser >= 2.0 {
+		t.Errorf("localaccess should prevent proportional replication, user = %.2f", p3.MemUser)
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Apps = []string{"MD"}
+	res, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := res.Headline()
+	if head["Desktop Machine"] <= 1 || head["Supercomputer Node"] <= 1 {
+		t.Errorf("headline speedups should exceed 1: %v", head)
+	}
+}
+
+func TestRenderOutputs(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Apps = []string{"MD"}
+	res, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderTable1(&sb)
+	RenderFig7(&sb, res)
+	RenderFig8(&sb, res)
+	RenderFig9(&sb, res)
+	out := sb.String()
+	for _, want := range []string{
+		"Table I", "Desktop Machine", "Supercomputer Node",
+		"Figure 7", "Proposal(2)", "Figure 8", "KERNELS", "Figure 9", "System",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestTable2SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale input generation is slow")
+	}
+	rows, err := Table2(Config{AppScale: map[string]float64{"MD": 0.1, "KMEANS": 0.01, "BFS": 0.01}, Apps: []string{"MD"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].App != "MD" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Column A is measured at the paper's input size regardless of
+	// the bench scale.
+	if mb := float64(rows[0].DeviceMemBytes) / 1e6; mb < 35 || mb > 45 {
+		t.Errorf("MD device memory = %.1f MB, want ~39.8", mb)
+	}
+	if rows[0].KernelExecs != 1 || rows[0].Loops != 1 {
+		t.Errorf("MD B/C wrong: %+v", rows[0])
+	}
+	var sb strings.Builder
+	RenderTable2(&sb, rows)
+	if !strings.Contains(sb.String(), "MD") {
+		t.Error("render missing row")
+	}
+}
+
+func TestAblationsSubsetDirections(t *testing.T) {
+	// Run only the cheap placement study via the public API by
+	// filtering afterwards; Ablations runs everything, so use tiny
+	// scales.
+	cfg := tinyCfg()
+	rows, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(study, variant string) *AblationRow {
+		for i := range rows {
+			if rows[i].Study == study && strings.HasPrefix(rows[i].Variant, variant) {
+				return &rows[i]
+			}
+		}
+		t.Fatalf("missing ablation %s/%s", study, variant)
+		return nil
+	}
+	if two, one := get("dirty-bits", "two-level"), get("dirty-bits", "single-level"); two.BytesP2P >= one.BytesP2P {
+		t.Errorf("two-level should ship fewer P2P bytes: %d vs %d", two.BytesP2P, one.BytesP2P)
+	}
+	if d, r := get("placement", "distribution"), get("placement", "replica-only"); d.BytesH2D >= r.BytesH2D {
+		t.Errorf("distribution should ship fewer H2D bytes: %d vs %d", d.BytesH2D, r.BytesH2D)
+	}
+	if tr, rm := get("layout-transform", "transformed"), get("layout-transform", "row-major"); tr.Total >= rm.Total {
+		t.Errorf("transform should be faster: %v vs %v", tr.Total, rm.Total)
+	}
+	if red, ser := get("array-reduction", "reductiontoarray"), get("array-reduction", "serialized"); red.Total >= ser.Total {
+		t.Errorf("reductiontoarray should beat serialization: %v vs %v", red.Total, ser.Total)
+	}
+	if sk, al := get("reload-skip", "skip"), get("reload-skip", "always"); sk.BytesH2D >= al.BytesH2D {
+		t.Errorf("reload skip should reduce H2D: %d vs %d", sk.BytesH2D, al.BytesH2D)
+	}
+	var sb strings.Builder
+	RenderAblations(&sb, rows)
+	if !strings.Contains(sb.String(), "chunk") {
+		t.Error("ablation render missing chunk study")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 1 || c.Seed == 0 || len(c.Apps) != 3 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if s := c.scaleFor("MD"); s != defaultBenchScale["MD"] {
+		t.Errorf("scaleFor(MD) = %g", s)
+	}
+	c2 := Config{Scale: 0.5, AppScale: map[string]float64{"MD": 0.4}}.withDefaults()
+	if s := c2.scaleFor("MD"); s != 0.2 {
+		t.Errorf("scaleFor with override = %g, want 0.2", s)
+	}
+}
+
+func TestRunAllUnknownApp(t *testing.T) {
+	if _, err := RunAll(Config{Apps: []string{"NOPE"}}); err == nil {
+		t.Error("unknown app should fail")
+	}
+}
+
+func TestClusterStudyShapes(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Apps = []string{"MD", "BFS"}
+	rows, err := ClusterStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]ClusterRow{}
+	for _, r := range rows {
+		byKey[r.App+"/"+r.Shape] = r
+	}
+	// BFS replica synchronization over the network must be slower than
+	// keeping all GPUs in one node.
+	if byKey["BFS/2x2"].Total <= byKey["BFS/1x3"].Total {
+		t.Errorf("BFS across nodes should be slower: 1x3=%v 2x2=%v",
+			byKey["BFS/1x3"].Total, byKey["BFS/2x2"].Total)
+	}
+	if !byKey["BFS/2x2"].NetP2P {
+		t.Error("BFS on a cluster must move GPU-GPU bytes over the network")
+	}
+	// MD moves no GPU-GPU bytes anywhere.
+	if byKey["MD/2x2"].NetP2P {
+		t.Error("MD must not produce network GPU-GPU traffic")
+	}
+	var sb strings.Builder
+	RenderCluster(&sb, rows)
+	if !strings.Contains(sb.String(), "2x2") {
+		t.Error("render missing shapes")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Apps = []string{"MD"}
+	res, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, res, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc JSONDocument
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.Figures) == 0 || doc.Headline["Desktop Machine"] <= 1 {
+		t.Errorf("document incomplete: %+v", doc.Headline)
+	}
+	for _, p := range doc.Figures {
+		if p.Report.TotalUS <= 0 {
+			t.Errorf("%s/%s: missing report", p.Machine, p.Version)
+		}
+	}
+	// Nil sections serialize fine.
+	sb.Reset()
+	if err := WriteJSON(&sb, nil, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}

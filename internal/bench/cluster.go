@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"accmulti/internal/apps"
+	"accmulti/internal/core"
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+)
+
+// ClusterRow is one application on one cluster shape — the paper's §VI
+// inter-node future work, explored on the simulated fabric.
+type ClusterRow struct {
+	App     string
+	Shape   string // e.g. "1x3", "2x2"
+	GPUs    int
+	Total   time.Duration
+	Speedup float64 // vs the single supercomputer node with 1 GPU
+	NetP2P  bool    // whether GPU-GPU traffic crossed nodes
+}
+
+// ClusterStudy runs each app on a single supercomputer node (1 and 3
+// GPUs) and on 2x2 and 2x3 clusters. The expectation mirrors the
+// paper's intuition for the future work: communication-free apps (MD)
+// keep scaling across nodes, while communication-bound apps (BFS) fall
+// off a cliff when replica synchronization crosses the network.
+func ClusterStudy(cfg Config) ([]ClusterRow, error) {
+	cfg = cfg.withDefaults()
+	shapes := []struct {
+		label string
+		spec  sim.MachineSpec
+	}{
+		{"1x1", sim.SupercomputerNode().WithGPUs(1)},
+		{"1x3", sim.SupercomputerNode()},
+		{"2x2", sim.Cluster(2, 2)},
+		{"2x3", sim.Cluster(2, 3)},
+	}
+	var rows []ClusterRow
+	for _, name := range cfg.Apps {
+		app, err := apps.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := core.Compile(app.Source)
+		if err != nil {
+			return nil, err
+		}
+		var base time.Duration
+		for _, sh := range shapes {
+			rep, err := runOnce(cfg, app, prog, sh.spec, rt.Options{}, cfg.scaleFor(name))
+			if err != nil {
+				return nil, fmt.Errorf("cluster %s/%s: %w", name, sh.label, err)
+			}
+			if sh.label == "1x1" {
+				base = rep.Total()
+			}
+			row := ClusterRow{
+				App: name, Shape: sh.label, GPUs: sh.spec.NumGPUs,
+				Total:  rep.Total(),
+				NetP2P: sh.spec.NodeCount() > 1 && rep.BytesP2P > 0,
+			}
+			if base > 0 {
+				row.Speedup = float64(base) / float64(rep.Total())
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderCluster prints the cluster study.
+func RenderCluster(w io.Writer, rows []ClusterRow) {
+	fmt.Fprintln(w, "Cluster study — inter-node multi-GPU (paper §VI future work)")
+	fmt.Fprintln(w, "speedup normalized to one M2050 on a single node")
+	fmt.Fprintln(w, strings.Repeat("-", 64))
+	fmt.Fprintf(w, "%-10s %-6s %5s %14s %9s %s\n", "App", "Shape", "GPUs", "Total", "Speedup", "")
+	last := ""
+	for _, r := range rows {
+		app := r.App
+		if app == last {
+			app = ""
+		} else if last != "" {
+			fmt.Fprintln(w)
+		}
+		last = r.App
+		note := ""
+		if r.NetP2P {
+			note = "(GPU-GPU over network)"
+		}
+		fmt.Fprintf(w, "%-10s %-6s %5d %14s %8.2fx %s\n",
+			app, r.Shape, r.GPUs, r.Total.Round(time.Microsecond), r.Speedup, note)
+	}
+}

@@ -1,0 +1,141 @@
+// Package core ties the reproduction together: it compiles OpenACC C
+// source through the frontend and translator, binds inputs, and runs
+// the result on a simulated machine under one of the runtime modes.
+// It is the programmatic entry point used by the public facade, the
+// command-line tools and the benchmark harness.
+package core
+
+import (
+	"fmt"
+
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+	"accmulti/internal/translator"
+)
+
+// Program is a compiled OpenACC program.
+type Program struct {
+	// Module is the executable translation.
+	Module *ir.Module
+}
+
+// Compile parses, analyzes and translates OpenACC C source.
+func Compile(source string) (*Program, error) {
+	prog, err := cc.ParseProgram(source)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := translator.Translate(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Module: mod}, nil
+}
+
+// GeneratedSource returns the translator's CUDA-like output.
+func (p *Program) GeneratedSource() string { return p.Module.GeneratedSource }
+
+// Config selects the platform and runtime behaviour of one run.
+type Config struct {
+	// Machine is the simulated platform (defaults to the desktop).
+	Machine sim.MachineSpec
+	// Options select the runtime mode and ablation switches.
+	Options rt.Options
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	// Report is the runtime's accounting (times, bytes, memory).
+	Report *rt.Report
+	// Instance exposes the final host arrays and scalars.
+	Instance *ir.Instance
+	// Runtime gives access to per-kernel execution counts.
+	Runtime *rt.Runtime
+}
+
+// Run binds inputs and executes the program under the configuration.
+func (p *Program) Run(b *ir.Bindings, cfg Config) (*Result, error) {
+	if cfg.Machine.Name == "" {
+		cfg.Machine = sim.Desktop()
+	}
+	inst, err := p.Module.Bind(b)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := sim.NewMachine(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	runtime := rt.New(mach, cfg.Options)
+	if err := runtime.Run(inst); err != nil {
+		return nil, err
+	}
+	return &Result{Report: runtime.Report(), Instance: inst, Runtime: runtime}, nil
+}
+
+// Stats summarizes the program the way the paper's Table II does.
+type Stats struct {
+	// ParallelLoops is the number of translated kernels (column B).
+	ParallelLoops int
+	// ArraysInLoops is the number of distinct arrays used across all
+	// parallel loops.
+	ArraysInLoops int
+	// LocalAccessArrays is how many of those carry a localaccess
+	// directive in at least one loop (column D's numerator).
+	LocalAccessArrays int
+	// ReductionArrays counts reductiontoarray targets.
+	ReductionArrays int
+}
+
+// Stats computes the static program statistics.
+func (p *Program) Stats() Stats {
+	s := Stats{ParallelLoops: len(p.Module.Kernels)}
+	inLoops := map[string]bool{}
+	local := map[string]bool{}
+	reds := map[string]bool{}
+	for _, k := range p.Module.Kernels {
+		for _, u := range k.Arrays {
+			inLoops[u.Decl.Name] = true
+			if u.Local != nil {
+				local[u.Decl.Name] = true
+			}
+			if u.Reduced {
+				reds[u.Decl.Name] = true
+			}
+		}
+	}
+	s.ArraysInLoops = len(inLoops)
+	s.LocalAccessArrays = len(local)
+	s.ReductionArrays = len(reds)
+	return s
+}
+
+// DeviceMemoryUsage evaluates the single-GPU device footprint of the
+// bound program's arrays (Table II column A): the bytes a 1-GPU run
+// keeps resident for the program's device arrays.
+func DeviceMemoryUsage(p *Program, b *ir.Bindings) (int64, error) {
+	inst, err := p.Module.Bind(b)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	seen := map[string]bool{}
+	for _, k := range p.Module.Kernels {
+		for _, u := range k.Arrays {
+			if seen[u.Decl.Name] {
+				continue
+			}
+			seen[u.Decl.Name] = true
+			total += inst.Arrays[u.Decl.Slot].Bytes()
+		}
+	}
+	return total, nil
+}
+
+// FormatStats renders Stats in the style of Table II's B-D columns.
+func FormatStats(s Stats) string {
+	return fmt.Sprintf("loops=%d localaccess=%d/%d reductions=%d",
+		s.ParallelLoops, s.LocalAccessArrays, s.ArraysInLoops, s.ReductionArrays)
+}

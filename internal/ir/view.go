@@ -1,0 +1,224 @@
+package ir
+
+import (
+	"fmt"
+
+	"accmulti/internal/cc"
+)
+
+// ReduceOp is the operator of a reductiontoarray statement.
+type ReduceOp uint8
+
+const (
+	// ReduceAdd is `arr[idx] += v`.
+	ReduceAdd ReduceOp = iota
+	// ReduceMul is `arr[idx] *= v`.
+	ReduceMul
+)
+
+// Apply combines an accumulator with a new value.
+func (op ReduceOp) Apply(acc, v float64) float64 {
+	if op == ReduceMul {
+		return acc * v
+	}
+	return acc + v
+}
+
+// ApplyI combines integer values.
+func (op ReduceOp) ApplyI(acc, v int64) int64 {
+	if op == ReduceMul {
+		return acc * v
+	}
+	return acc + v
+}
+
+// Identity returns the operator's identity element.
+func (op ReduceOp) Identity() float64 {
+	if op == ReduceMul {
+		return 1
+	}
+	return 0
+}
+
+func (op ReduceOp) String() string {
+	if op == ReduceMul {
+		return "*"
+	}
+	return "+"
+}
+
+// ArrayView is how compiled code touches one array. The runtime chooses
+// the implementation per array and device: plain host storage, a
+// replicated device copy with dirty-bit instrumentation, a distributed
+// partition with remote-write buffering, or a reduction lane. All
+// implementations count the bytes they move through the Env.
+//
+// Index errors panic (like an illegal address on a real GPU) and are
+// recovered and reported by the kernel runner.
+type ArrayView interface {
+	// LoadF reads element i of a float-valued array.
+	LoadF(e *Env, i int64) float64
+	// StoreF writes element i of a float-valued array.
+	StoreF(e *Env, i int64, v float64)
+	// LoadI reads element i of an int-valued array.
+	LoadI(e *Env, i int64) int64
+	// StoreI writes element i of an int-valued array.
+	StoreI(e *Env, i int64, v int64)
+	// ReduceF applies op at element i (a reductiontoarray update).
+	ReduceF(e *Env, i int64, v float64, op ReduceOp)
+	// ReduceI applies op at element i (a reductiontoarray update).
+	ReduceI(e *Env, i int64, v int64, op ReduceOp)
+	// Len is the logical (whole-array) element count.
+	Len() int64
+}
+
+// HostArray is an array in host memory, bound by the embedding program.
+// Exactly one of F32/F64/I32 is non-nil, matching the declared type.
+type HostArray struct {
+	Decl *cc.VarDecl
+	F32  []float32
+	F64  []float64
+	I32  []int32
+}
+
+// NewHostArray allocates host storage for a declaration.
+func NewHostArray(decl *cc.VarDecl, n int64) *HostArray {
+	a := &HostArray{Decl: decl}
+	switch decl.Type {
+	case cc.TFloat:
+		a.F32 = make([]float32, n)
+	case cc.TDouble:
+		a.F64 = make([]float64, n)
+	default:
+		a.I32 = make([]int32, n)
+	}
+	return a
+}
+
+// Len returns the element count.
+func (a *HostArray) Len() int64 {
+	switch {
+	case a.F32 != nil:
+		return int64(len(a.F32))
+	case a.F64 != nil:
+		return int64(len(a.F64))
+	default:
+		return int64(len(a.I32))
+	}
+}
+
+// Bytes returns the storage size.
+func (a *HostArray) Bytes() int64 { return a.Len() * a.Decl.Type.Size() }
+
+// View returns a direct view over the host storage (used by host code
+// and by the OpenMP baseline, which accesses host memory in place).
+func (a *HostArray) View() ArrayView {
+	switch {
+	case a.F32 != nil:
+		return &hostF32{a: a}
+	case a.F64 != nil:
+		return &hostF64{a: a}
+	default:
+		return &hostI32{a: a}
+	}
+}
+
+type hostF32 struct{ a *HostArray }
+
+func (v *hostF32) LoadF(e *Env, i int64) float64 {
+	e.BytesRead += 4
+	return float64(v.a.F32[i])
+}
+func (v *hostF32) StoreF(e *Env, i int64, x float64) {
+	e.BytesWritten += 4
+	v.a.F32[i] = float32(x)
+}
+func (v *hostF32) LoadI(e *Env, i int64) int64     { return int64(v.LoadF(e, i)) }
+func (v *hostF32) StoreI(e *Env, i int64, x int64) { v.StoreF(e, i, float64(x)) }
+func (v *hostF32) ReduceF(e *Env, i int64, x float64, op ReduceOp) {
+	e.ReduceOps++
+	e.BytesRead += 4
+	e.BytesWritten += 4
+	v.a.F32[i] = float32(op.Apply(float64(v.a.F32[i]), x))
+}
+func (v *hostF32) ReduceI(e *Env, i int64, x int64, op ReduceOp) { v.ReduceF(e, i, float64(x), op) }
+func (v *hostF32) Len() int64                                    { return int64(len(v.a.F32)) }
+
+type hostF64 struct{ a *HostArray }
+
+func (v *hostF64) LoadF(e *Env, i int64) float64 {
+	e.BytesRead += 8
+	return v.a.F64[i]
+}
+func (v *hostF64) StoreF(e *Env, i int64, x float64) {
+	e.BytesWritten += 8
+	v.a.F64[i] = x
+}
+func (v *hostF64) LoadI(e *Env, i int64) int64     { return int64(v.LoadF(e, i)) }
+func (v *hostF64) StoreI(e *Env, i int64, x int64) { v.StoreF(e, i, float64(x)) }
+func (v *hostF64) ReduceF(e *Env, i int64, x float64, op ReduceOp) {
+	e.ReduceOps++
+	e.BytesRead += 8
+	e.BytesWritten += 8
+	v.a.F64[i] = op.Apply(v.a.F64[i], x)
+}
+func (v *hostF64) ReduceI(e *Env, i int64, x int64, op ReduceOp) { v.ReduceF(e, i, float64(x), op) }
+func (v *hostF64) Len() int64                                    { return int64(len(v.a.F64)) }
+
+type hostI32 struct{ a *HostArray }
+
+func (v *hostI32) LoadI(e *Env, i int64) int64 {
+	e.BytesRead += 4
+	return int64(v.a.I32[i])
+}
+func (v *hostI32) StoreI(e *Env, i int64, x int64) {
+	e.BytesWritten += 4
+	v.a.I32[i] = int32(x)
+}
+func (v *hostI32) LoadF(e *Env, i int64) float64     { return float64(v.LoadI(e, i)) }
+func (v *hostI32) StoreF(e *Env, i int64, x float64) { v.StoreI(e, i, int64(x)) }
+func (v *hostI32) ReduceI(e *Env, i int64, x int64, op ReduceOp) {
+	e.ReduceOps++
+	e.BytesRead += 4
+	e.BytesWritten += 4
+	v.a.I32[i] = int32(op.ApplyI(int64(v.a.I32[i]), x))
+}
+func (v *hostI32) ReduceF(e *Env, i int64, x float64, op ReduceOp) { v.ReduceI(e, i, int64(x), op) }
+func (v *hostI32) Len() int64                                      { return int64(len(v.a.I32)) }
+
+// Bindings maps declared global arrays and scalars to the host values
+// supplied by the embedding program.
+type Bindings struct {
+	// Scalars maps global scalar names to their values (int scalars
+	// take the truncated value).
+	Scalars map[string]float64
+	// Arrays maps global array names to host storage. Arrays omitted
+	// here are allocated (zeroed) automatically at bind time.
+	Arrays map[string]*HostArray
+}
+
+// NewBindings returns an empty binding set.
+func NewBindings() *Bindings {
+	return &Bindings{Scalars: map[string]float64{}, Arrays: map[string]*HostArray{}}
+}
+
+// SetScalar binds a global scalar parameter.
+func (b *Bindings) SetScalar(name string, v float64) *Bindings {
+	b.Scalars[name] = v
+	return b
+}
+
+// SetArray binds a global array parameter.
+func (b *Bindings) SetArray(name string, a *HostArray) *Bindings {
+	b.Arrays[name] = a
+	return b
+}
+
+// BindError reports an inconsistent binding.
+type BindError struct{ Msg string }
+
+func (e *BindError) Error() string { return "ir: bind: " + e.Msg }
+
+func bindErrf(format string, args ...any) error {
+	return &BindError{Msg: fmt.Sprintf(format, args...)}
+}

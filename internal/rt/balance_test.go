@@ -1,0 +1,163 @@
+package rt
+
+import (
+	"testing"
+
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+	"accmulti/internal/translator"
+)
+
+// skewedCSR builds a CSR where the first fraction of rows carries
+// heavyDeg edges and the rest lightDeg — the worst case for equal
+// iteration splits.
+func skewedCSR(rows, heavyRows, heavyDeg, lightDeg int) (off, edges []int32) {
+	off = make([]int32, rows+1)
+	for i := 0; i < rows; i++ {
+		off[i] = int32(len(edges))
+		deg := lightDeg
+		if i < heavyRows {
+			deg = heavyDeg
+		}
+		for d := 0; d < deg; d++ {
+			edges = append(edges, int32((i+d)%rows))
+		}
+	}
+	off[rows] = int32(len(edges))
+	return off, edges
+}
+
+const csrSumSrc = `
+int n, ne;
+int off[n + 1], edges[ne];
+float x[n], y[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(off, edges, x) copyout(y)
+    {
+        #pragma acc localaccess(off) stride(1, 0, 1)
+        #pragma acc localaccess(edges) bounds(off[i], off[i+1]-1)
+        #pragma acc localaccess(y) stride(1)
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            int e;
+            float s;
+            s = 0.0;
+            for (e = off[i]; e < off[i + 1]; e++) {
+                s += x[edges[e]];
+            }
+            y[i] = s;
+        }
+    }
+}
+`
+
+func runCSR(t *testing.T, opts Options) (*ir.Instance, *Runtime, []int32) {
+	t.Helper()
+	rows := 40000
+	off, edges := skewedCSR(rows, rows/8, 64, 2)
+	offA := &ir.HostArray{Decl: &cc.VarDecl{Name: "off", Type: cc.TInt, IsArray: true}, I32: off}
+	edgA := &ir.HostArray{Decl: &cc.VarDecl{Name: "edges", Type: cc.TInt, IsArray: true}, I32: edges}
+	xA := &ir.HostArray{Decl: &cc.VarDecl{Name: "x", Type: cc.TFloat, IsArray: true}, F32: make([]float32, rows)}
+	for i := range xA.F32 {
+		xA.F32[i] = 1
+	}
+	bind := ir.NewBindings().
+		SetScalar("n", float64(rows)).SetScalar("ne", float64(len(edges))).
+		SetArray("off", offA).SetArray("edges", edgA).SetArray("x", xA)
+	inst, r := exec(t, csrSumSrc, sim.Desktop(), opts, bind)
+	return inst, r, off
+}
+
+func TestBalanceLoadCorrectAndFaster(t *testing.T) {
+	instEq, rEq, off := runCSR(t, Options{})
+	instBal, rBal, _ := runCSR(t, Options{BalanceLoad: true})
+
+	// Results identical: row i sums deg(i) ones.
+	yEq, _ := instEq.Array("y")
+	yBal, _ := instBal.Array("y")
+	for i := range yEq.F32 {
+		want := float32(off[i+1] - off[i])
+		if yEq.F32[i] != want || yBal.F32[i] != want {
+			t.Fatalf("y[%d]: equal=%g balanced=%g want %g", i, yEq.F32[i], yBal.F32[i], want)
+		}
+	}
+
+	// The skew puts 8x-degree rows on GPU0 under the equal split; the
+	// balanced split must cut the kernel critical path substantially.
+	if rBal.Report().KernelTime*13 >= rEq.Report().KernelTime*10 {
+		t.Errorf("balanced partition should cut the kernel critical path by >23%%: equal=%v balanced=%v",
+			rEq.Report().KernelTime, rBal.Report().KernelTime)
+	}
+}
+
+func TestBalanceLoadNoBoundsFootprintFallsBack(t *testing.T) {
+	// A kernel without bounds-form footprints uses the equal split;
+	// results and transfer volumes are unaffected by the option.
+	src := `
+int n;
+float x[n], y[n];
+void main() {
+    int i;
+    #pragma acc localaccess(x) stride(1)
+    #pragma acc localaccess(y) stride(1)
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) { y[i] = x[i] * 2.0; }
+}
+`
+	bind := func() *ir.Bindings { return ir.NewBindings().SetScalar("n", 10000) }
+	_, rEq := exec(t, src, sim.Desktop(), Options{}, bind())
+	_, rBal := exec(t, src, sim.Desktop(), Options{BalanceLoad: true}, bind())
+	if rEq.Report().BytesH2D != rBal.Report().BytesH2D {
+		t.Errorf("fallback changed transfers: %d vs %d", rEq.Report().BytesH2D, rBal.Report().BytesH2D)
+	}
+	if rEq.Report().KernelTime != rBal.Report().KernelTime {
+		t.Errorf("fallback changed kernel time: %v vs %v", rEq.Report().KernelTime, rBal.Report().KernelTime)
+	}
+}
+
+func TestBalancedPartitionCoversSpace(t *testing.T) {
+	// Partitions are contiguous, ordered and cover [lower, upper).
+	rows := 1234
+	off, edges := skewedCSR(rows, 100, 40, 1)
+	prog, err := cc.ParseProgram(csrSumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := translator.Translate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offA := &ir.HostArray{Decl: prog.Scope["off"], I32: off}
+	edgA := &ir.HostArray{Decl: prog.Scope["edges"], I32: edges}
+	inst, err := mod.Bind(ir.NewBindings().
+		SetScalar("n", float64(rows)).SetScalar("ne", float64(len(edges))).
+		SetArray("off", offA).SetArray("edges", edgA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, _ := sim.NewMachine(sim.SupercomputerNode())
+	r := New(mach, Options{BalanceLoad: true})
+	r.inst = inst
+	k := mod.Kernels[0]
+	for _, n := range []int{2, 3} {
+		parts := r.balancedPartition(k, inst.Env, 0, int64(rows), n)
+		if parts == nil {
+			t.Fatal("expected balanced partitions")
+		}
+		var prev int64
+		var total int64
+		for _, p := range parts {
+			if p.lo != prev {
+				t.Fatalf("gap: %+v", parts)
+			}
+			prev = p.hi
+			total += p.count()
+		}
+		if prev != int64(rows) || total != int64(rows) {
+			t.Fatalf("coverage: %+v", parts)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package rt
+
+import (
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+)
+
+// This file is the inter-GPU communication manager (paper §IV-D),
+// called after the kernels of every launch: it propagates writes to
+// replicated arrays with the two-level dirty-bit scheme, delivers
+// buffered remote writes on distributed arrays, and completes the
+// hierarchical (intra- then inter-GPU) reductions.
+
+func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partials [][]float64) error {
+	var p2p []sim.Transfer
+
+	for _, use := range k.Arrays {
+		st := r.state(use.Decl)
+		switch {
+		case use.Reduced:
+			p2p = append(p2p, r.mergeReduction(st, use, gpus)...)
+		case use.Written:
+			distributed := use.Local != nil && !r.opts.DisableDistribution && r.opts.Mode != ModeBaseline
+			if distributed {
+				p2p = append(p2p, r.deliverMisses(st, gpus)...)
+				p2p = append(p2p, r.syncOverlaps(st, gpus)...)
+			} else {
+				p2p = append(p2p, r.syncReplicated(st, gpus)...)
+			}
+			st.deviceNewer = true
+		}
+	}
+	r.account(p2p, &r.rep.GPUGPUTime)
+	if r.opts.Trace != nil && len(p2p) > 0 {
+		var bytes int64
+		for _, t := range p2p {
+			bytes += t.Bytes
+		}
+		r.tracef("comm: kernel %s, %d GPU-GPU transfers, %d bytes", k.Name, len(p2p), bytes)
+	}
+
+	// Scalar reductions: per-GPU partials travel over the bus (tiny
+	// device-to-host copies) and merge with the original host value,
+	// the final level of the paper's hierarchical reduction.
+	if len(k.ScalarReds) > 0 {
+		var tiny []sim.Transfer
+		for ri, red := range k.ScalarReds {
+			acc := getRedSlot(env, red)
+			for g := range gpus {
+				acc = mergeRed(red, acc, partials[g][ri])
+				tiny = append(tiny, sim.Transfer{Kind: sim.DeviceToHost, Bytes: 8, Src: g, Dst: -1})
+			}
+			setRedSlot(env, red, acc)
+		}
+		r.account(tiny, &r.rep.CPUGPUTime)
+	}
+	r.sampleMemory()
+	return nil
+}
+
+// syncReplicated propagates writes between full replicas. With the
+// two-level scheme only chunks whose second-level bit is set travel;
+// the single-level ablation ships the whole replica plus its dirty-bit
+// array as soon as anything is dirty (paper §IV-D1).
+func (r *Runtime) syncReplicated(st *arrayState, gpus []*sim.Device) []sim.Transfer {
+	if len(gpus) == 1 {
+		c := st.copies[0]
+		if c.dirty != nil {
+			clearBytes(c.dirty)
+			clearBytes(c.chunkDirty)
+		}
+		return nil
+	}
+	var transfers []sim.Transfer
+	for g := range gpus {
+		src := st.copies[g]
+		if src.dirty == nil || !src.valid {
+			continue
+		}
+		if r.opts.DisableTwoLevelDirty {
+			transfers = append(transfers, r.shipWholeReplica(st, gpus, g)...)
+			continue
+		}
+		for ch := range src.chunkDirty {
+			if src.chunkDirty[ch] == 0 {
+				continue
+			}
+			lo := int64(ch) * src.chunkElems
+			hi := lo + src.chunkElems
+			if hi > src.localLen() {
+				hi = src.localLen()
+			}
+			// The chunk ships to every other replica; receivers apply
+			// the elements the first-level dirty bits mark.
+			chunkBytes := (hi - lo) * st.elemSize
+			for g2 := range gpus {
+				if g2 == g {
+					continue
+				}
+				dst := st.copies[g2]
+				for p := lo; p < hi; p++ {
+					if src.dirty[p] == 1 {
+						dst.storeF(p, src.loadF(p)) // replicas share layout
+					}
+				}
+				transfers = append(transfers, sim.Transfer{
+					Kind: sim.PeerToPeer, Bytes: chunkBytes, Src: g, Dst: g2,
+				})
+			}
+		}
+	}
+	// A new BSP superstep starts clean.
+	for g := range gpus {
+		c := st.copies[g]
+		if c.dirty != nil {
+			clearBytes(c.dirty)
+			clearBytes(c.chunkDirty)
+		}
+	}
+	return transfers
+}
+
+func (r *Runtime) shipWholeReplica(st *arrayState, gpus []*sim.Device, g int) []sim.Transfer {
+	src := st.copies[g]
+	any := false
+	for _, b := range src.chunkDirty {
+		if b == 1 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	var transfers []sim.Transfer
+	payload := src.localLen()*st.elemSize + src.localLen() // data + dirty bits
+	for g2 := range gpus {
+		if g2 == g {
+			continue
+		}
+		dst := st.copies[g2]
+		for p := int64(0); p < src.localLen(); p++ {
+			if src.dirty[p] == 1 {
+				dst.storeF(p, src.loadF(p))
+			}
+		}
+		transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: payload, Src: g, Dst: g2})
+	}
+	return transfers
+}
+
+// deliverMisses routes buffered remote writes on distributed arrays to
+// the GPUs whose partitions hold the destination (paper §IV-D2). A
+// write nobody holds lands on the host mirror.
+func (r *Runtime) deliverMisses(st *arrayState, gpus []*sim.Device) []sim.Transfer {
+	var transfers []sim.Transfer
+	isInt := st.decl.Type == cc.TInt
+	for g := range gpus {
+		src := st.copies[g]
+		if src.miss == nil {
+			continue
+		}
+		// bytesTo tallies record payloads per destination GPU.
+		bytesTo := make([]int64, len(gpus))
+		var hostBytes int64
+		for _, lane := range src.miss {
+			for _, rec := range lane {
+				delivered := false
+				for g2 := range gpus {
+					if g2 == g {
+						continue
+					}
+					dst := st.copies[g2]
+					if !dst.valid || rec.idx < dst.lo || rec.idx > dst.hi {
+						continue
+					}
+					if isInt {
+						dst.storeI(dst.phys(rec.idx), rec.i)
+					} else {
+						dst.storeF(dst.phys(rec.idx), rec.f)
+					}
+					bytesTo[g2] += missRecordBytes
+					delivered = true
+				}
+				if !delivered {
+					if isInt {
+						st.host.I32[rec.idx] = int32(rec.i)
+					} else {
+						hostStoreF(st.host, rec.idx, rec.f)
+					}
+					hostBytes += missRecordBytes
+				}
+			}
+		}
+		for g2, b := range bytesTo {
+			if b > 0 {
+				transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: b, Src: g, Dst: g2})
+			}
+		}
+		if hostBytes > 0 {
+			transfers = append(transfers, sim.Transfer{Kind: sim.DeviceToHost, Bytes: hostBytes, Src: g, Dst: -1})
+		}
+		// Drain the system buffers for the next superstep.
+		for w := range src.miss {
+			src.miss[w] = src.miss[w][:0]
+		}
+	}
+	return transfers
+}
+
+// syncOverlaps pushes each GPU's owned (core) writes of a distributed
+// array into the overlapping halo regions of other GPUs' partitions, so
+// halo reads in the next superstep see fresh values (the stencil halo
+// exchange, expressed through the paper's distributed-array machinery).
+// Elements inside the receiver's own core are never overwritten: under
+// the dependence-free loop contract the receiver's writes are at least
+// as fresh.
+func (r *Runtime) syncOverlaps(st *arrayState, gpus []*sim.Device) []sim.Transfer {
+	if len(gpus) == 1 {
+		return nil
+	}
+	var transfers []sim.Transfer
+	for g := range gpus {
+		src := st.copies[g]
+		if !src.valid || src.coreHi < src.coreLo {
+			continue
+		}
+		for g2 := range gpus {
+			if g2 == g {
+				continue
+			}
+			dst := st.copies[g2]
+			if !dst.valid {
+				continue
+			}
+			lo := max64(src.coreLo, dst.lo)
+			hi := min64(src.coreHi, dst.hi)
+			if hi < lo {
+				continue
+			}
+			// Subtract the receiver's own core, leaving up to two
+			// halo segments.
+			var bytes int64
+			for _, seg := range subtractRange(lo, hi, dst.coreLo, dst.coreHi) {
+				for i := seg[0]; i <= seg[1]; i++ {
+					dst.storeF(dst.phys(i), src.loadF(src.phys(i)))
+				}
+				bytes += (seg[1] - seg[0] + 1) * st.elemSize
+			}
+			if bytes > 0 {
+				transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: bytes, Src: g, Dst: g2})
+			}
+		}
+	}
+	return transfers
+}
+
+// subtractRange removes [subLo, subHi] from [lo, hi], returning the
+// remaining inclusive segments.
+func subtractRange(lo, hi, subLo, subHi int64) [][2]int64 {
+	if subHi < subLo || subHi < lo || subLo > hi {
+		return [][2]int64{{lo, hi}}
+	}
+	var out [][2]int64
+	if subLo > lo {
+		out = append(out, [2]int64{lo, subLo - 1})
+	}
+	if subHi < hi {
+		out = append(out, [2]int64{subHi + 1, hi})
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mergeReduction completes a reductiontoarray: worker lanes fold into a
+// per-GPU delta (the shared-memory and intra-GPU levels), the deltas
+// merge across GPUs (a reduce + broadcast tree over the bus), and the
+// combined delta lands on every replica.
+func (r *Runtime) mergeReduction(st *arrayState, use *ir.ArrayUse, gpus []*sim.Device) []sim.Transfer {
+	n := st.n
+	op := use.ReduceOp
+	isInt := st.decl.Type == cc.TInt
+
+	if isInt {
+		total := newLaneI(n, op)
+		for g := range gpus {
+			c := st.copies[g]
+			if c.lanesI == nil {
+				continue
+			}
+			for _, lane := range c.lanesI {
+				for i := int64(0); i < n; i++ {
+					total[i] = op.ApplyI(total[i], lane[i])
+				}
+			}
+			c.lanesI = nil
+		}
+		id := int64(op.Identity())
+		for g := range gpus {
+			c := st.copies[g]
+			for i := int64(0); i < n; i++ {
+				if total[i] != id {
+					c.storeI(c.phys(i), op.ApplyI(c.loadI(c.phys(i)), total[i]))
+				}
+			}
+		}
+	} else {
+		total := newLaneF(n, op)
+		for g := range gpus {
+			c := st.copies[g]
+			if c.lanesF == nil {
+				continue
+			}
+			for _, lane := range c.lanesF {
+				for i := int64(0); i < n; i++ {
+					total[i] = op.Apply(total[i], lane[i])
+				}
+			}
+			c.lanesF = nil
+		}
+		id := op.Identity()
+		for g := range gpus {
+			c := st.copies[g]
+			for i := int64(0); i < n; i++ {
+				if total[i] != id {
+					c.storeF(c.phys(i), op.Apply(c.loadF(c.phys(i)), total[i]))
+				}
+			}
+		}
+	}
+	st.deviceNewer = true
+
+	// Bus cost: a reduce tree then a broadcast of the delta array.
+	var transfers []sim.Transfer
+	laneBytes := n * st.elemSize
+	for g := 1; g < len(gpus); g++ {
+		transfers = append(transfers,
+			sim.Transfer{Kind: sim.PeerToPeer, Bytes: laneBytes, Src: g, Dst: 0},
+			sim.Transfer{Kind: sim.PeerToPeer, Bytes: laneBytes, Src: 0, Dst: g},
+		)
+	}
+	return transfers
+}
+
+func clearBytes(b []uint8) {
+	for i := range b {
+		b[i] = 0
+	}
+}

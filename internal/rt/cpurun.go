@@ -1,0 +1,96 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+)
+
+// launchCPU is the OpenMP baseline: the same kernel runs on the
+// simulated multi-core CPU directly over host memory. There are no
+// transfers; the only bucket that grows is KERNELS, priced by the CPU's
+// roofline (memory-bound for the streaming kernels, as gcc -O2 code on
+// the paper's Core i7 / Xeon machines is).
+func (r *Runtime) launchCPU(k *ir.Kernel, env *ir.Env) error {
+	cpu := r.mach.CPU()
+	lower, upper := k.Lower(env), k.Upper(env)
+	n := upper - lower
+	if n < 0 {
+		n = 0
+	}
+
+	// Reduction targets get per-worker lanes so the parallel loop is
+	// race-free, mirroring an OpenMP array-reduction idiom.
+	views := append([]ir.ArrayView(nil), env.Views...)
+	var reduceViews []*hostReduceView
+	var reduceOps []ir.ReduceOp
+	for _, use := range k.Arrays {
+		if use.Reduced {
+			host := r.inst.Arrays[use.Decl.Slot]
+			v := newHostReduceView(host, cpu.Spec.Workers, use.ReduceOp)
+			views[use.Decl.Slot] = v
+			reduceViews = append(reduceViews, v)
+			reduceOps = append(reduceOps, use.ReduceOp)
+		}
+	}
+
+	base := env.CloneWithViews(views)
+	redVals := identityPartials(k)
+	for ri, red := range k.ScalarReds {
+		setRedSlot(base, red, redVals[ri])
+	}
+	var (
+		wctr int32
+		rmu  sync.Mutex
+	)
+	loopSlot := k.LoopVar.Slot
+	counters, err := cpu.ParallelFor(int(n), func(start, end int) sim.Counters {
+		we := base.Clone()
+		we.WorkerID = int(atomic.AddInt32(&wctr, 1) - 1)
+		for it := start; it < end; it++ {
+			we.Ints[loopSlot] = lower + int64(it)
+			if err := k.Body(we); err != nil {
+				if errors.Is(err, ir.ErrLoopContinue) {
+					continue // `continue` binding to the parallel loop
+				}
+				if errors.Is(err, ir.ErrLoopBreak) {
+					panic(fmt.Errorf("line %d: break out of a parallel loop is not allowed", k.Line))
+				}
+				panic(err)
+			}
+		}
+		rmu.Lock()
+		for ri, red := range k.ScalarReds {
+			redVals[ri] = mergeRed(red, redVals[ri], getRedSlot(we, red))
+		}
+		rmu.Unlock()
+		return sim.Counters{
+			Flops:        we.Flops,
+			BytesRead:    we.BytesRead,
+			BytesWritten: we.BytesWritten,
+			Iterations:   int64(end - start),
+			ReduceOps:    we.ReduceOps,
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("rt: kernel %s on CPU: %w", k.Name, err)
+	}
+	for vi, v := range reduceViews {
+		v.mergeInto(reduceOps[vi])
+	}
+	for ri, red := range k.ScalarReds {
+		setRedSlot(env, red, mergeRed(red, getRedSlot(env, red), redVals[ri]))
+	}
+	cost := cpu.Spec.KernelCost(counters, k.CPUEfficiency)
+	r.rep.KernelTime += cost
+	r.rep.Counters.Add(counters)
+	ks := r.rep.kernelStats(k.Name)
+	ks.Launches++
+	ks.Time += cost
+	ks.Counters.Add(counters)
+	return nil
+}

@@ -1,0 +1,288 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+)
+
+// span is a half-open iteration range [lo, hi) assigned to one GPU.
+type span struct{ lo, hi int64 }
+
+func (s span) count() int64 {
+	if s.hi <= s.lo {
+		return 0
+	}
+	return s.hi - s.lo
+}
+
+// partition splits [lower, upper) evenly across n devices, the paper's
+// task mapping (§IV-B2).
+func partition(lower, upper int64, n int) []span {
+	total := upper - lower
+	if total < 0 {
+		total = 0
+	}
+	parts := make([]span, n)
+	for g := 0; g < n; g++ {
+		lo := lower + total*int64(g)/int64(n)
+		hi := lower + total*int64(g+1)/int64(n)
+		parts[g] = span{lo: lo, hi: hi}
+	}
+	return parts
+}
+
+// Launch executes one parallel loop: data loading, concurrent kernel
+// execution on every GPU, and the inter-GPU communication step — the
+// three-phase BSP cycle of the paper's Figure 3.
+func (r *Runtime) Launch(k *ir.Kernel, env *ir.Env) error {
+	r.kernelExecs[k.ID]++
+	r.rep.KernelLaunches++
+	if r.opts.Mode == ModeCPU {
+		return r.launchCPU(k, env)
+	}
+	gpus := r.gpus()
+	lower, upper := k.Lower(env), k.Upper(env)
+	parts := partition(lower, upper, len(gpus))
+	if r.opts.BalanceLoad {
+		if bal := r.balancedPartition(k, env, lower, upper, len(gpus)); bal != nil {
+			parts = bal
+		}
+	}
+
+	// Phase A — data loader.
+	needs := make([][]need, len(gpus))
+	var transfers []sim.Transfer
+	for _, use := range k.Arrays {
+		st := r.state(use.Decl)
+		if !st.present && !st.deviceNewer {
+			// No data region governs this array: the host copy is
+			// canonical before every launch (the implicit per-loop
+			// data movement of OpenACC).
+			r.bumpHost(st)
+		}
+	}
+	for g := range gpus {
+		needs[g] = make([]need, len(k.Arrays))
+		for ui, use := range k.Arrays {
+			st := r.state(use.Decl)
+			nd := r.computeNeed(k, use, env, parts[g], st)
+			needs[g][ui] = nd
+			tr, err := r.ensureLoaded(st, st.copies[g], nd)
+			if err != nil {
+				return fmt.Errorf("rt: kernel %s: loading %s on GPU%d: %w", k.Name, use.Decl.Name, g, err)
+			}
+			transfers = append(transfers, tr...)
+		}
+	}
+	r.account(transfers, &r.rep.CPUGPUTime)
+	r.sampleMemory()
+	if r.opts.Trace != nil {
+		var loaded int64
+		for _, t := range transfers {
+			loaded += t.Bytes
+		}
+		r.tracef("loader: kernel %s, %d bytes H2D across %d GPUs", k.Name, loaded, len(gpus))
+		for g := range gpus {
+			for ui, use := range k.Arrays {
+				nd := needs[g][ui]
+				r.tracef("  gpu%d %-10s [%d,%d] dirty=%v miss=%v lanes=%v transform=%v",
+					g, use.Decl.Name, nd.lo, nd.hi, nd.wantDirty, nd.wantMiss, nd.wantLanes, nd.transform)
+			}
+		}
+	}
+
+	// Phase B — kernel execution on every GPU concurrently.
+	eff := r.kernelEfficiency(k)
+	var (
+		mu        sync.Mutex
+		maxKernel time.Duration
+		total     sim.Counters
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	// Per-GPU scalar reduction partials.
+	partials := make([][]float64, len(gpus))
+	for g, dev := range gpus {
+		wg.Add(1)
+		go func(g int, dev *sim.Device) {
+			defer wg.Done()
+			counters, redVals, err := r.runOnGPU(k, env, g, parts[g], needs[g])
+			cost := dev.Spec.KernelCost(counters, eff)
+			if r.opts.Mode == ModeBaseline && counters.ReduceOps > 0 {
+				// Without the reductiontoarray extension the compiler
+				// serializes dynamic array reductions (paper §III-B).
+				cost += time.Duration(float64(counters.ReduceOps) / (baselineSerialGOPS * 1e9) * float64(time.Second))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("rt: kernel %s on GPU%d: %w", k.Name, g, err)
+			}
+			if cost > maxKernel {
+				maxKernel = cost
+			}
+			total.Add(counters)
+			partials[g] = redVals
+		}(g, dev)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	r.rep.KernelTime += maxKernel
+	r.rep.Counters.Add(total)
+	ks := r.rep.kernelStats(k.Name)
+	ks.Launches++
+	ks.Time += maxKernel
+	ks.Counters.Add(total)
+	r.tracef("kernels: %s over [%d,%d) on %d GPU(s): %v (%d flops, %d bytes)",
+		k.Name, lower, upper, len(gpus), maxKernel, total.Flops, total.BytesRead+total.BytesWritten)
+
+	// Phase C — inter-GPU communication manager.
+	if err := r.commSync(k, env, gpus, partials); err != nil {
+		return err
+	}
+
+	// Phase D — arrays outside data regions return to the host after
+	// every loop (implicit copy-out).
+	var out []sim.Transfer
+	for _, use := range k.Arrays {
+		st := r.state(use.Decl)
+		if !st.present && (use.Written || use.Reduced) {
+			tr, err := r.gatherToHost(st)
+			if err != nil {
+				return err
+			}
+			out = append(out, tr...)
+		}
+	}
+	r.account(out, &r.rep.CPUGPUTime)
+	r.sampleMemory()
+	return nil
+}
+
+// kernelEfficiency picks the cost-model factor for this mode.
+func (r *Runtime) kernelEfficiency(k *ir.Kernel) float64 {
+	eff := k.Efficiency
+	if r.opts.DisableLayoutTransform || r.opts.Mode == ModeBaseline {
+		eff = k.EfficiencyBaseline
+	}
+	if r.opts.Mode == ModeCUDA {
+		eff *= cudaHandTuneBonus
+		if eff > 1 {
+			eff = 1
+		}
+	}
+	return eff
+}
+
+// runOnGPU executes one GPU's share of the iteration space and returns
+// the work counters and the GPU's scalar-reduction partials.
+func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, p span, nds []need) (sim.Counters, []float64, error) {
+	dev := r.gpus()[g]
+	redVals := identityPartials(k)
+	n := p.count()
+	if n == 0 {
+		return sim.Counters{}, redVals, nil
+	}
+	views := r.buildViews(k, env, g, nds)
+	base := env.CloneWithViews(views)
+	for ri, red := range k.ScalarReds {
+		setRedSlot(base, red, redVals[ri])
+	}
+	var (
+		wctr int32
+		rmu  sync.Mutex
+	)
+	loopSlot := k.LoopVar.Slot
+	counters, err := dev.ParallelFor(int(n), func(start, end int) sim.Counters {
+		we := base.Clone()
+		we.WorkerID = int(atomic.AddInt32(&wctr, 1) - 1)
+		for it := start; it < end; it++ {
+			we.Ints[loopSlot] = p.lo + int64(it)
+			if err := k.Body(we); err != nil {
+				if errors.Is(err, ir.ErrLoopContinue) {
+					continue // `continue` binding to the parallel loop
+				}
+				if errors.Is(err, ir.ErrLoopBreak) {
+					panic(fmt.Errorf("line %d: break out of a parallel loop is not allowed", k.Line))
+				}
+				panic(err)
+			}
+		}
+		rmu.Lock()
+		for ri, red := range k.ScalarReds {
+			redVals[ri] = mergeRed(red, redVals[ri], getRedSlot(we, red))
+		}
+		rmu.Unlock()
+		return sim.Counters{
+			Flops:        we.Flops,
+			BytesRead:    we.BytesRead,
+			BytesWritten: we.BytesWritten,
+			Iterations:   int64(end - start),
+			ReduceOps:    we.ReduceOps,
+		}
+	})
+	return counters, redVals, err
+}
+
+// buildViews produces the kernel's view table for one GPU: host views
+// for untouched arrays, instrumented device views for kernel arrays.
+func (r *Runtime) buildViews(k *ir.Kernel, env *ir.Env, g int, nds []need) []ir.ArrayView {
+	views := append([]ir.ArrayView(nil), env.Views...)
+	for ui, use := range k.Arrays {
+		st := r.state(use.Decl)
+		nd := nds[ui]
+		views[use.Decl.Slot] = &devView{
+			c:         st.copies[g],
+			markDirty: nd.wantDirty,
+			checkMiss: nd.wantMiss,
+			reduce:    nd.wantLanes,
+		}
+	}
+	return views
+}
+
+// Scalar reduction helpers: partials are carried as float64 (exact for
+// the int values the apps produce) and written back per declared type.
+
+func identityPartials(k *ir.Kernel) []float64 {
+	vals := make([]float64, len(k.ScalarReds))
+	for i, red := range k.ScalarReds {
+		if red.Decl.Type == cc.TInt {
+			vals[i] = float64(ir.IdentityI(red.Op))
+		} else {
+			vals[i] = ir.IdentityF(red.Op)
+		}
+	}
+	return vals
+}
+
+func setRedSlot(e *ir.Env, red ir.ScalarRed, v float64) {
+	if red.Decl.Type == cc.TInt {
+		e.Ints[red.Decl.Slot] = int64(v)
+	} else {
+		e.Floats[red.Decl.Slot] = v
+	}
+}
+
+func getRedSlot(e *ir.Env, red ir.ScalarRed) float64 {
+	if red.Decl.Type == cc.TInt {
+		return float64(e.Ints[red.Decl.Slot])
+	}
+	return e.Floats[red.Decl.Slot]
+}
+
+func mergeRed(red ir.ScalarRed, a, b float64) float64 {
+	if red.Decl.Type == cc.TInt {
+		return float64(ir.MergeI(red.Op, int64(a), int64(b)))
+	}
+	return ir.MergeF(red.Op, a, b)
+}

@@ -1,0 +1,436 @@
+package rt
+
+import (
+	"fmt"
+	"time"
+
+	"accmulti/internal/acc"
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+)
+
+// This file is the data loader (paper §IV-C): it guarantees OpenACC
+// data semantics across the multiple GPU memories, chooses between the
+// replica-based and the distribution-based placement policies, and
+// skips reloads when a kernel's read pattern matches what is already
+// resident.
+
+// EnterData begins a structured data region: the named arrays become
+// device-resident for the region's extent. Transfers are deferred to
+// the kernel launches, where the footprints are known — this is what
+// lets distribution-based arrays load only their partitions.
+func (r *Runtime) EnterData(reg *ir.DataRegion, _ *ir.Env) error {
+	r.regionDepth++
+	if r.opts.Mode == ModeCPU {
+		return nil
+	}
+	for _, arg := range reg.Args {
+		st := r.state(arg.Decl)
+		if arg.Class == acc.ClassPresent {
+			// present(...) asserts residency from an enclosing region
+			// and changes nothing about the array's lifetime.
+			if !st.present {
+				return fmt.Errorf("rt: line %d: present(%s): array is not resident on the devices", reg.Line, arg.Decl.Name)
+			}
+			r.tracef("data enter: present %s asserted", arg.Decl.Name)
+			continue
+		}
+		st.present = true
+		st.class = arg.Class
+		// Region entry makes the host copy canonical for inbound
+		// classes; create/copyout content starts as zeroed storage.
+		r.bumpHost(st)
+		st.deviceNewer = false
+		r.tracef("data enter: %s %s (%d elems)", arg.Class, arg.Decl.Name, st.n)
+	}
+	return nil
+}
+
+// ExitData ends a data region: outbound arrays are gathered to the
+// host and all device storage of the region's arrays is released.
+func (r *Runtime) ExitData(reg *ir.DataRegion, _ *ir.Env) error {
+	r.regionDepth--
+	if r.opts.Mode == ModeCPU {
+		return nil
+	}
+	var transfers []sim.Transfer
+	for _, arg := range reg.Args {
+		st := r.state(arg.Decl)
+		if arg.Class == acc.ClassPresent {
+			continue // owned by an enclosing region
+		}
+		if arg.Class == acc.ClassCopy || arg.Class == acc.ClassCopyOut {
+			tr, err := r.gatherToHost(st)
+			if err != nil {
+				return err
+			}
+			transfers = append(transfers, tr...)
+		}
+		if err := st.release(); err != nil {
+			return err
+		}
+		st.present = false
+		r.tracef("data exit: %s released", arg.Decl.Name)
+	}
+	r.account(transfers, &r.rep.CPUGPUTime)
+	return nil
+}
+
+// Update implements the update directive: update host gathers device
+// content now; update device re-establishes the host copy as canonical
+// (the loader re-ships it before the next kernel that needs it).
+func (r *Runtime) Update(u *ir.UpdateOp, _ *ir.Env) error {
+	if r.opts.Mode == ModeCPU {
+		return nil
+	}
+	var transfers []sim.Transfer
+	for _, d := range u.ToHost {
+		st := r.state(d)
+		tr, err := r.gatherToHost(st)
+		if err != nil {
+			return err
+		}
+		transfers = append(transfers, tr...)
+	}
+	for _, d := range u.ToDevice {
+		st := r.state(d)
+		r.bumpHost(st)
+		st.deviceNewer = false
+	}
+	r.account(transfers, &r.rep.CPUGPUTime)
+	return nil
+}
+
+// account prices a transfer batch into the given phase bucket and
+// tallies volumes.
+func (r *Runtime) account(transfers []sim.Transfer, bucket *time.Duration) {
+	if len(transfers) == 0 {
+		return
+	}
+	*bucket += r.mach.Spec.TransferTime(transfers)
+	for _, t := range transfers {
+		switch t.Kind {
+		case sim.HostToDevice:
+			r.rep.BytesH2D += t.Bytes
+		case sim.DeviceToHost:
+			r.rep.BytesD2H += t.Bytes
+		case sim.PeerToPeer:
+			r.rep.BytesP2P += t.Bytes
+		}
+	}
+}
+
+// gatherToHost copies the canonical device content back to the host
+// mirror. Replicated arrays are consistent after every communication
+// step, so one GPU's copy suffices; distributed arrays are gathered
+// partition by partition.
+func (r *Runtime) gatherToHost(st *arrayState) ([]sim.Transfer, error) {
+	anyValid := false
+	for _, c := range st.copies {
+		if c.valid {
+			anyValid = true
+			break
+		}
+	}
+	if !anyValid || !st.deviceNewer {
+		return nil, nil
+	}
+	var transfers []sim.Transfer
+	for _, c := range st.copies {
+		if !c.valid {
+			continue
+		}
+		for i := c.lo; i <= c.hi; i++ {
+			hostStoreF(st.host, i, c.loadF(c.phys(i)))
+		}
+		transfers = append(transfers, sim.Transfer{
+			Kind: sim.DeviceToHost, Bytes: c.localLen() * st.elemSize, Src: c.g, Dst: -1,
+		})
+		if r.isReplicated(c) {
+			break // replicas are consistent; one gather is enough
+		}
+	}
+	st.deviceNewer = false
+	// The host mirror now matches the devices: advance the lineage so
+	// resident copies stay valid without a reload.
+	r.bumpHost(st)
+	for _, c := range st.copies {
+		if c.valid {
+			c.version = st.hostVersion
+		}
+	}
+	return transfers, nil
+}
+
+func (r *Runtime) isReplicated(c *gpuCopy) bool {
+	return c.lo == 0 && c.hi == c.st.n-1
+}
+
+// need describes what one GPU requires of one array for one launch.
+type need struct {
+	lo, hi    int64 // inclusive logical range; empty when hi < lo
+	transform bool
+	width     int64
+	wantDirty bool
+	wantMiss  bool
+	wantLanes bool
+	laneOp    ir.ReduceOp
+	contentIn bool // device must receive host/base content
+	// coreLo..coreHi is the element range this GPU's iterations own
+	// for writing (the footprint minus halo); after the kernel the
+	// communication manager pushes owned elements into neighbors'
+	// overlapping (halo) regions. Empty when the array is not a
+	// written distributed array.
+	coreLo, coreHi int64
+}
+
+// computeNeed derives a GPU's requirement from the array configuration
+// information and the iteration partition.
+func (r *Runtime) computeNeed(k *ir.Kernel, use *ir.ArrayUse, host *ir.Env, p span, st *arrayState) need {
+	nd := need{lo: 0, hi: st.n - 1}
+	distributed := use.Local != nil && !r.opts.DisableDistribution && r.opts.Mode != ModeBaseline
+	if distributed {
+		nd.lo, nd.hi = r.footprint(k, use, host, p, st)
+	}
+	if use.Reduced {
+		// Reduction targets stay replicated (the merged delta is
+		// applied to every copy) and carry lanes.
+		nd.lo, nd.hi = 0, st.n-1
+		nd.wantLanes = true
+		nd.laneOp = use.ReduceOp
+	}
+	nd.coreLo, nd.coreHi = 0, -1
+	if use.Written && !use.Reduced {
+		if distributed {
+			nd.wantMiss = !use.WritesWithinLocal
+			// The owned (core) range: exact when the write envelope
+			// is a uniform literal-affine pattern matching the
+			// stride, else the whole footprint (conservative; such
+			// overlaps then resolve in GPU order).
+			nd.coreLo, nd.coreHi = nd.lo, nd.hi
+			if use.Local.HasStride && use.WriteCoef > 0 && p.count() > 0 {
+				if s := use.Local.Stride(host); s == use.WriteCoef {
+					nd.coreLo = s*p.lo + use.WriteOffLo
+					nd.coreHi = s*(p.hi-1) + use.WriteOffHi
+					if nd.coreLo < nd.lo {
+						nd.coreLo = nd.lo
+					}
+					if nd.coreHi > nd.hi {
+						nd.coreHi = nd.hi
+					}
+				}
+			}
+		} else {
+			nd.wantDirty = len(r.gpus()) > 1
+		}
+	}
+	// Content must flow in when the kernel reads the array, or when a
+	// partial write means unwritten elements must survive the copyout.
+	nd.contentIn = use.Read || use.Reduced || (use.Written && !writeCoversAll(use))
+	if r.transformActive(use) {
+		w := use.Width(host)
+		if w > 0 && nd.lo%w == 0 && (nd.hi-nd.lo+1)%w == 0 {
+			nd.transform = true
+			nd.width = w
+		}
+	}
+	return nd
+}
+
+// footprint evaluates a localaccess range, memoizing bounds-form
+// results (which cost a pass over the iteration space) until host
+// content changes. Stride-form ranges are cheap but may reference host
+// scalars, so they are evaluated fresh each launch.
+func (r *Runtime) footprint(k *ir.Kernel, use *ir.ArrayUse, host *ir.Env, p span, st *arrayState) (int64, int64) {
+	if use.Local.HasStride {
+		return use.Local.Range(host, k.LoopVar.Slot, p.lo, p.hi, st.n)
+	}
+	key := fpKey{kernel: k.ID, slot: use.Decl.Slot, g: -1, pLo: p.lo, pHi: p.hi}
+	if v, ok := r.fpCache[key]; ok && v.epoch == r.hostEpoch {
+		return v.lo, v.hi
+	}
+	lo, hi := use.Local.Range(host, k.LoopVar.Slot, p.lo, p.hi, st.n)
+	r.fpCache[key] = fpVal{lo: lo, hi: hi, epoch: r.hostEpoch}
+	return lo, hi
+}
+
+// writeCoversAll is a conservative test for "the kernel overwrites the
+// whole resident range": only write-only arrays with a statically
+// in-range affine write pattern qualify, which is exactly the class
+// where skipping the inbound copy is safe.
+func writeCoversAll(use *ir.ArrayUse) bool {
+	return !use.Read && use.WritesWithinLocal
+}
+
+func (r *Runtime) transformActive(use *ir.ArrayUse) bool {
+	return use.Transform2D && !r.opts.DisableLayoutTransform && r.opts.Mode != ModeBaseline
+}
+
+// ensureLoaded reconciles one GPU copy with a need, returning the bus
+// transfers performed. This is where the reload-skip optimization
+// lives: a valid copy of the right lineage covering the needed range
+// costs nothing.
+func (r *Runtime) ensureLoaded(st *arrayState, c *gpuCopy, nd need) ([]sim.Transfer, error) {
+	if nd.hi < nd.lo {
+		// This GPU needs nothing (empty partition); keep whatever is
+		// resident but relinquish any write ownership.
+		c.coreLo, c.coreHi = 0, -1
+		return nil, nil
+	}
+	covered := c.valid && c.lo <= nd.lo && c.hi >= nd.hi &&
+		c.transformed == nd.transform && (!nd.transform || c.width == nd.width)
+	fresh := covered && c.version == st.hostVersion
+	reload := !fresh
+	if fresh && r.opts.DisableReloadSkip && !st.deviceNewer {
+		// Ablation: re-ship content even though the resident copy is
+		// already identical.
+		reload = true
+	}
+
+	var transfers []sim.Transfer
+	if reload && st.deviceNewer {
+		if covered {
+			// The device holds newer content than the host; never
+			// overwrite it (the gather path refreshes the host first
+			// when directives ask for it).
+			reload = false
+		} else {
+			// The copy must change shape but carries content the host
+			// lacks: gather first so the reload reads fresh data.
+			tr, err := r.gatherToHost(st)
+			if err != nil {
+				return nil, err
+			}
+			transfers = append(transfers, tr...)
+		}
+	}
+	if reload {
+		r.tracef("loader: reload %s gpu%d [%d,%d] content=%v (covered=%v fresh=%v devNewer=%v)",
+			st.decl.Name, c.g, nd.lo, nd.hi, nd.contentIn, covered, fresh, st.deviceNewer)
+		if err := c.realloc(nd); err != nil {
+			return nil, err
+		}
+		if nd.contentIn {
+			for i := nd.lo; i <= nd.hi; i++ {
+				c.storeF(c.phys(i), hostLoadF(st.host, i))
+			}
+			transfers = append(transfers, sim.Transfer{
+				Kind: sim.HostToDevice, Bytes: (nd.hi - nd.lo + 1) * st.elemSize, Src: -1, Dst: c.g,
+			})
+		}
+		c.valid = true
+		c.version = st.hostVersion
+	}
+
+	c.coreLo, c.coreHi = nd.coreLo, nd.coreHi
+	if err := r.ensureAuxiliaries(st, c, nd); err != nil {
+		return nil, err
+	}
+	return transfers, nil
+}
+
+// realloc (re)allocates the copy's storage for a range/layout change.
+func (c *gpuCopy) realloc(nd need) error {
+	st := c.st
+	n := nd.hi - nd.lo + 1
+	if c.buf != nil {
+		if err := c.dev.Free(c.buf); err != nil {
+			return err
+		}
+		c.buf = nil
+		c.f32, c.f64, c.i32 = nil, nil, nil
+	}
+	name := fmt.Sprintf("%s[gpu%d]", st.decl.Name, c.g)
+	var err error
+	switch st.decl.Type {
+	case cc.TFloat:
+		c.buf, c.f32, err = c.dev.AllocFloat32(name, sim.MemUser, int(n))
+	case cc.TDouble:
+		c.buf, c.f64, err = c.dev.AllocFloat64(name, sim.MemUser, int(n))
+	default:
+		c.buf, c.i32, err = c.dev.AllocInt32(name, sim.MemUser, int(n))
+	}
+	if err != nil {
+		return err
+	}
+	c.lo, c.hi = nd.lo, nd.hi
+	c.transformed = nd.transform
+	if nd.transform {
+		c.width = nd.width
+		c.rows = n / nd.width
+	}
+	return nil
+}
+
+// ensureAuxiliaries allocates the runtime-system structures the launch
+// needs: dirty-bit arrays, miss buffers, reduction lanes. These charge
+// MemSystem, feeding the paper's Figure 9 System bars.
+func (r *Runtime) ensureAuxiliaries(st *arrayState, c *gpuCopy, nd need) error {
+	local := c.localLen()
+	if nd.wantDirty {
+		chunkElems := r.opts.ChunkBytes / st.elemSize
+		if chunkElems < 1 {
+			chunkElems = 1
+		}
+		nChunks := (local + chunkElems - 1) / chunkElems
+		if c.dirty == nil || int64(len(c.dirty)) != local || c.chunkElems != chunkElems {
+			if c.dirtyBuf != nil {
+				if err := c.dev.Free(c.dirtyBuf); err != nil {
+					return err
+				}
+				c.dirtyBuf = nil
+			}
+			var data []byte
+			var err error
+			c.dirtyBuf, data, err = c.dev.AllocBytesSlice(
+				fmt.Sprintf("%s.dirty[gpu%d]", st.decl.Name, c.g), sim.MemSystem, int(local+nChunks))
+			if err != nil {
+				return err
+			}
+			c.dirty = data[:local]
+			c.chunkDirty = data[local:]
+			c.chunkElems = chunkElems
+		}
+	}
+	if nd.wantMiss && c.missBuf == nil {
+		// Reserve system buffers for remote-write records, sized like
+		// the paper's fixed buffers: an eighth of the partition.
+		records := local / 8
+		if records < 4096 {
+			records = 4096
+		}
+		var err error
+		c.missBuf, _, err = c.dev.AllocBytesSlice(
+			fmt.Sprintf("%s.missbuf[gpu%d]", st.decl.Name, c.g), sim.MemSystem, int(records*missRecordBytes))
+		if err != nil {
+			return err
+		}
+	}
+	if nd.wantMiss {
+		c.miss = make([][]missRec, c.dev.Spec.Workers)
+	}
+	if nd.wantLanes {
+		if c.lanesBuf == nil {
+			var err error
+			c.lanesBuf, _, err = c.dev.AllocBytesSlice(
+				fmt.Sprintf("%s.lanes[gpu%d]", st.decl.Name, c.g), sim.MemSystem, int(st.n*8))
+			if err != nil {
+				return err
+			}
+		}
+		workers := c.dev.Spec.Workers
+		if st.decl.Type == cc.TInt {
+			c.lanesI = make([][]int64, workers)
+			for w := range c.lanesI {
+				c.lanesI[w] = newLaneI(st.n, nd.laneOp)
+			}
+		} else {
+			c.lanesF = make([][]float64, workers)
+			for w := range c.lanesF {
+				c.lanesF[w] = newLaneF(st.n, nd.laneOp)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+	"accmulti/internal/translator"
+)
+
+// This file is a randomized equivalence suite: it generates random but
+// valid OpenACC programs from a template family covering the runtime's
+// placement and communication paths (distributed reads with halos,
+// strided writes with miss-check elision, irregular scatter on
+// replicated arrays, scalar reductions, reductiontoarray) and checks
+// that every multi-GPU execution produces exactly the results of the
+// single-device CPU execution. Integer arrays make the comparison
+// exact (no FP reassociation concerns).
+
+type randProg struct {
+	src     string
+	n       int
+	in, idx []int32
+}
+
+// genRandProg builds one random program over int arrays.
+func genRandProg(rng *rand.Rand) randProg {
+	n := 64 + rng.Intn(2000)
+	stride := []int64{1, 2, 4}[rng.Intn(3)]
+	halo := int64(rng.Intn(3))
+	useLocalIn := rng.Intn(2) == 0
+	useLocalOut := rng.Intn(2) == 0
+	scatter := rng.Intn(3) == 0 // out2[idx[i]] = ... irregular writes
+	reduce := rng.Intn(2) == 0  // scalar reduction
+	histo := rng.Intn(3) == 0   // reductiontoarray
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "int n, k;\n")
+	fmt.Fprintf(&b, "int in_[%d * n + %d], out_[%d * n + %d];\n", stride, 2*halo, stride, 2*halo)
+	fmt.Fprintf(&b, "int idx_[n];\nint out2_[n];\nint hist_[k];\nint total;\n")
+	fmt.Fprintf(&b, "void main() {\n    int i;\n    total = 0;\n")
+	fmt.Fprintf(&b, "    #pragma acc data copyin(in_, idx_) copy(out_, out2_, hist_)\n    {\n")
+	if useLocalIn {
+		fmt.Fprintf(&b, "        #pragma acc localaccess(in_) stride(%d, %d, %d)\n", stride, halo, halo+stride-1)
+	}
+	if useLocalOut {
+		fmt.Fprintf(&b, "        #pragma acc localaccess(out_) stride(%d)\n", stride)
+	}
+	red := ""
+	if reduce {
+		red = " reduction(+:total)"
+	}
+	fmt.Fprintf(&b, "        #pragma acc parallel loop%s\n", red)
+	fmt.Fprintf(&b, "        for (i = 0; i < n; i++) {\n")
+	// A halo-ish read: clamp to valid range via min/max so any halo
+	// declaration is honored.
+	fmt.Fprintf(&b, "            int v;\n")
+	fmt.Fprintf(&b, "            v = in_[%d * i] + in_[max(%d * i - %d, 0)] + in_[min(%d * i + %d, %d * n - 1 + %d)];\n",
+		stride, stride, halo, stride, halo+stride-1, stride, 2*halo)
+	for c := int64(0); c < stride; c++ {
+		fmt.Fprintf(&b, "            out_[%d * i + %d] = v + %d;\n", stride, c, c)
+	}
+	if scatter {
+		fmt.Fprintf(&b, "            out2_[idx_[i]] = v;\n")
+	} else {
+		fmt.Fprintf(&b, "            out2_[i] = v / 2;\n")
+	}
+	if reduce {
+		fmt.Fprintf(&b, "            total += v;\n")
+	}
+	if histo {
+		fmt.Fprintf(&b, "            #pragma acc reductiontoarray(+: hist_[(v %% k + k) %% k])\n")
+		fmt.Fprintf(&b, "            hist_[(v %% k + k) %% k] += 1;\n")
+	}
+	fmt.Fprintf(&b, "        }\n    }\n}\n")
+
+	in := make([]int32, int64(n)*stride+2*halo)
+	for i := range in {
+		in[i] = int32(rng.Intn(1000) - 500)
+	}
+	idx := rng.Perm(n)
+	idx32 := make([]int32, n)
+	for i, v := range idx {
+		idx32[i] = int32(v)
+	}
+	return randProg{src: b.String(), n: n, in: in, idx: idx32}
+}
+
+func (p randProg) run(t *testing.T, spec sim.MachineSpec, opts Options) (out, out2, hist []int32, total float64) {
+	t.Helper()
+	prog, err := cc.ParseProgram(p.src)
+	if err != nil {
+		t.Fatalf("parse:\n%s\n%v", p.src, err)
+	}
+	mod, err := translator.Translate(prog)
+	if err != nil {
+		t.Fatalf("translate:\n%s\n%v", p.src, err)
+	}
+	const k = 13
+	inA := &ir.HostArray{Decl: prog.Scope["in_"], I32: append([]int32(nil), p.in...)}
+	idxA := &ir.HostArray{Decl: prog.Scope["idx_"], I32: append([]int32(nil), p.idx...)}
+	bind := ir.NewBindings().
+		SetScalar("n", float64(p.n)).SetScalar("k", k).
+		SetArray("in_", inA).SetArray("idx_", idxA)
+	inst, err := mod.Bind(bind)
+	if err != nil {
+		t.Fatalf("bind:\n%s\n%v", p.src, err)
+	}
+	mach, err := sim.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New(mach, opts).Run(inst); err != nil {
+		t.Fatalf("run:\n%s\n%v", p.src, err)
+	}
+	outA, _ := inst.Array("out_")
+	out2A, _ := inst.Array("out2_")
+	histA, _ := inst.Array("hist_")
+	tot, _ := inst.ScalarF("total")
+	return outA.I32, out2A.I32, histA.I32, tot
+}
+
+func TestRandomProgramsMultiGPUEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	iterations := 25
+	if testing.Short() {
+		iterations = 8
+	}
+	for trial := 0; trial < iterations; trial++ {
+		p := genRandProg(rng)
+		refOut, refOut2, refHist, refTotal := p.run(t, sim.Desktop(), Options{Mode: ModeCPU})
+		for _, spec := range []sim.MachineSpec{
+			sim.Desktop().WithGPUs(1),
+			sim.Desktop(),
+			sim.SupercomputerNode(),
+		} {
+			out, out2, hist, total := p.run(t, spec, Options{})
+			compareI32(t, p.src, spec.Name, "out_", out, refOut)
+			compareI32(t, p.src, spec.Name, "out2_", out2, refOut2)
+			compareI32(t, p.src, spec.Name, "hist_", hist, refHist)
+			if total != refTotal {
+				t.Fatalf("trial %d on %s: total = %g, want %g\n%s", trial, spec.Name, total, refTotal, p.src)
+			}
+		}
+		// Ablations must never change results, only costs.
+		for _, opts := range []Options{
+			{DisableDistribution: true},
+			{DisableLayoutTransform: true},
+			{DisableTwoLevelDirty: true},
+			{DisableReloadSkip: true},
+			{ChunkBytes: 256},
+			{BalanceLoad: true},
+		} {
+			out, out2, hist, total := p.run(t, sim.Desktop(), opts)
+			compareI32(t, p.src, fmt.Sprintf("%+v", opts), "out_", out, refOut)
+			compareI32(t, p.src, fmt.Sprintf("%+v", opts), "out2_", out2, refOut2)
+			compareI32(t, p.src, fmt.Sprintf("%+v", opts), "hist_", hist, refHist)
+			if total != refTotal {
+				t.Fatalf("opts %+v: total = %g, want %g\n%s", opts, total, refTotal, p.src)
+			}
+		}
+	}
+}
+
+func compareI32(t *testing.T, src, cfg, name string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s on %s: length %d vs %d", name, cfg, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s on %s: [%d] = %d, want %d\nprogram:\n%s", name, cfg, i, got[i], want[i], src)
+		}
+	}
+}
+
+// TestRandomCollapsedPrograms checks collapse(2) kernels against the
+// CPU reference over random rectangular shapes and operations.
+func TestRandomCollapsedPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		h := 3 + rng.Intn(60)
+		w := 3 + rng.Intn(60)
+		coef := 1 + rng.Intn(5)
+		src := fmt.Sprintf(`
+int h, w;
+int grid[h * w], out_[h * w];
+int total;
+void main() {
+    int r, c;
+    total = 0;
+    #pragma acc data copyin(grid) copy(out_)
+    {
+        #pragma acc localaccess(grid) stride(1)
+        #pragma acc localaccess(out_) stride(1)
+        #pragma acc parallel loop collapse(2) reduction(+:total)
+        for (r = 0; r < h; r++) {
+            for (c = 0; c < w; c++) {
+                out_[r * w + c] = grid[r * w + c] * %d + r - c;
+                total += 1;
+            }
+        }
+    }
+}
+`, coef)
+		prog, err := cc.ParseProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := translator.Translate(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gridVals := make([]int32, h*w)
+		for i := range gridVals {
+			gridVals[i] = int32(rng.Intn(100) - 50)
+		}
+		runOnce := func(spec sim.MachineSpec, mode Mode) ([]int32, float64) {
+			g := &ir.HostArray{Decl: prog.Scope["grid"], I32: append([]int32(nil), gridVals...)}
+			inst, err := mod.Bind(ir.NewBindings().
+				SetScalar("h", float64(h)).SetScalar("w", float64(w)).SetArray("grid", g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach, _ := sim.NewMachine(spec)
+			if err := New(mach, Options{Mode: mode}).Run(inst); err != nil {
+				t.Fatal(err)
+			}
+			out, _ := inst.Array("out_")
+			total, _ := inst.ScalarF("total")
+			return out.I32, total
+		}
+		refOut, refTotal := runOnce(sim.Desktop(), ModeCPU)
+		for _, spec := range []sim.MachineSpec{sim.Desktop(), sim.SupercomputerNode()} {
+			out, total := runOnce(spec, ModeMultiGPU)
+			if total != refTotal {
+				t.Fatalf("h=%d w=%d on %s: total %g vs %g", h, w, spec.Name, total, refTotal)
+			}
+			for i := range refOut {
+				if out[i] != refOut[i] {
+					t.Fatalf("h=%d w=%d on %s: out[%d]=%d want %d", h, w, spec.Name, i, out[i], refOut[i])
+				}
+			}
+		}
+	}
+}

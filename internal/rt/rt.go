@@ -1,0 +1,271 @@
+// Package rt is the multi-GPU OpenACC runtime of the reproduction: the
+// paper's data loader, inter-GPU communication manager and hierarchical
+// reduction engine, executing translated modules on a simulated
+// machine. It implements ir.Hooks, so compiled host code drives it the
+// same way the paper's generated host code drives their C++ runtime.
+//
+// Four execution modes cover the paper's comparison bars:
+//
+//   - ModeCPU — the OpenMP baseline: kernels run on the simulated
+//     multi-core CPU directly over host memory, no transfers.
+//   - ModeBaseline — a stock single-GPU OpenACC compiler (the PGI bar):
+//     one GPU, replica placement only, no layout transform, and
+//     reductiontoarray statements serialized (the paper's motivation
+//     for the extension).
+//   - ModeCUDA — the hand-written CUDA bar: one GPU with all
+//     optimizations plus a small hand-tuning efficiency edge.
+//   - ModeMultiGPU — the proposed system on all GPUs of the machine.
+package rt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+)
+
+// Mode selects the execution strategy.
+type Mode int
+
+const (
+	// ModeMultiGPU is the paper's proposed system.
+	ModeMultiGPU Mode = iota
+	// ModeCPU is the OpenMP baseline on the host CPU.
+	ModeCPU
+	// ModeBaseline is a stock single-GPU OpenACC compiler.
+	ModeBaseline
+	// ModeCUDA is the hand-written single-GPU CUDA baseline.
+	ModeCUDA
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeMultiGPU:
+		return "Proposal"
+	case ModeCPU:
+		return "OpenMP"
+	case ModeBaseline:
+		return "OpenACC(stock)"
+	case ModeCUDA:
+		return "CUDA"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Tuning constants of the runtime's cost model.
+const (
+	// DefaultChunkBytes is the second-level dirty-bit chunk size; the
+	// paper experimentally chose 1 MB (§IV-D1).
+	DefaultChunkBytes = 1 << 20
+	// baselineSerialGOPS prices the serialized execution of
+	// reductiontoarray updates in ModeBaseline (one GPU thread's
+	// effective throughput, in 1e9 ops/s).
+	baselineSerialGOPS = 1.1
+	// cudaHandTuneBonus is the efficiency edge of hand-written CUDA
+	// kernels over compiler-generated ones.
+	cudaHandTuneBonus = 1.10
+	// missRecordBytes is the wire size of one remote-write record:
+	// (element index, value) pairs, padded like the paper's system
+	// buffers.
+	missRecordBytes = 12
+)
+
+// Options configures a runtime. The Disable* switches exist for the
+// ablation studies; the default (all false) is the proposed system.
+type Options struct {
+	// Mode selects the execution strategy (default ModeMultiGPU).
+	Mode Mode
+	// ChunkBytes overrides the second-level dirty chunk size.
+	ChunkBytes int64
+	// DisableDistribution forces replica placement even for arrays
+	// with localaccess directives.
+	DisableDistribution bool
+	// DisableLayoutTransform skips the 2-D coalescing transform.
+	DisableLayoutTransform bool
+	// DisableTwoLevelDirty degrades the dirty-bit scheme to a single
+	// level: any dirty element ships the whole replica (paper §IV-D1).
+	DisableTwoLevelDirty bool
+	// DisableReloadSkip reloads every kernel input even when the
+	// previous launch left an identical copy resident.
+	DisableReloadSkip bool
+	// BalanceLoad splits iteration spaces by footprint weight instead
+	// of equally, when a kernel carries a bounds-form localaccess
+	// array (an extension: the paper divides tasks equally, §IV-B2).
+	BalanceLoad bool
+	// Trace, when non-nil, receives one line per runtime event
+	// (region entries, loads, launches, communication), stamped with
+	// the simulated clock.
+	Trace io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = DefaultChunkBytes
+	}
+	return o
+}
+
+// Runtime executes translated modules on a simulated machine.
+type Runtime struct {
+	mach *sim.Machine
+	opts Options
+	rep  *Report
+
+	// arrays tracks per-array device state, keyed by declaration.
+	arrays map[*cc.VarDecl]*arrayState
+	inst   *ir.Instance
+	// regionDepth counts nested data regions.
+	regionDepth int
+	// kernelExecs counts launches per kernel ID (Table II column C).
+	kernelExecs map[int]int
+
+	// Footprint cache: bounds-form localaccess ranges cost one pass
+	// over the iteration space to evaluate, so the runtime caches them
+	// per (kernel, array, GPU, partition) until any host copy changes.
+	fpCache map[fpKey]fpVal
+	// balCache memoizes per-kernel footprint weight prefixes for
+	// load-balanced partitioning.
+	balCache map[balKey]balVal
+	// hostEpoch advances whenever any array's host content becomes
+	// canonical, invalidating the footprint cache.
+	hostEpoch int64
+}
+
+type fpKey struct {
+	kernel, slot, g int
+	pLo, pHi        int64
+}
+
+type fpVal struct {
+	lo, hi int64
+	epoch  int64
+}
+
+// bumpHost marks the host copy of st canonical.
+func (r *Runtime) bumpHost(st *arrayState) {
+	st.hostVersion++
+	r.hostEpoch++
+}
+
+// New creates a runtime for the machine.
+func New(mach *sim.Machine, opts Options) *Runtime {
+	return &Runtime{
+		mach:        mach,
+		opts:        opts.withDefaults(),
+		rep:         NewReport(),
+		arrays:      map[*cc.VarDecl]*arrayState{},
+		kernelExecs: map[int]int{},
+		fpCache:     map[fpKey]fpVal{},
+		balCache:    map[balKey]balVal{},
+	}
+}
+
+// Machine returns the simulated machine.
+func (r *Runtime) Machine() *sim.Machine { return r.mach }
+
+// Report returns the accumulated execution report.
+func (r *Runtime) Report() *Report { return r.rep }
+
+// Run binds nothing new; it executes an already bound instance with
+// this runtime as the hook table and finalizes accounting.
+func (r *Runtime) Run(inst *ir.Instance) error {
+	r.inst = inst
+	defer func() { r.inst = nil }()
+	err := inst.Run(r)
+	// Release whatever is still resident — programs may leave arrays
+	// on the devices (no data region, or an aborted run) and the
+	// device memory accounting must balance either way.
+	relErr := r.releaseAll()
+	if err != nil {
+		return err
+	}
+	return relErr
+}
+
+// gpus returns the devices this mode uses.
+func (r *Runtime) gpus() []*sim.Device {
+	switch r.opts.Mode {
+	case ModeBaseline, ModeCUDA:
+		return r.mach.GPUs()[:1]
+	default:
+		return r.mach.GPUs()
+	}
+}
+
+// Report aggregates what the paper measures: the execution-time
+// breakdown of Figure 8, the transfer volumes behind it, and the
+// device-memory peaks of Figure 9.
+type Report struct {
+	// KernelTime, CPUGPUTime and GPUGPUTime are the virtual-time
+	// phase totals (Figure 8's KERNELS, CPU-GPU, GPU-GPU).
+	KernelTime, CPUGPUTime, GPUGPUTime time.Duration
+	// BytesH2D, BytesD2H, BytesP2P are the transfer volumes.
+	BytesH2D, BytesD2H, BytesP2P int64
+	// KernelLaunches counts kernel executions across all GPUs'
+	// shares (one launch per parallel loop execution).
+	KernelLaunches int
+	// PeakUserBytes and PeakSystemBytes are the maxima over time of
+	// the summed per-GPU device memory by class (Figure 9).
+	PeakUserBytes, PeakSystemBytes int64
+	// Counters sums the functional work executed on the devices.
+	Counters sim.Counters
+	// PerKernel breaks kernel activity down by kernel name.
+	PerKernel map[string]*KernelStats
+}
+
+// KernelStats aggregates one kernel's activity across its launches.
+type KernelStats struct {
+	// Launches counts executions (Table II column C per kernel).
+	Launches int
+	// Time is the summed critical-path kernel time.
+	Time time.Duration
+	// Counters sums the functional work of all launches.
+	Counters sim.Counters
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report { return &Report{PerKernel: map[string]*KernelStats{}} }
+
+// kernelStats returns (creating) the per-kernel bucket.
+func (rep *Report) kernelStats(name string) *KernelStats {
+	ks, ok := rep.PerKernel[name]
+	if !ok {
+		ks = &KernelStats{}
+		rep.PerKernel[name] = ks
+	}
+	return ks
+}
+
+// Total is the simulated wall time of the parallel regions.
+func (rep *Report) Total() time.Duration {
+	return rep.KernelTime + rep.CPUGPUTime + rep.GPUGPUTime
+}
+
+// String formats the report compactly.
+func (rep *Report) String() string {
+	return fmt.Sprintf("total %v (kernels %v, cpu-gpu %v, gpu-gpu %v); H2D %dB D2H %dB P2P %dB; peak mem user %dB system %dB",
+		rep.Total(), rep.KernelTime, rep.CPUGPUTime, rep.GPUGPUTime,
+		rep.BytesH2D, rep.BytesD2H, rep.BytesP2P,
+		rep.PeakUserBytes, rep.PeakSystemBytes)
+}
+
+func (r *Runtime) sampleMemory() {
+	var user, system int64
+	for _, g := range r.mach.GPUs() {
+		user += g.UsedByClass(sim.MemUser)
+		system += g.UsedByClass(sim.MemSystem)
+	}
+	if user > r.rep.PeakUserBytes {
+		r.rep.PeakUserBytes = user
+	}
+	if system > r.rep.PeakSystemBytes {
+		r.rep.PeakSystemBytes = system
+	}
+}
+
+// KernelExecs returns how many times kernel id launched (Table II C).
+func (r *Runtime) KernelExecs() map[int]int { return r.kernelExecs }

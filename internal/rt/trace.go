@@ -1,0 +1,19 @@
+package rt
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tracing: when Options.Trace is set, the runtime narrates what the
+// paper's components do — region entries, loader transfers, kernel
+// launches with their partitions, communication-manager activity —
+// one line per event, stamped with the simulated clock. accrun -trace
+// exposes it on the command line.
+
+func (r *Runtime) tracef(format string, args ...any) {
+	if r.opts.Trace == nil {
+		return
+	}
+	fmt.Fprintf(r.opts.Trace, "[%12v] %s\n", r.rep.Total().Round(time.Nanosecond), fmt.Sprintf(format, args...))
+}

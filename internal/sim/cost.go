@@ -1,0 +1,205 @@
+package sim
+
+import "time"
+
+// TransferKind classifies a bus transfer by its endpoints.
+type TransferKind int
+
+const (
+	// HostToDevice moves data from host memory to a GPU memory.
+	HostToDevice TransferKind = iota
+	// DeviceToHost moves data from a GPU memory to host memory.
+	DeviceToHost
+	// PeerToPeer moves data directly between two GPU memories (or via
+	// a host staging buffer when the bus has no peer path).
+	PeerToPeer
+)
+
+func (k TransferKind) String() string {
+	switch k {
+	case HostToDevice:
+		return "H2D"
+	case DeviceToHost:
+		return "D2H"
+	case PeerToPeer:
+		return "P2P"
+	default:
+		return "?"
+	}
+}
+
+// Transfer is one priced bus operation.
+type Transfer struct {
+	// Kind is the transfer direction.
+	Kind TransferKind
+	// Bytes is the payload size.
+	Bytes int64
+	// Src and Dst are GPU indices for PeerToPeer; for host transfers
+	// the GPU index is the relevant endpoint and the other is -1.
+	Src, Dst int
+}
+
+// KernelCost prices one kernel execution on this device using a
+// roofline model: the kernel takes max(compute time, memory time), both
+// derived from counters gathered during functional execution, divided by
+// an efficiency factor in (0,1] (e.g. uncoalesced access patterns), plus
+// the fixed launch overhead.
+func (s *DeviceSpec) KernelCost(c Counters, efficiency float64) time.Duration {
+	if efficiency <= 0 || efficiency > 1 {
+		efficiency = 1
+	}
+	compute := float64(c.Flops) / (s.GFLOPS * 1e9)
+	memory := float64(c.BytesRead+c.BytesWritten) / (s.MemGBs * 1e9)
+	sec := compute
+	if memory > sec {
+		sec = memory
+	}
+	sec = sec/efficiency + s.LaunchOverheadUS*1e-6
+	return secToDuration(sec)
+}
+
+// TransferTime prices a phase of bus transfers. Transfers of the same
+// kind issued in one phase are assumed to be pipelined DMAs: they share
+// the relevant aggregate bandwidth and each pays the fixed latency.
+//
+// Host transfers from/to n distinct GPUs see the aggregate host
+// bandwidth HostLinkGBs * (1 + (n-1)*HostConcurrency). Peer transfers
+// use the peer path when present; otherwise each peer byte is staged
+// through host memory and pays the host link twice (the supercomputer
+// node behaviour the paper observes for BFS).
+func (b *BusSpec) TransferTime(transfers []Transfer) time.Duration {
+	if len(transfers) == 0 {
+		return 0
+	}
+	var hostBytes, peerBytes int64
+	var nTransfers int
+	hostEndpoints := map[int]struct{}{}
+	peerPairs := map[[2]int]struct{}{}
+	for _, t := range transfers {
+		if t.Bytes <= 0 {
+			continue
+		}
+		nTransfers++
+		switch t.Kind {
+		case HostToDevice:
+			hostBytes += t.Bytes
+			hostEndpoints[t.Dst] = struct{}{}
+		case DeviceToHost:
+			hostBytes += t.Bytes
+			hostEndpoints[t.Src] = struct{}{}
+		case PeerToPeer:
+			peerBytes += t.Bytes
+			peerPairs[[2]int{t.Src, t.Dst}] = struct{}{}
+		}
+	}
+	var sec float64
+	if hostBytes > 0 {
+		sec += float64(hostBytes) / (b.aggregateHostGBs(len(hostEndpoints)) * 1e9)
+	}
+	if peerBytes > 0 {
+		if b.PeerGBs > 0 {
+			// Direct peer DMA; concurrent pairs share the fabric with
+			// the same concurrency behaviour as the host links.
+			sec += float64(peerBytes) / (b.PeerGBs * (1 + float64(len(peerPairs)-1)*b.HostConcurrency) * 1e9)
+		} else {
+			// Staged through the host: D2H then H2D on the host links.
+			sec += 2 * float64(peerBytes) / (b.aggregateHostGBs(len(peerPairs)) * 1e9)
+		}
+	}
+	sec += float64(nTransfers) * b.LatencyUS * 1e-6
+	return secToDuration(sec)
+}
+
+func (b *BusSpec) aggregateHostGBs(nDevices int) float64 {
+	if nDevices < 1 {
+		nDevices = 1
+	}
+	return b.HostLinkGBs * (1 + float64(nDevices-1)*b.HostConcurrency)
+}
+
+// TransferTime prices a phase of transfers on the whole machine. On a
+// single node it defers to the bus model; on a cluster, traffic whose
+// endpoints sit on different nodes is staged through the endpoint
+// nodes' host memories and the network: intra-node work overlaps
+// across nodes (max), the shared network serializes, and every network
+// message pays its latency. Host memory (and the host program) live on
+// node 0, so host transfers to remote GPUs also cross the network.
+func (m *MachineSpec) TransferTime(transfers []Transfer) time.Duration {
+	if m.NodeCount() <= 1 {
+		return m.Bus.TransferTime(transfers)
+	}
+	nodes := m.NodeCount()
+	hostBytes := make([]int64, nodes)
+	hostEndpoints := make([]map[int]struct{}, nodes)
+	peerBytes := make([]int64, nodes)
+	peerPairs := make([]map[[2]int]struct{}, nodes)
+	for n := 0; n < nodes; n++ {
+		hostEndpoints[n] = map[int]struct{}{}
+		peerPairs[n] = map[[2]int]struct{}{}
+	}
+	var netBytes int64
+	var nTransfers, netMsgs int
+
+	for _, t := range transfers {
+		if t.Bytes <= 0 {
+			continue
+		}
+		nTransfers++
+		switch t.Kind {
+		case HostToDevice, DeviceToHost:
+			g := t.Dst
+			if t.Kind == DeviceToHost {
+				g = t.Src
+			}
+			nd := m.NodeOf(g)
+			hostBytes[nd] += t.Bytes
+			hostEndpoints[nd][g] = struct{}{}
+			if nd != 0 {
+				netBytes += t.Bytes
+				netMsgs++
+			}
+		case PeerToPeer:
+			n1, n2 := m.NodeOf(t.Src), m.NodeOf(t.Dst)
+			if n1 == n2 {
+				peerBytes[n1] += t.Bytes
+				peerPairs[n1][[2]int{t.Src, t.Dst}] = struct{}{}
+				continue
+			}
+			// Staged: source PCIe down, network, destination PCIe up.
+			netBytes += t.Bytes
+			netMsgs++
+			hostBytes[n1] += t.Bytes
+			hostEndpoints[n1][t.Src] = struct{}{}
+			hostBytes[n2] += t.Bytes
+			hostEndpoints[n2][t.Dst] = struct{}{}
+		}
+	}
+
+	var slowestNode float64
+	for n := 0; n < nodes; n++ {
+		var sec float64
+		if hostBytes[n] > 0 {
+			sec += float64(hostBytes[n]) / (m.Bus.aggregateHostGBs(len(hostEndpoints[n])) * 1e9)
+		}
+		if peerBytes[n] > 0 {
+			if m.Bus.PeerGBs > 0 {
+				sec += float64(peerBytes[n]) / (m.Bus.PeerGBs * (1 + float64(len(peerPairs[n])-1)*m.Bus.HostConcurrency) * 1e9)
+			} else {
+				sec += 2 * float64(peerBytes[n]) / (m.Bus.aggregateHostGBs(len(peerPairs[n])) * 1e9)
+			}
+		}
+		if sec > slowestNode {
+			slowestNode = sec
+		}
+	}
+	sec := slowestNode
+	if netBytes > 0 {
+		sec += float64(netBytes) / (m.Network.GBs * 1e9)
+	}
+	sec += float64(nTransfers)*m.Bus.LatencyUS*1e-6 + float64(netMsgs)*m.Network.LatencyUS*1e-6
+	return secToDuration(sec)
+}
+
+func secToDuration(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}

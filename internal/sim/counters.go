@@ -1,0 +1,36 @@
+package sim
+
+// Counters accumulates the work performed during the functional
+// execution of one kernel on one device. The interpreter increments
+// them while computing real results; the cost model prices them.
+type Counters struct {
+	// Flops counts arithmetic operations (adds, muls, divs, math
+	// builtins weighted by their cost).
+	Flops int64
+	// BytesRead counts bytes loaded from device memory (array reads).
+	BytesRead int64
+	// BytesWritten counts bytes stored to device memory (array writes,
+	// including dirty-bit instrumentation stores).
+	BytesWritten int64
+	// Iterations counts loop iterations executed.
+	Iterations int64
+	// ReduceOps counts reduction-to-array element updates. The
+	// roofline already includes their flops/bytes; baseline compilers
+	// without the reductiontoarray extension additionally serialize
+	// them (priced by the runtime, not here).
+	ReduceOps int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Flops += other.Flops
+	c.BytesRead += other.BytesRead
+	c.BytesWritten += other.BytesWritten
+	c.Iterations += other.Iterations
+	c.ReduceOps += other.ReduceOps
+}
+
+// IsZero reports whether no work was recorded.
+func (c Counters) IsZero() bool {
+	return c == Counters{}
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MemClass tags an allocation as application data or runtime-system
+// overhead, feeding the User/System split of the paper's Figure 9.
+type MemClass int
+
+const (
+	// MemUser is memory holding (parts of) the application's arrays.
+	MemUser MemClass = iota
+	// MemSystem is memory the runtime allocates for its own machinery:
+	// dirty-bit arrays, second-level chunk bits, remote-write buffers.
+	MemSystem
+)
+
+func (c MemClass) String() string {
+	if c == MemUser {
+		return "User"
+	}
+	return "System"
+}
+
+// Buffer is one device-memory allocation. Data holds the actual storage
+// as a typed Go slice ([]float32, []int32, ...); the simulator only
+// tracks its identity and size.
+type Buffer struct {
+	// Name labels the allocation for diagnostics and memory reports.
+	Name string
+	// Class records whether this is user data or runtime overhead.
+	Class MemClass
+	// Bytes is the allocation size charged against device capacity.
+	Bytes int64
+	// Data is the typed backing slice.
+	Data any
+
+	dev   *Device
+	freed bool
+}
+
+// Device returns the device owning the buffer.
+func (b *Buffer) Device() *Device { return b.dev }
+
+// Device is one processor of the machine with its own memory pool.
+type Device struct {
+	// Spec is the device's performance envelope.
+	Spec DeviceSpec
+	// ID is the device index within its machine (GPUs: 0..NumGPUs-1;
+	// the CPU device has ID -1).
+	ID int
+
+	mu      sync.Mutex
+	used    int64
+	buffers map[*Buffer]struct{}
+}
+
+func newDevice(spec DeviceSpec, id int) *Device {
+	return &Device{Spec: spec, ID: id, buffers: make(map[*Buffer]struct{})}
+}
+
+// String identifies the device, e.g. "GPU1 (Nvidia Tesla C2075)".
+func (d *Device) String() string {
+	if d.Spec.Kind == KindCPU {
+		return fmt.Sprintf("CPU (%s)", d.Spec.Name)
+	}
+	return fmt.Sprintf("GPU%d (%s)", d.ID, d.Spec.Name)
+}
+
+// AllocBytes reserves raw capacity and registers the provided backing
+// slice. Callers normally use the typed Alloc* helpers instead.
+func (d *Device) AllocBytes(name string, class MemClass, bytes int64, data any) (*Buffer, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("sim: %s: negative allocation %d for %q", d, bytes, name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.Spec.MemBytes > 0 && d.used+bytes > d.Spec.MemBytes {
+		return nil, &OutOfMemoryError{Device: d.String(), Requested: bytes, Used: d.used, Capacity: d.Spec.MemBytes, Name: name}
+	}
+	b := &Buffer{Name: name, Class: class, Bytes: bytes, Data: data, dev: d}
+	d.used += bytes
+	d.buffers[b] = struct{}{}
+	return b, nil
+}
+
+// Free releases a buffer. Freeing twice is an error, mirroring cudaFree.
+func (d *Device) Free(b *Buffer) error {
+	if b == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if b.dev != d {
+		return fmt.Errorf("sim: buffer %q belongs to %s, not %s", b.Name, b.dev, d)
+	}
+	if b.freed {
+		return fmt.Errorf("sim: double free of buffer %q on %s", b.Name, d)
+	}
+	b.freed = true
+	d.used -= b.Bytes
+	delete(d.buffers, b)
+	return nil
+}
+
+// UsedBytes returns the currently allocated byte total.
+func (d *Device) UsedBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// UsedByClass returns the allocated bytes attributed to the class.
+func (d *Device) UsedByClass(class MemClass) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for b := range d.buffers {
+		if b.Class == class {
+			n += b.Bytes
+		}
+	}
+	return n
+}
+
+// Allocations returns a stable snapshot of live allocations, largest
+// first, for memory reports and leak checks in tests.
+func (d *Device) Allocations() []*Buffer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Buffer, 0, len(d.buffers))
+	for b := range d.buffers {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// OutOfMemoryError reports an allocation that exceeded device capacity.
+type OutOfMemoryError struct {
+	Device    string
+	Name      string
+	Requested int64
+	Used      int64
+	Capacity  int64
+}
+
+func (e *OutOfMemoryError) Error() string {
+	return fmt.Sprintf("sim: %s out of memory: alloc %q needs %d bytes, %d of %d in use",
+		e.Device, e.Name, e.Requested, e.Used, e.Capacity)
+}
+
+// AllocFloat32 allocates an n-element float32 buffer.
+func (d *Device) AllocFloat32(name string, class MemClass, n int) (*Buffer, []float32, error) {
+	data := make([]float32, n)
+	b, err := d.AllocBytes(name, class, int64(n)*4, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, data, nil
+}
+
+// AllocFloat64 allocates an n-element float64 buffer.
+func (d *Device) AllocFloat64(name string, class MemClass, n int) (*Buffer, []float64, error) {
+	data := make([]float64, n)
+	b, err := d.AllocBytes(name, class, int64(n)*8, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, data, nil
+}
+
+// AllocInt32 allocates an n-element int32 buffer.
+func (d *Device) AllocInt32(name string, class MemClass, n int) (*Buffer, []int32, error) {
+	data := make([]int32, n)
+	b, err := d.AllocBytes(name, class, int64(n)*4, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, data, nil
+}
+
+// AllocInt64 allocates an n-element int64 buffer.
+func (d *Device) AllocInt64(name string, class MemClass, n int) (*Buffer, []int64, error) {
+	data := make([]int64, n)
+	b, err := d.AllocBytes(name, class, int64(n)*8, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, data, nil
+}
+
+// AllocBytesSlice allocates an n-element byte buffer (dirty-bit arrays).
+func (d *Device) AllocBytesSlice(name string, class MemClass, n int) (*Buffer, []byte, error) {
+	data := make([]byte, n)
+	b, err := d.AllocBytes(name, class, int64(n), data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, data, nil
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ParallelFor executes fn over [0,n) split into contiguous ranges across
+// the device's worker pool, mirroring how thread blocks cover the
+// iteration space of one kernel on one GPU. Each worker returns the
+// Counters for its range; the sum is returned. A panic in any worker is
+// recovered and surfaced as an error so a bad kernel cannot take down
+// the host process.
+func (d *Device) ParallelFor(n int, fn func(start, end int) Counters) (Counters, error) {
+	if n <= 0 {
+		return Counters{}, nil
+	}
+	workers := d.Spec.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return runRange(fn, 0, n)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    Counters
+		firstErr error
+	)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			c, err := runRange(fn, start, end)
+			mu.Lock()
+			defer mu.Unlock()
+			total.Add(c)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return total, firstErr
+}
+
+func runRange(fn func(start, end int) Counters, start, end int) (c Counters, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: kernel panicked on range [%d,%d): %v", start, end, r)
+		}
+	}()
+	c = fn(start, end)
+	return c, nil
+}
+
+// OnEachGPU runs fn concurrently on every GPU of the machine (one
+// goroutine per GPU, like concurrent kernel launches on separate CUDA
+// contexts) and returns the first error encountered.
+func (m *Machine) OnEachGPU(fn func(g int, dev *Device) error) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for g, dev := range m.gpus {
+		wg.Add(1)
+		go func(g int, dev *Device) {
+			defer wg.Done()
+			if err := fn(g, dev); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(g, dev)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,43 @@
+package sim
+
+import "fmt"
+
+// Machine is an instantiated evaluation platform: one CPU device, N GPU
+// devices and the bus connecting them.
+type Machine struct {
+	// Spec is the validated configuration the machine was built from.
+	Spec MachineSpec
+
+	cpu  *Device
+	gpus []*Device
+}
+
+// NewMachine validates the spec and instantiates its devices.
+func NewMachine(spec MachineSpec) (*Machine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Spec: spec, cpu: newDevice(spec.CPU, -1)}
+	for i := 0; i < spec.NumGPUs; i++ {
+		m.gpus = append(m.gpus, newDevice(spec.GPU, i))
+	}
+	return m, nil
+}
+
+// CPU returns the host processor device.
+func (m *Machine) CPU() *Device { return m.cpu }
+
+// GPUs returns the GPU devices in index order. The slice must not be
+// mutated by callers.
+func (m *Machine) GPUs() []*Device { return m.gpus }
+
+// GPU returns the i-th GPU device.
+func (m *Machine) GPU(i int) *Device { return m.gpus[i] }
+
+// NumGPUs returns the GPU count.
+func (m *Machine) NumGPUs() int { return len(m.gpus) }
+
+// String summarizes the platform in the style of the paper's Table I.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s: %s + %d x %s", m.Spec.Name, m.Spec.CPU.Name, len(m.gpus), m.Spec.GPU.Name)
+}

@@ -1,0 +1,111 @@
+package sim
+
+import "fmt"
+
+// Calibrated machine models for the paper's two evaluation platforms
+// (Table I). The throughput numbers are *effective* rates chosen so the
+// relative-performance shape of the paper's Figure 7 holds: OpenACC on
+// one GPU beats OpenMP by a few x, two desktop GPUs reach the ~6.75x
+// region on the best app, three supercomputer GPUs reach the ~2.95x
+// region, and BFS on the supercomputer node is communication-bound.
+// They are not peak datasheet numbers; gcc -O2 scalar CPU code with
+// gather-heavy inner loops achieves a small fraction of peak, and the
+// paper-era Fermi GPUs achieve a modest fraction of their 1.03 TFLOPS
+// single-precision peak on these kernels.
+
+const (
+	// KiB, MiB and GiB are byte-size units used throughout the module.
+	KiB int64 = 1024
+	MiB int64 = 1024 * KiB
+	GiB int64 = 1024 * MiB
+)
+
+// Desktop returns the paper's "Desktop Machine": one Core i7 (6 cores,
+// HyperThreading) and two Tesla C2075 boards on a fast PCIe complex with
+// a working peer-to-peer path.
+func Desktop() MachineSpec {
+	return MachineSpec{
+		Name: "Desktop Machine",
+		CPU: DeviceSpec{
+			Name:             "Intel Core i7 (6 cores, HT, 12 threads)",
+			Kind:             KindCPU,
+			GFLOPS:           14,
+			MemGBs:           25,
+			MemBytes:         24 * GiB,
+			LaunchOverheadUS: 6,
+			Workers:          12,
+		},
+		GPU: DeviceSpec{
+			Name:             "Nvidia Tesla C2075",
+			Kind:             KindGPU,
+			GFLOPS:           400,
+			MemGBs:           110,
+			MemBytes:         6 * GiB,
+			LaunchOverheadUS: 12,
+			Workers:          4,
+		},
+		NumGPUs: 2,
+		Bus: BusSpec{
+			HostLinkGBs:     5.5,
+			HostConcurrency: 0.62,
+			PeerGBs:         4.6,
+			LatencyUS:       12,
+		},
+	}
+}
+
+// SupercomputerNode returns the paper's TSUBAME2.0 thin node: two Xeon
+// X5670 sockets and three Tesla M2050 boards. The three GPUs hang off
+// PCIe switches without a usable peer path, so GPU-GPU traffic is staged
+// through host memory — the configuration that makes BFS
+// communication-bound in the paper.
+func SupercomputerNode() MachineSpec {
+	return MachineSpec{
+		Name: "Supercomputer Node",
+		CPU: DeviceSpec{
+			Name:             "Intel Xeon x2 (12 cores, HT, 24 threads)",
+			Kind:             KindCPU,
+			GFLOPS:           26,
+			MemGBs:           42,
+			MemBytes:         54 * GiB,
+			LaunchOverheadUS: 8,
+			Workers:          12,
+		},
+		GPU: DeviceSpec{
+			Name:             "Nvidia Tesla M2050",
+			Kind:             KindGPU,
+			GFLOPS:           380,
+			MemGBs:           105,
+			MemBytes:         3 * GiB,
+			LaunchOverheadUS: 14,
+			Workers:          4,
+		},
+		NumGPUs: 3,
+		Bus: BusSpec{
+			HostLinkGBs:     4.2,
+			HostConcurrency: 0.55,
+			PeerGBs:         0, // no P2P: staged through the host
+			LatencyUS:       18,
+		},
+	}
+}
+
+// WithGPUs returns a copy of the spec with the GPU count replaced, for
+// sweeping 1..N GPUs on one platform as the paper's figures do.
+func (m MachineSpec) WithGPUs(n int) MachineSpec {
+	m.NumGPUs = n
+	return m
+}
+
+// Cluster models the paper's §VI future work — inter-node multi-GPU —
+// as `nodes` supercomputer-class nodes of gpusPerNode M2050s each,
+// joined by a QDR-InfiniBand-era network. GPU-GPU and host-GPU traffic
+// that crosses nodes is staged through host memories and the network.
+func Cluster(nodes, gpusPerNode int) MachineSpec {
+	m := SupercomputerNode()
+	m.Name = fmt.Sprintf("Cluster %dx%d", nodes, gpusPerNode)
+	m.Nodes = nodes
+	m.NumGPUs = nodes * gpusPerNode
+	m.Network = NetworkSpec{GBs: 3.0, LatencyUS: 30}
+	return m
+}

@@ -1,0 +1,78 @@
+package translator
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"accmulti/internal/cc"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGeneratedSourceGolden pins the translator's CUDA-like output for
+// a program exercising every emission feature: data regions, both
+// localaccess forms, dirty-bit and miss-check annotations, reduction
+// macros and update directives. Run with -update to regenerate after
+// intentional emitter changes.
+func TestGeneratedSourceGolden(t *testing.T) {
+	src := `
+int n, k, w;
+float mat[n * w], out[n];
+int key[n];
+int hist[k];
+float err;
+
+void main() {
+    int i;
+    err = 0.0;
+    #pragma acc data copyin(mat, key) copy(out, hist)
+    {
+        #pragma acc localaccess(mat) stride(w)
+        #pragma acc localaccess(out) stride(1)
+        #pragma acc parallel loop gang vector reduction(+:err)
+        for (i = 0; i < n; i++) {
+            int j, b;
+            float s;
+            s = 0.0;
+            for (j = 0; j < w; j++) {
+                s += mat[i * w + j];
+            }
+            out[i] = s;
+            err += s * s;
+            b = key[i] % k;
+            #pragma acc reductiontoarray(+: hist[b])
+            hist[b] += 1;
+        }
+        #pragma acc update host(out)
+    }
+}
+`
+	prog, err := cc.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Translate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mod.GeneratedSource
+
+	golden := filepath.Join("testdata", "golden_emit.cu")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("generated source changed; run `go test ./internal/translator -run Golden -update` if intentional.\n--- got ---\n%s", got)
+	}
+}
