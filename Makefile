@@ -2,9 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench eval eval-json examples clean
+.PHONY: all build vet test test-short cover bench eval eval-json examples clean check fuzz-smoke
 
 all: build vet test
+
+# check is the pre-PR gate: vet, the plain test suite, the race
+# detector over the suite (the runtime launches kernels concurrently
+# across simulated GPUs; -short skips the full-scale app inputs, which
+# take ~10x longer under the detector), and a short fuzz smoke over
+# the frontend fuzzer and the audited random-program fuzzer.
+check: vet
+	$(GO) test ./...
+	$(GO) test -race -short -timeout 1200s ./...
+	$(MAKE) fuzz-smoke
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseProgram -fuzztime=5s -run='^$$' ./internal/cc
+	$(GO) test -fuzz=FuzzAuditedRandomPrograms -fuzztime=5s -run='^$$' ./internal/rt
 
 build:
 	$(GO) build ./...

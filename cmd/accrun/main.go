@@ -6,6 +6,7 @@
 // Usage:
 //
 //	accrun [-machine desktop|super] [-gpus n] [-mode proposal|openmp|baseline|cuda]
+//	       [-audit] [-faults seed=7,oomgpu=1,oomalloc=5,...]
 //	       [-set n=1000 -set a=2.5 ...] [-print arr] file.c
 package main
 
@@ -38,6 +39,10 @@ func main() {
 	trace := flag.Bool("trace", false, "print one line per runtime event (loader, kernels, comm)")
 	kernels := flag.Bool("kernels", false, "print a per-kernel statistics table after the run")
 	printArr := flag.String("print", "", "print this array's first elements after the run")
+	auditRun := flag.Bool("audit", false, "verify every device copy against a sequential shadow oracle")
+	auditTol := flag.Float64("audit-tol", 0, "relative tolerance for float reductions under -audit (0 = default)")
+	faults := flag.String("faults", "", "deterministic fault plan, e.g. seed=7,oomgpu=1,oomalloc=5,shrink=0.5,transfail=0.01")
+	noDegrade := flag.Bool("no-degrade", false, "make injected faults fatal instead of degrading gracefully")
 	flag.Var(&sets, "set", "bind a scalar parameter, name=value (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -85,6 +90,11 @@ func main() {
 	if *trace {
 		opts.Trace = os.Stderr
 	}
+	opts.DisableDegradation = *noDegrade
+	plan, err := sim.ParseFaultPlan(*faults)
+	if err != nil {
+		fatal(err)
+	}
 
 	b := ir.NewBindings()
 	for _, kv := range sets {
@@ -103,12 +113,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := prog.Run(b, core.Config{Machine: spec, Options: opts})
+	res, err := prog.Run(b, core.Config{
+		Machine: spec, Options: opts,
+		Audit: *auditRun, AuditTolerance: *auditTol, Faults: plan,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("machine: %s (%d GPUs), mode %s\n", spec.Name, spec.NumGPUs, opts.Mode)
 	fmt.Println(res.Report)
+	if *auditRun {
+		fmt.Println("audit: all device copies matched the sequential oracle")
+	}
+	if plan.Active() {
+		fmt.Printf("faults: plan %q: %d transfer retries, %d fallbacks\n",
+			plan, res.Report.TransferRetries, res.Report.Fallbacks)
+		for _, ev := range res.Report.Events {
+			fmt.Printf("  [%s] %s: %s\n", ev.Time.Round(time.Microsecond), ev.Kind, ev.Detail)
+		}
+	}
 	if *kernels {
 		names := make([]string, 0, len(res.Report.PerKernel))
 		for name := range res.Report.PerKernel {

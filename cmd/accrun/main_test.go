@@ -90,3 +90,45 @@ func TestAccrunKernelsTable(t *testing.T) {
 		t.Errorf("kernel table missing:\n%s", s)
 	}
 }
+
+func TestAccrunAudit(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-audit", "-gpus", "2", "-set", "n=5000", "-set", "a=2.0",
+		"../../examples/testdata/saxpy.c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("accrun -audit: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "audit: all device copies matched") {
+		t.Errorf("audit confirmation missing:\n%s", out)
+	}
+}
+
+func TestAccrunFaults(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-audit", "-faults", "seed=7,oomgpu=1,oomalloc=2",
+		"-gpus", "2", "-set", "n=5000", "-set", "a=2.0",
+		"../../examples/testdata/saxpy.c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("accrun -faults: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "faults: plan") {
+		t.Errorf("fault summary missing:\n%s", s)
+	}
+	if !strings.Contains(s, "oom-fallback") {
+		t.Errorf("fallback event missing:\n%s", s)
+	}
+
+	// A malformed plan must be rejected.
+	if _, err := exec.Command(bin, "-faults", "bogus=1",
+		"-set", "n=100", "../../examples/testdata/saxpy.c").CombinedOutput(); err == nil {
+		t.Error("accrun -faults bogus=1 should exit nonzero")
+	}
+
+	// With degradation disabled, an injected OOM is fatal.
+	if _, err := exec.Command(bin, "-no-degrade", "-faults", "seed=7,oomgpu=1,oomalloc=2",
+		"-gpus", "2", "-set", "n=5000", "-set", "a=2.0",
+		"../../examples/testdata/saxpy.c").CombinedOutput(); err == nil {
+		t.Error("accrun -no-degrade with an injected OOM should exit nonzero")
+	}
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"accmulti/internal/audit"
 	"accmulti/internal/cc"
 	"accmulti/internal/ir"
 	"accmulti/internal/rt"
@@ -43,6 +44,16 @@ type Config struct {
 	Machine sim.MachineSpec
 	// Options select the runtime mode and ablation switches.
 	Options rt.Options
+	// Audit installs the shadow-oracle consistency auditor: every
+	// kernel re-executes sequentially on a host oracle and every device
+	// copy is verified after each communication step.
+	Audit bool
+	// AuditTolerance overrides the relative tolerance for reassociated
+	// float reductions (0 = the auditor's default).
+	AuditTolerance float64
+	// Faults arms deterministic fault injection on the machine before
+	// the run (see sim.ParseFaultPlan for the accrun -faults syntax).
+	Faults *sim.FaultPlan
 }
 
 // Result carries everything a run produced.
@@ -67,6 +78,10 @@ func (p *Program) Run(b *ir.Bindings, cfg Config) (*Result, error) {
 	mach, err := sim.NewMachine(cfg.Machine)
 	if err != nil {
 		return nil, err
+	}
+	mach.InjectFaults(cfg.Faults)
+	if cfg.Audit && cfg.Options.Auditor == nil {
+		cfg.Options.Auditor = audit.New(audit.Options{Tolerance: cfg.AuditTolerance})
 	}
 	runtime := rt.New(mach, cfg.Options)
 	if err := runtime.Run(inst); err != nil {

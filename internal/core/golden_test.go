@@ -1,0 +1,83 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"accmulti/internal/ir"
+)
+
+// Golden expectations for every program shipped in examples/testdata:
+// the Table II-style static statistics and the single-GPU device
+// footprint at a fixed binding. A new example must add a row here; a
+// translator change that shifts any of these numbers must be explained
+// in the diff that updates them.
+var goldenPrograms = map[string]struct {
+	scalars map[string]float64
+	stats   Stats
+	devMem  int64
+}{
+	"saxpy.c": {
+		scalars: map[string]float64{"n": 1000, "a": 2.0},
+		stats:   Stats{ParallelLoops: 1, ArraysInLoops: 2, LocalAccessArrays: 2, ReductionArrays: 0},
+		devMem:  8000, // x + y, 1000 float32 each
+	},
+	"dotprod.c": {
+		scalars: map[string]float64{"n": 1000},
+		stats:   Stats{ParallelLoops: 1, ArraysInLoops: 2, LocalAccessArrays: 2, ReductionArrays: 0},
+		devMem:  8000, // x + y, 1000 float32 each
+	},
+	"histogram.c": {
+		scalars: map[string]float64{"n": 1000, "k": 16},
+		stats:   Stats{ParallelLoops: 1, ArraysInLoops: 2, LocalAccessArrays: 0, ReductionArrays: 1},
+		devMem:  4064, // data (1000 int32) + hist (16 int32)
+	},
+}
+
+func TestGoldenStatsAndMemory(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "testdata")
+	files, err := filepath.Glob(filepath.Join(dir, "*.c"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs found in %s (%v)", dir, err)
+	}
+	covered := map[string]bool{}
+	for _, path := range files {
+		name := filepath.Base(path)
+		covered[name] = true
+		want, ok := goldenPrograms[name]
+		if !ok {
+			t.Errorf("%s has no golden entry; add one to goldenPrograms", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Compile(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := prog.Stats(); got != want.stats {
+				t.Errorf("Stats() = %+v, want %+v", got, want.stats)
+			}
+			b := ir.NewBindings()
+			for k, v := range want.scalars {
+				b.SetScalar(k, v)
+			}
+			mem, err := DeviceMemoryUsage(prog, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mem != want.devMem {
+				t.Errorf("DeviceMemoryUsage = %d, want %d", mem, want.devMem)
+			}
+		})
+	}
+	for name := range goldenPrograms {
+		if !covered[name] {
+			t.Errorf("golden entry %s has no matching file in %s", name, dir)
+		}
+	}
+}

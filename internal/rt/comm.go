@@ -21,8 +21,7 @@ func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partia
 		case use.Reduced:
 			p2p = append(p2p, r.mergeReduction(st, use, gpus)...)
 		case use.Written:
-			distributed := use.Local != nil && !r.opts.DisableDistribution && r.opts.Mode != ModeBaseline
-			if distributed {
+			if r.distributed(use) {
 				p2p = append(p2p, r.deliverMisses(st, gpus)...)
 				p2p = append(p2p, r.syncOverlaps(st, gpus)...)
 			} else {
@@ -31,7 +30,9 @@ func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partia
 			st.deviceNewer = true
 		}
 	}
-	r.account(p2p, &r.rep.GPUGPUTime)
+	if err := r.account(p2p, &r.rep.GPUGPUTime); err != nil {
+		return err
+	}
 	if r.opts.Trace != nil && len(p2p) > 0 {
 		var bytes int64
 		for _, t := range p2p {
@@ -53,7 +54,9 @@ func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partia
 			}
 			setRedSlot(env, red, acc)
 		}
-		r.account(tiny, &r.rep.CPUGPUTime)
+		if err := r.account(tiny, &r.rep.CPUGPUTime); err != nil {
+			return err
+		}
 	}
 	r.sampleMemory()
 	return nil
@@ -77,6 +80,9 @@ func (r *Runtime) syncReplicated(st *arrayState, gpus []*sim.Device) []sim.Trans
 		src := st.copies[g]
 		if src.dirty == nil || !src.valid {
 			continue
+		}
+		if r.opts.Sabotage != nil && r.opts.Sabotage.DropDirtyChunks {
+			continue // test hook: lose this replica's dirty chunks
 		}
 		if r.opts.DisableTwoLevelDirty {
 			transfers = append(transfers, r.shipWholeReplica(st, gpus, g)...)
@@ -161,6 +167,13 @@ func (r *Runtime) deliverMisses(st *arrayState, gpus []*sim.Device) []sim.Transf
 		if src.miss == nil {
 			continue
 		}
+		if r.opts.Sabotage != nil && r.opts.Sabotage.DropMissDelivery {
+			// Test hook: drain the buffers without delivering.
+			for w := range src.miss {
+				src.miss[w] = src.miss[w][:0]
+			}
+			continue
+		}
 		// bytesTo tallies record payloads per destination GPU.
 		bytesTo := make([]int64, len(gpus))
 		var hostBytes int64
@@ -219,6 +232,9 @@ func (r *Runtime) deliverMisses(st *arrayState, gpus []*sim.Device) []sim.Transf
 func (r *Runtime) syncOverlaps(st *arrayState, gpus []*sim.Device) []sim.Transfer {
 	if len(gpus) == 1 {
 		return nil
+	}
+	if r.opts.Sabotage != nil && r.opts.Sabotage.DropOverlapSync {
+		return nil // test hook: skip the halo exchange entirely
 	}
 	var transfers []sim.Transfer
 	for g := range gpus {

@@ -41,13 +41,107 @@ func partition(lower, upper int64, n int) []span {
 // Launch executes one parallel loop: data loading, concurrent kernel
 // execution on every GPU, and the inter-GPU communication step — the
 // three-phase BSP cycle of the paper's Figure 3.
+//
+// A device OOM during the load phase does not abort the run (unless
+// DisableDegradation is set): the launch retries down a degradation
+// ladder — distributed arrays fall back to replication, then the GPU
+// count shrinks one device at a time — re-partitioning the iteration
+// space each rung. Each step is recorded in the report's Events.
 func (r *Runtime) Launch(k *ir.Kernel, env *ir.Env) error {
 	r.kernelExecs[k.ID]++
 	r.rep.KernelLaunches++
 	if r.opts.Mode == ModeCPU {
 		return r.launchCPU(k, env)
 	}
+	if r.auditing() {
+		if err := r.opts.Auditor.BeforeLaunch(k, env); err != nil {
+			return err
+		}
+	}
 	gpus := r.gpus()
+	degraded := false
+	for {
+		err := r.launchAttempt(k, env, gpus)
+		if err == nil {
+			break
+		}
+		var oom *sim.OutOfMemoryError
+		if r.opts.DisableDegradation || !errors.As(err, &oom) {
+			return err
+		}
+		// Degradation ladder: give up placement sophistication first,
+		// parallelism second.
+		switch {
+		case !r.forceReplicate && r.kernelDistributes(k):
+			r.forceReplicate = true
+			r.addEvent("oom-fallback", fmt.Sprintf("kernel %s: %v; retrying with distribution disabled (replica placement)", k.Name, oom))
+		case len(gpus) > 1:
+			gpus = gpus[:len(gpus)-1]
+			r.addEvent("oom-fallback", fmt.Sprintf("kernel %s: %v; retrying on %d GPU(s)", k.Name, oom, len(gpus)))
+		default:
+			r.addEvent("oom-giveup", fmt.Sprintf("kernel %s: %v; ladder exhausted", k.Name, oom))
+			r.forceReplicate = false
+			return err
+		}
+		r.rep.Fallbacks++
+		degraded = true
+		if err := r.resetKernelArrays(k); err != nil {
+			return err
+		}
+	}
+	if degraded {
+		// A degraded placement must not leak into later launches'
+		// reload-skip decisions (a full replica left resident would
+		// masquerade as a distributed partition): gather and release,
+		// so the next launch reloads with its proper shapes.
+		if err := r.resetKernelArrays(k); err != nil {
+			return err
+		}
+		r.forceReplicate = false
+	}
+	if r.auditing() {
+		if err := r.opts.Auditor.AfterLaunch(k, env, r.snapshotCopies(k), r.rep.Total()); err != nil {
+			return err
+		}
+		r.tracef("audit: kernel %s verified", k.Name)
+	}
+	return nil
+}
+
+// kernelDistributes reports whether any of the kernel's arrays would
+// place as partitions on the current ladder rung.
+func (r *Runtime) kernelDistributes(k *ir.Kernel) bool {
+	for _, use := range k.Arrays {
+		if r.distributed(use) {
+			return true
+		}
+	}
+	return false
+}
+
+// resetKernelArrays flushes the kernel's arrays back to the host and
+// releases their device copies, leaving the loader free to rebuild
+// them from scratch on the next attempt (or launch).
+func (r *Runtime) resetKernelArrays(k *ir.Kernel) error {
+	for _, use := range k.Arrays {
+		st := r.state(use.Decl)
+		tr, err := r.gatherToHost(st)
+		if err != nil {
+			return err
+		}
+		if err := r.account(tr, &r.rep.CPUGPUTime); err != nil {
+			return err
+		}
+		if err := st.release(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// launchAttempt runs one BSP cycle of the launch on the given device
+// subset (always an index-aligned prefix of the machine's GPUs).
+func (r *Runtime) launchAttempt(k *ir.Kernel, env *ir.Env, gpus []*sim.Device) error {
 	lower, upper := k.Lower(env), k.Upper(env)
 	parts := partition(lower, upper, len(gpus))
 	if r.opts.BalanceLoad {
@@ -68,20 +162,30 @@ func (r *Runtime) Launch(k *ir.Kernel, env *ir.Env) error {
 			r.bumpHost(st)
 		}
 	}
+	var loadErr error
+loading:
 	for g := range gpus {
 		needs[g] = make([]need, len(k.Arrays))
 		for ui, use := range k.Arrays {
 			st := r.state(use.Decl)
-			nd := r.computeNeed(k, use, env, parts[g], st)
+			nd := r.computeNeed(k, use, env, parts[g], st, len(gpus))
 			needs[g][ui] = nd
 			tr, err := r.ensureLoaded(st, st.copies[g], nd)
-			if err != nil {
-				return fmt.Errorf("rt: kernel %s: loading %s on GPU%d: %w", k.Name, use.Decl.Name, g, err)
-			}
 			transfers = append(transfers, tr...)
+			if err != nil {
+				loadErr = fmt.Errorf("rt: kernel %s: loading %s on GPU%d: %w", k.Name, use.Decl.Name, g, err)
+				break loading
+			}
 		}
 	}
-	r.account(transfers, &r.rep.CPUGPUTime)
+	// Transfers performed before a failure still happened: price them
+	// so the degraded retry's accounting stays honest.
+	if err := r.account(transfers, &r.rep.CPUGPUTime); err != nil {
+		return err
+	}
+	if loadErr != nil {
+		return loadErr
+	}
 	r.sampleMemory()
 	if r.opts.Trace != nil {
 		var loaded int64
@@ -113,7 +217,7 @@ func (r *Runtime) Launch(k *ir.Kernel, env *ir.Env) error {
 		wg.Add(1)
 		go func(g int, dev *sim.Device) {
 			defer wg.Done()
-			counters, redVals, err := r.runOnGPU(k, env, g, parts[g], needs[g])
+			counters, redVals, err := r.runOnGPU(k, env, g, dev, parts[g], needs[g])
 			cost := dev.Spec.KernelCost(counters, eff)
 			if r.opts.Mode == ModeBaseline && counters.ReduceOps > 0 {
 				// Without the reductiontoarray extension the compiler
@@ -163,7 +267,9 @@ func (r *Runtime) Launch(k *ir.Kernel, env *ir.Env) error {
 			out = append(out, tr...)
 		}
 	}
-	r.account(out, &r.rep.CPUGPUTime)
+	if err := r.account(out, &r.rep.CPUGPUTime); err != nil {
+		return err
+	}
 	r.sampleMemory()
 	return nil
 }
@@ -185,8 +291,7 @@ func (r *Runtime) kernelEfficiency(k *ir.Kernel) float64 {
 
 // runOnGPU executes one GPU's share of the iteration space and returns
 // the work counters and the GPU's scalar-reduction partials.
-func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, p span, nds []need) (sim.Counters, []float64, error) {
-	dev := r.gpus()[g]
+func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, dev *sim.Device, p span, nds []need) (sim.Counters, []float64, error) {
 	redVals := identityPartials(k)
 	n := p.count()
 	if n == 0 {
@@ -230,6 +335,13 @@ func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, p span, nds []need)
 			ReduceOps:    we.ReduceOps,
 		}
 	})
+	// Fold per-lane chunk marks into the shared chunk-dirty array now
+	// that the worker strands are done.
+	for _, v := range views {
+		if dv, ok := v.(*devView); ok && dv.markDirty {
+			dv.c.mergeChunkLanes()
+		}
+	}
 	return counters, redVals, err
 }
 

@@ -44,6 +44,9 @@ func (r *Runtime) EnterData(reg *ir.DataRegion, _ *ir.Env) error {
 		st.deviceNewer = false
 		r.tracef("data enter: %s %s (%d elems)", arg.Class, arg.Decl.Name, st.n)
 	}
+	if r.auditing() {
+		return r.opts.Auditor.AfterEnterData(reg, nil, r.rep.Total())
+	}
 	return nil
 }
 
@@ -73,7 +76,12 @@ func (r *Runtime) ExitData(reg *ir.DataRegion, _ *ir.Env) error {
 		st.present = false
 		r.tracef("data exit: %s released", arg.Decl.Name)
 	}
-	r.account(transfers, &r.rep.CPUGPUTime)
+	if err := r.account(transfers, &r.rep.CPUGPUTime); err != nil {
+		return err
+	}
+	if r.auditing() {
+		return r.opts.Auditor.AfterExitData(reg, nil, r.rep.Total())
+	}
 	return nil
 }
 
@@ -98,15 +106,57 @@ func (r *Runtime) Update(u *ir.UpdateOp, _ *ir.Env) error {
 		r.bumpHost(st)
 		st.deviceNewer = false
 	}
-	r.account(transfers, &r.rep.CPUGPUTime)
+	if err := r.account(transfers, &r.rep.CPUGPUTime); err != nil {
+		return err
+	}
+	if r.auditing() {
+		return r.opts.Auditor.AfterUpdate(u, nil, r.rep.Total())
+	}
 	return nil
 }
 
+// TransferError reports a bus transfer that kept failing past the
+// bounded retry budget (fault injection with an uncapped failure run,
+// or retries disabled).
+type TransferError struct {
+	Kind     sim.TransferKind
+	Bytes    int64
+	Src, Dst int
+	Attempts int
+}
+
+func (e *TransferError) Error() string {
+	return fmt.Sprintf("rt: %s transfer of %d bytes (src %d, dst %d) failed after %d attempt(s)",
+		e.Kind, e.Bytes, e.Src, e.Dst, e.Attempts)
+}
+
 // account prices a transfer batch into the given phase bucket and
-// tallies volumes.
-func (r *Runtime) account(transfers []sim.Transfer, bucket *time.Duration) {
+// tallies volumes. When a fault plan is armed, every transfer first
+// passes the transient-failure oracle: a failed attempt is priced (the
+// bus time was spent), a doubling virtual-time backoff is added, and
+// the transfer retries up to maxTransferAttempts before becoming a
+// hard TransferError. With DisableDegradation the first injected
+// failure is fatal.
+func (r *Runtime) account(transfers []sim.Transfer, bucket *time.Duration) error {
 	if len(transfers) == 0 {
-		return
+		return nil
+	}
+	for _, t := range transfers {
+		attempt := 1
+		for r.mach.TransferAttemptFails() {
+			// The failed attempt occupied the bus; the retry then
+			// waits out its backoff window.
+			*bucket += r.mach.Spec.TransferTime([]sim.Transfer{t}) + transferBackoffBase<<(attempt-1)
+			if r.opts.DisableDegradation || attempt >= maxTransferAttempts {
+				r.addEvent("transfer-giveup", fmt.Sprintf("%s %dB src=%d dst=%d after %d attempt(s)",
+					t.Kind, t.Bytes, t.Src, t.Dst, attempt))
+				return &TransferError{Kind: t.Kind, Bytes: t.Bytes, Src: t.Src, Dst: t.Dst, Attempts: attempt}
+			}
+			r.rep.TransferRetries++
+			r.addEvent("transfer-retry", fmt.Sprintf("%s %dB src=%d dst=%d attempt %d",
+				t.Kind, t.Bytes, t.Src, t.Dst, attempt))
+			attempt++
+		}
 	}
 	*bucket += r.mach.Spec.TransferTime(transfers)
 	for _, t := range transfers {
@@ -119,6 +169,7 @@ func (r *Runtime) account(transfers []sim.Transfer, bucket *time.Duration) {
 			r.rep.BytesP2P += t.Bytes
 		}
 	}
+	return nil
 }
 
 // gatherToHost copies the canonical device content back to the host
@@ -185,11 +236,21 @@ type need struct {
 	coreLo, coreHi int64
 }
 
+// distributed reports whether this array use places as partitions (vs
+// full replicas) under the current options, launch mode and the
+// degradation ladder's current rung. The loader and the communication
+// manager must agree on this, so both call here.
+func (r *Runtime) distributed(use *ir.ArrayUse) bool {
+	return use.Local != nil && !r.opts.DisableDistribution && !r.forceReplicate && r.opts.Mode != ModeBaseline
+}
+
 // computeNeed derives a GPU's requirement from the array configuration
-// information and the iteration partition.
-func (r *Runtime) computeNeed(k *ir.Kernel, use *ir.ArrayUse, host *ir.Env, p span, st *arrayState) need {
+// information and the iteration partition. ngpus is the launch's active
+// device count (the degradation ladder may use fewer than the machine
+// has).
+func (r *Runtime) computeNeed(k *ir.Kernel, use *ir.ArrayUse, host *ir.Env, p span, st *arrayState, ngpus int) need {
 	nd := need{lo: 0, hi: st.n - 1}
-	distributed := use.Local != nil && !r.opts.DisableDistribution && r.opts.Mode != ModeBaseline
+	distributed := r.distributed(use)
 	if distributed {
 		nd.lo, nd.hi = r.footprint(k, use, host, p, st)
 	}
@@ -222,7 +283,7 @@ func (r *Runtime) computeNeed(k *ir.Kernel, use *ir.ArrayUse, host *ir.Env, p sp
 				}
 			}
 		} else {
-			nd.wantDirty = len(r.gpus()) > 1
+			nd.wantDirty = ngpus > 1
 		}
 	}
 	// Content must flow in when the kernel reads the array, or when a
@@ -309,7 +370,7 @@ func (r *Runtime) ensureLoaded(st *arrayState, c *gpuCopy, nd need) ([]sim.Trans
 		r.tracef("loader: reload %s gpu%d [%d,%d] content=%v (covered=%v fresh=%v devNewer=%v)",
 			st.decl.Name, c.g, nd.lo, nd.hi, nd.contentIn, covered, fresh, st.deviceNewer)
 		if err := c.realloc(nd); err != nil {
-			return nil, err
+			return transfers, err
 		}
 		if nd.contentIn {
 			for i := nd.lo; i <= nd.hi; i++ {
@@ -325,7 +386,13 @@ func (r *Runtime) ensureLoaded(st *arrayState, c *gpuCopy, nd need) ([]sim.Trans
 
 	c.coreLo, c.coreHi = nd.coreLo, nd.coreHi
 	if err := r.ensureAuxiliaries(st, c, nd); err != nil {
-		return nil, err
+		// The copy cannot serve the launch without its auxiliaries;
+		// free everything it holds so the error path leaks nothing and
+		// a degraded retry starts from a clean slate.
+		if relErr := c.release(); relErr != nil {
+			return transfers, relErr
+		}
+		return transfers, err
 	}
 	return transfers, nil
 }
@@ -352,6 +419,13 @@ func (c *gpuCopy) realloc(nd need) error {
 		c.buf, c.i32, err = c.dev.AllocInt32(name, sim.MemUser, int(n))
 	}
 	if err != nil {
+		// The old storage is already gone and no new storage arrived:
+		// the copy holds no content. Mark it invalid and drop its
+		// auxiliary buffers too, so the failed copy pins zero device
+		// bytes and a later access cannot read freed storage.
+		if relErr := c.release(); relErr != nil {
+			return relErr
+		}
 		return err
 	}
 	c.lo, c.hi = nd.lo, nd.hi
@@ -391,6 +465,13 @@ func (r *Runtime) ensureAuxiliaries(st *arrayState, c *gpuCopy, nd need) error {
 			c.dirty = data[:local]
 			c.chunkDirty = data[local:]
 			c.chunkElems = chunkElems
+			c.chunkLanes = nil
+		}
+		if len(c.chunkLanes) != c.dev.Spec.Workers {
+			c.chunkLanes = make([][]uint8, c.dev.Spec.Workers)
+			for w := range c.chunkLanes {
+				c.chunkLanes[w] = make([]uint8, nChunks)
+			}
 		}
 	}
 	if nd.wantMiss && c.missBuf == nil {

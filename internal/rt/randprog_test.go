@@ -1,13 +1,16 @@
-package rt
+package rt_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"accmulti/internal/audit"
 	"accmulti/internal/cc"
 	"accmulti/internal/ir"
+	"accmulti/internal/rt"
 	"accmulti/internal/sim"
 	"accmulti/internal/translator"
 )
@@ -16,10 +19,14 @@ import (
 // valid OpenACC programs from a template family covering the runtime's
 // placement and communication paths (distributed reads with halos,
 // strided writes with miss-check elision, irregular scatter on
-// replicated arrays, scalar reductions, reductiontoarray) and checks
-// that every multi-GPU execution produces exactly the results of the
-// single-device CPU execution. Integer arrays make the comparison
-// exact (no FP reassociation concerns).
+// replicated and distributed arrays, scalar reductions,
+// reductiontoarray, nested data regions with present(), and update
+// directives around host-side phases) and checks that every multi-GPU
+// execution produces exactly the results of the single-device CPU
+// execution. Integer arrays make the comparison exact (no FP
+// reassociation concerns). Every generated program additionally runs
+// under the shadow-oracle auditor, which re-verifies each intermediate
+// device state, not just the final arrays.
 
 type randProg struct {
 	src     string
@@ -34,49 +41,77 @@ func genRandProg(rng *rand.Rand) randProg {
 	halo := int64(rng.Intn(3))
 	useLocalIn := rng.Intn(2) == 0
 	useLocalOut := rng.Intn(2) == 0
-	scatter := rng.Intn(3) == 0 // out2[idx[i]] = ... irregular writes
-	reduce := rng.Intn(2) == 0  // scalar reduction
-	histo := rng.Intn(3) == 0   // reductiontoarray
+	scatter := rng.Intn(3) == 0      // out2_[idx_[i]] = ... irregular writes
+	scatterLocal := rng.Intn(2) == 0 // ... on a distributed out2_ (miss path)
+	reduce := rng.Intn(2) == 0       // scalar reduction
+	histo := rng.Intn(3) == 0        // reductiontoarray
+	twoPhase := rng.Intn(2) == 0     // host phase + update directives + 2nd loop
+	nested := rng.Intn(2) == 0       // 2nd loop inside a nested present() region
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "int n, k;\n")
 	fmt.Fprintf(&b, "int in_[%d * n + %d], out_[%d * n + %d];\n", stride, 2*halo, stride, 2*halo)
 	fmt.Fprintf(&b, "int idx_[n];\nint out2_[n];\nint hist_[k];\nint total;\n")
-	fmt.Fprintf(&b, "void main() {\n    int i;\n    total = 0;\n")
+	fmt.Fprintf(&b, "void main() {\n    int i;\n    int v;\n    total = 0;\n")
 	fmt.Fprintf(&b, "    #pragma acc data copyin(in_, idx_) copy(out_, out2_, hist_)\n    {\n")
-	if useLocalIn {
-		fmt.Fprintf(&b, "        #pragma acc localaccess(in_) stride(%d, %d, %d)\n", stride, halo, halo+stride-1)
+
+	emitLoop := func(addend int64) {
+		if useLocalIn {
+			fmt.Fprintf(&b, "        #pragma acc localaccess(in_) stride(%d, %d, %d)\n", stride, halo, halo+stride-1)
+		}
+		if useLocalOut {
+			fmt.Fprintf(&b, "        #pragma acc localaccess(out_) stride(%d)\n", stride)
+		}
+		if scatter && scatterLocal {
+			fmt.Fprintf(&b, "        #pragma acc localaccess(out2_) stride(1)\n")
+		}
+		red := ""
+		if reduce {
+			red = " reduction(+:total)"
+		}
+		fmt.Fprintf(&b, "        #pragma acc parallel loop%s\n", red)
+		fmt.Fprintf(&b, "        for (i = 0; i < n; i++) {\n")
+		// A halo-ish read: clamp to valid range via min/max so any halo
+		// declaration is honored.
+		fmt.Fprintf(&b, "            v = in_[%d * i] + in_[max(%d * i - %d, 0)] + in_[min(%d * i + %d, %d * n - 1 + %d)];\n",
+			stride, stride, halo, stride, halo+stride-1, stride, 2*halo)
+		for c := int64(0); c < stride; c++ {
+			fmt.Fprintf(&b, "            out_[%d * i + %d] = v + %d;\n", stride, c, c+addend)
+		}
+		if scatter {
+			fmt.Fprintf(&b, "            out2_[idx_[i]] = v + %d;\n", addend)
+		} else {
+			fmt.Fprintf(&b, "            out2_[i] = v / 2 + %d;\n", addend)
+		}
+		if reduce {
+			fmt.Fprintf(&b, "            total += v;\n")
+		}
+		if histo {
+			fmt.Fprintf(&b, "            #pragma acc reductiontoarray(+: hist_[(v %% k + k) %% k])\n")
+			fmt.Fprintf(&b, "            hist_[(v %% k + k) %% k] += 1;\n")
+		}
+		fmt.Fprintf(&b, "        }\n")
 	}
-	if useLocalOut {
-		fmt.Fprintf(&b, "        #pragma acc localaccess(out_) stride(%d)\n", stride)
+
+	emitLoop(0)
+	if twoPhase {
+		// A host-side phase between the kernels, made visible to the
+		// devices the only legal way: update host before reading device
+		// results, update device after mutating kernel inputs.
+		fmt.Fprintf(&b, "        #pragma acc update host(out_)\n")
+		fmt.Fprintf(&b, "        for (i = 0; i < %d * n + %d; i++) {\n", stride, 2*halo)
+		fmt.Fprintf(&b, "            in_[i] = in_[i] + out_[i] / 3;\n")
+		fmt.Fprintf(&b, "        }\n")
+		fmt.Fprintf(&b, "        #pragma acc update device(in_)\n")
+		if nested {
+			fmt.Fprintf(&b, "        #pragma acc data present(in_, out_, out2_, hist_)\n        {\n")
+		}
+		emitLoop(1)
+		if nested {
+			fmt.Fprintf(&b, "        }\n")
+		}
 	}
-	red := ""
-	if reduce {
-		red = " reduction(+:total)"
-	}
-	fmt.Fprintf(&b, "        #pragma acc parallel loop%s\n", red)
-	fmt.Fprintf(&b, "        for (i = 0; i < n; i++) {\n")
-	// A halo-ish read: clamp to valid range via min/max so any halo
-	// declaration is honored.
-	fmt.Fprintf(&b, "            int v;\n")
-	fmt.Fprintf(&b, "            v = in_[%d * i] + in_[max(%d * i - %d, 0)] + in_[min(%d * i + %d, %d * n - 1 + %d)];\n",
-		stride, stride, halo, stride, halo+stride-1, stride, 2*halo)
-	for c := int64(0); c < stride; c++ {
-		fmt.Fprintf(&b, "            out_[%d * i + %d] = v + %d;\n", stride, c, c)
-	}
-	if scatter {
-		fmt.Fprintf(&b, "            out2_[idx_[i]] = v;\n")
-	} else {
-		fmt.Fprintf(&b, "            out2_[i] = v / 2;\n")
-	}
-	if reduce {
-		fmt.Fprintf(&b, "            total += v;\n")
-	}
-	if histo {
-		fmt.Fprintf(&b, "            #pragma acc reductiontoarray(+: hist_[(v %% k + k) %% k])\n")
-		fmt.Fprintf(&b, "            hist_[(v %% k + k) %% k] += 1;\n")
-	}
-	fmt.Fprintf(&b, "        }\n    }\n}\n")
+	fmt.Fprintf(&b, "    }\n}\n")
 
 	in := make([]int32, int64(n)*stride+2*halo)
 	for i := range in {
@@ -90,7 +125,17 @@ func genRandProg(rng *rand.Rand) randProg {
 	return randProg{src: b.String(), n: n, in: in, idx: idx32}
 }
 
-func (p randProg) run(t *testing.T, spec sim.MachineSpec, opts Options) (out, out2, hist []int32, total float64) {
+// runResult carries everything one execution produced.
+type runResult struct {
+	out, out2, hist []int32
+	total           float64
+	rep             *rt.Report
+	mach            *sim.Machine
+}
+
+// runFull executes the program, returning results, the report, the
+// machine (for memory assertions) and the run error.
+func (p randProg) runFull(t testing.TB, spec sim.MachineSpec, opts rt.Options, plan *sim.FaultPlan) (runResult, error) {
 	t.Helper()
 	prog, err := cc.ParseProgram(p.src)
 	if err != nil {
@@ -114,14 +159,49 @@ func (p randProg) run(t *testing.T, spec sim.MachineSpec, opts Options) (out, ou
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := New(mach, opts).Run(inst); err != nil {
-		t.Fatalf("run:\n%s\n%v", p.src, err)
+	mach.InjectFaults(plan)
+	runtime := rt.New(mach, opts)
+	runErr := runtime.Run(inst)
+	res := runResult{rep: runtime.Report(), mach: mach}
+	if runErr != nil {
+		return res, runErr
 	}
 	outA, _ := inst.Array("out_")
 	out2A, _ := inst.Array("out2_")
 	histA, _ := inst.Array("hist_")
 	tot, _ := inst.ScalarF("total")
-	return outA.I32, out2A.I32, histA.I32, tot
+	res.out, res.out2, res.hist, res.total = outA.I32, out2A.I32, histA.I32, tot
+	return res, nil
+}
+
+func (p randProg) run(t testing.TB, spec sim.MachineSpec, opts rt.Options) (out, out2, hist []int32, total float64) {
+	t.Helper()
+	res, err := p.runFull(t, spec, opts, nil)
+	if err != nil {
+		t.Fatalf("run:\n%s\n%v", p.src, err)
+	}
+	return res.out, res.out2, res.hist, res.total
+}
+
+// checkAuditedEquivalence runs one generated program on the CPU
+// reference and on audited multi-GPU configurations, comparing all
+// observable results exactly.
+func checkAuditedEquivalence(t testing.TB, p randProg) {
+	refOut, refOut2, refHist, refTotal := p.run(t, sim.Desktop(), rt.Options{Mode: rt.ModeCPU})
+	for _, spec := range []sim.MachineSpec{
+		sim.Desktop().WithGPUs(1),
+		sim.Desktop(),
+		sim.SupercomputerNode(),
+	} {
+		opts := rt.Options{Auditor: audit.New(audit.Options{})}
+		out, out2, hist, total := p.run(t, spec, opts)
+		compareI32(t, p.src, spec.Name, "out_", out, refOut)
+		compareI32(t, p.src, spec.Name, "out2_", out2, refOut2)
+		compareI32(t, p.src, spec.Name, "hist_", hist, refHist)
+		if total != refTotal {
+			t.Fatalf("on %s: total = %g, want %g\n%s", spec.Name, total, refTotal, p.src)
+		}
+	}
 }
 
 func TestRandomProgramsMultiGPUEquivalence(t *testing.T) {
@@ -132,13 +212,13 @@ func TestRandomProgramsMultiGPUEquivalence(t *testing.T) {
 	}
 	for trial := 0; trial < iterations; trial++ {
 		p := genRandProg(rng)
-		refOut, refOut2, refHist, refTotal := p.run(t, sim.Desktop(), Options{Mode: ModeCPU})
+		refOut, refOut2, refHist, refTotal := p.run(t, sim.Desktop(), rt.Options{Mode: rt.ModeCPU})
 		for _, spec := range []sim.MachineSpec{
 			sim.Desktop().WithGPUs(1),
 			sim.Desktop(),
 			sim.SupercomputerNode(),
 		} {
-			out, out2, hist, total := p.run(t, spec, Options{})
+			out, out2, hist, total := p.run(t, spec, rt.Options{})
 			compareI32(t, p.src, spec.Name, "out_", out, refOut)
 			compareI32(t, p.src, spec.Name, "out2_", out2, refOut2)
 			compareI32(t, p.src, spec.Name, "hist_", hist, refHist)
@@ -147,7 +227,7 @@ func TestRandomProgramsMultiGPUEquivalence(t *testing.T) {
 			}
 		}
 		// Ablations must never change results, only costs.
-		for _, opts := range []Options{
+		for _, opts := range []rt.Options{
 			{DisableDistribution: true},
 			{DisableLayoutTransform: true},
 			{DisableTwoLevelDirty: true},
@@ -166,7 +246,35 @@ func TestRandomProgramsMultiGPUEquivalence(t *testing.T) {
 	}
 }
 
-func compareI32(t *testing.T, src, cfg, name string, got, want []int32) {
+// TestAuditedSeedCorpus drives a fixed table of generator seeds through
+// the shadow-oracle auditor on every platform. The seed list is large
+// enough that all template features (two-phase programs, nested
+// present regions, scatter on distributed arrays, reductions) occur.
+func TestAuditedSeedCorpus(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987}
+	if testing.Short() {
+		seeds = seeds[:5]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			checkAuditedEquivalence(t, genRandProg(rand.New(rand.NewSource(seed))))
+		})
+	}
+}
+
+// FuzzAuditedRandomPrograms lets the fuzzer explore generator seeds;
+// every program must survive the auditor and match the CPU reference.
+func FuzzAuditedRandomPrograms(f *testing.F) {
+	for _, seed := range []int64{0, 7, 42, 12345, 99999} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkAuditedEquivalence(t, genRandProg(rand.New(rand.NewSource(seed))))
+	})
+}
+
+func compareI32(t testing.TB, src, cfg, name string, got, want []int32) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("%s on %s: length %d vs %d", name, cfg, len(got), len(want))
@@ -219,7 +327,7 @@ void main() {
 		for i := range gridVals {
 			gridVals[i] = int32(rng.Intn(100) - 50)
 		}
-		runOnce := func(spec sim.MachineSpec, mode Mode) ([]int32, float64) {
+		runOnce := func(spec sim.MachineSpec, mode rt.Mode) ([]int32, float64) {
 			g := &ir.HostArray{Decl: prog.Scope["grid"], I32: append([]int32(nil), gridVals...)}
 			inst, err := mod.Bind(ir.NewBindings().
 				SetScalar("h", float64(h)).SetScalar("w", float64(w)).SetArray("grid", g))
@@ -227,16 +335,16 @@ void main() {
 				t.Fatal(err)
 			}
 			mach, _ := sim.NewMachine(spec)
-			if err := New(mach, Options{Mode: mode}).Run(inst); err != nil {
+			if err := rt.New(mach, rt.Options{Mode: mode}).Run(inst); err != nil {
 				t.Fatal(err)
 			}
 			out, _ := inst.Array("out_")
 			total, _ := inst.ScalarF("total")
 			return out.I32, total
 		}
-		refOut, refTotal := runOnce(sim.Desktop(), ModeCPU)
+		refOut, refTotal := runOnce(sim.Desktop(), rt.ModeCPU)
 		for _, spec := range []sim.MachineSpec{sim.Desktop(), sim.SupercomputerNode()} {
-			out, total := runOnce(spec, ModeMultiGPU)
+			out, total := runOnce(spec, rt.ModeMultiGPU)
 			if total != refTotal {
 				t.Fatalf("h=%d w=%d on %s: total %g vs %g", h, w, spec.Name, total, refTotal)
 			}
@@ -247,4 +355,14 @@ void main() {
 			}
 		}
 	}
+}
+
+// errorsAsDivergence unwraps the auditor's divergence report.
+func errorsAsDivergence(t *testing.T, err error) *audit.DivergenceError {
+	t.Helper()
+	var div *audit.DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("want a DivergenceError, got %v", err)
+	}
+	return div
 }

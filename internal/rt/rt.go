@@ -100,7 +100,45 @@ type Options struct {
 	// (region entries, loads, launches, communication), stamped with
 	// the simulated clock.
 	Trace io.Writer
+	// Auditor, when non-nil, receives consistency-audit events (see
+	// AuditSink); internal/audit provides the shadow-oracle
+	// implementation. Ignored in ModeCPU.
+	Auditor AuditSink
+	// DisableDegradation turns the graceful fault handling off: device
+	// OOM and transfer failures become immediate hard errors instead
+	// of triggering the fallback ladder / bounded retries. The default
+	// (false) is the resilient behaviour.
+	DisableDegradation bool
+	// Sabotage deliberately corrupts communication steps so tests can
+	// prove the auditor detects real consistency bugs. Never set it
+	// outside tests.
+	Sabotage *Sabotage
 }
+
+// Sabotage switches off individual communication-manager duties. Each
+// flag plants exactly the class of bug multi-GPU OpenACC runtimes get
+// wrong in the wild; the auditor's mutation tests assert every one is
+// caught with the offending array and range.
+type Sabotage struct {
+	// DropOverlapSync skips the halo-overlap push of distributed
+	// written arrays (stale halos).
+	DropOverlapSync bool
+	// DropDirtyChunks skips shipping dirty chunks between replicas but
+	// still clears the dirty bits (silently diverging replicas).
+	DropDirtyChunks bool
+	// DropMissDelivery discards buffered remote writes of distributed
+	// arrays instead of routing them (lost scatter updates).
+	DropMissDelivery bool
+}
+
+// Degradation-ladder tuning constants.
+const (
+	// maxTransferAttempts bounds the retry loop of one transfer.
+	maxTransferAttempts = 6
+	// transferBackoffBase is the first retry's virtual-time backoff;
+	// each further attempt doubles it.
+	transferBackoffBase = 20 * time.Microsecond
+)
 
 func (o Options) withDefaults() Options {
 	if o.ChunkBytes <= 0 {
@@ -133,6 +171,10 @@ type Runtime struct {
 	// hostEpoch advances whenever any array's host content becomes
 	// canonical, invalidating the footprint cache.
 	hostEpoch int64
+	// forceReplicate is set while a launch retries on the replication
+	// rung of the OOM degradation ladder: localaccess arrays place as
+	// full replicas for that attempt.
+	forceReplicate bool
 }
 
 type fpKey struct {
@@ -170,11 +212,23 @@ func (r *Runtime) Machine() *sim.Machine { return r.mach }
 // Report returns the accumulated execution report.
 func (r *Runtime) Report() *Report { return r.rep }
 
+// addEvent records one fault-handling action in the report and the
+// trace stream.
+func (r *Runtime) addEvent(kind, detail string) {
+	r.rep.Events = append(r.rep.Events, Event{Time: r.rep.Total(), Kind: kind, Detail: detail})
+	r.tracef("%s: %s", kind, detail)
+}
+
 // Run binds nothing new; it executes an already bound instance with
 // this runtime as the hook table and finalizes accounting.
 func (r *Runtime) Run(inst *ir.Instance) error {
 	r.inst = inst
 	defer func() { r.inst = nil }()
+	if r.auditing() {
+		if err := r.opts.Auditor.BeginRun(inst); err != nil {
+			return err
+		}
+	}
 	err := inst.Run(r)
 	// Release whatever is still resident — programs may leave arrays
 	// on the devices (no data region, or an aborted run) and the
@@ -215,6 +269,25 @@ type Report struct {
 	Counters sim.Counters
 	// PerKernel breaks kernel activity down by kernel name.
 	PerKernel map[string]*KernelStats
+	// TransferRetries counts transfer attempts that failed transiently
+	// and were retried (fault injection).
+	TransferRetries int
+	// Fallbacks counts OOM degradation-ladder steps taken.
+	Fallbacks int
+	// Events records every fault-handling action (transfer retries,
+	// placement fallbacks, GPU-count reductions) in occurrence order.
+	Events []Event
+}
+
+// Event is one recorded fault-handling action.
+type Event struct {
+	// Time is the simulated clock when the action was taken.
+	Time time.Duration
+	// Kind classifies the action: "transfer-retry", "oom-fallback" or
+	// "oom-giveup".
+	Kind string
+	// Detail is a human-readable description.
+	Detail string
 }
 
 // KernelStats aggregates one kernel's activity across its launches.

@@ -56,9 +56,13 @@ type gpuCopy struct {
 	transformed bool
 	width, rows int64
 
-	// Two-level dirty bits (replicated written arrays).
+	// Two-level dirty bits (replicated written arrays). Worker strands
+	// mark chunks in per-lane scratch (chunkLanes) because neighbouring
+	// strands share chunk bytes; a real GPU would use an atomic OR. The
+	// lanes fold into chunkDirty once the kernel completes.
 	dirty      []uint8
 	chunkDirty []uint8
+	chunkLanes [][]uint8
 	dirtyBuf   *sim.Buffer
 	chunkElems int64
 
@@ -86,6 +90,19 @@ func (c *gpuCopy) localLen() int64 {
 		return 0
 	}
 	return c.hi - c.lo + 1
+}
+
+// mergeChunkLanes folds the per-lane chunk marks into chunkDirty after
+// a launch and resets the lanes for the next one.
+func (c *gpuCopy) mergeChunkLanes() {
+	for _, lane := range c.chunkLanes {
+		for ch, b := range lane {
+			if b != 0 {
+				c.chunkDirty[ch] = 1
+				lane[ch] = 0
+			}
+		}
+	}
 }
 
 // state returns (creating on first touch) the runtime state of decl.
@@ -129,7 +146,7 @@ func (c *gpuCopy) release() error {
 	}
 	c.valid = false
 	c.f32, c.f64, c.i32 = nil, nil, nil
-	c.dirty, c.chunkDirty = nil, nil
+	c.dirty, c.chunkDirty, c.chunkLanes = nil, nil, nil
 	c.miss, c.lanesF, c.lanesI = nil, nil, nil
 	c.transformed = false
 	return nil
@@ -271,7 +288,7 @@ func (v *devView) StoreF(e *ir.Env, i int64, x float64) {
 	e.BytesWritten += c.st.elemSize
 	if v.markDirty {
 		c.dirty[p] = 1
-		c.chunkDirty[p/c.chunkElems] = 1
+		c.chunkLanes[e.WorkerID][p/c.chunkElems] = 1
 		e.BytesWritten += 2
 	}
 }
@@ -291,7 +308,7 @@ func (v *devView) StoreI(e *ir.Env, i int64, x int64) {
 	e.BytesWritten += c.st.elemSize
 	if v.markDirty {
 		c.dirty[p] = 1
-		c.chunkDirty[p/c.chunkElems] = 1
+		c.chunkLanes[e.WorkerID][p/c.chunkElems] = 1
 		e.BytesWritten += 2
 	}
 }

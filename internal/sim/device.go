@@ -56,6 +56,10 @@ type Device struct {
 	mu      sync.Mutex
 	used    int64
 	buffers map[*Buffer]struct{}
+
+	// faults points at the machine's fault-injection state, nil when
+	// no plan is armed.
+	faults *faultState
 }
 
 func newDevice(spec DeviceSpec, id int) *Device {
@@ -76,10 +80,14 @@ func (d *Device) AllocBytes(name string, class MemClass, bytes int64, data any) 
 	if bytes < 0 {
 		return nil, fmt.Errorf("sim: %s: negative allocation %d for %q", d, bytes, name)
 	}
+	if d.faults != nil && d.faults.allocFails(d.ID) {
+		return nil, &OutOfMemoryError{Device: d.String(), DeviceID: d.ID, Requested: bytes,
+			Used: d.UsedBytes(), Capacity: d.Spec.MemBytes, Name: name, Injected: true}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.Spec.MemBytes > 0 && d.used+bytes > d.Spec.MemBytes {
-		return nil, &OutOfMemoryError{Device: d.String(), Requested: bytes, Used: d.used, Capacity: d.Spec.MemBytes, Name: name}
+		return nil, &OutOfMemoryError{Device: d.String(), DeviceID: d.ID, Requested: bytes, Used: d.used, Capacity: d.Spec.MemBytes, Name: name}
 	}
 	b := &Buffer{Name: name, Class: class, Bytes: bytes, Data: data, dev: d}
 	d.used += bytes
@@ -144,18 +152,27 @@ func (d *Device) Allocations() []*Buffer {
 	return out
 }
 
-// OutOfMemoryError reports an allocation that exceeded device capacity.
+// OutOfMemoryError reports an allocation that exceeded device capacity
+// (or was failed deliberately by an armed fault plan).
 type OutOfMemoryError struct {
 	Device    string
+	DeviceID  int
 	Name      string
 	Requested int64
 	Used      int64
 	Capacity  int64
+	// Injected marks a fault-plan failure rather than a genuine
+	// capacity exhaustion.
+	Injected bool
 }
 
 func (e *OutOfMemoryError) Error() string {
-	return fmt.Sprintf("sim: %s out of memory: alloc %q needs %d bytes, %d of %d in use",
-		e.Device, e.Name, e.Requested, e.Used, e.Capacity)
+	cause := "out of memory"
+	if e.Injected {
+		cause = "out of memory (injected fault)"
+	}
+	return fmt.Sprintf("sim: %s %s: alloc %q needs %d bytes, %d of %d in use",
+		e.Device, cause, e.Name, e.Requested, e.Used, e.Capacity)
 }
 
 // AllocFloat32 allocates an n-element float32 buffer.

@@ -38,6 +38,17 @@ func (d *Device) ParallelFor(n int, fn func(start, end int) Counters) (Counters,
 		if end > n {
 			end = n
 		}
+		if raceDetectorEnabled {
+			// Kernels may carry benign app-level races (same-value
+			// relaxations); run the simulated lanes one by one so the
+			// detector watches only the runtime's real concurrency.
+			c, err := runRange(fn, start, end)
+			total.Add(c)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
 		wg.Add(1)
 		go func(start, end int) {
 			defer wg.Done()

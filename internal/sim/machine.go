@@ -10,6 +10,9 @@ type Machine struct {
 
 	cpu  *Device
 	gpus []*Device
+
+	// faults is the armed fault-injection state (nil when inactive).
+	faults *faultState
 }
 
 // NewMachine validates the spec and instantiates its devices.

@@ -1,0 +1,6 @@
+//go:build !race
+
+package sim
+
+// raceDetectorEnabled is false in normal builds; see race_on.go.
+const raceDetectorEnabled = false
