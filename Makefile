@@ -2,23 +2,36 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench eval eval-json examples clean check fuzz-smoke
+.PHONY: all build vet test test-short cover bench eval eval-json examples clean check fuzz-smoke accvet
 
 all: build vet test
 
 # check is the pre-PR gate: vet, the plain test suite, the race
 # detector over the suite (the runtime launches kernels concurrently
 # across simulated GPUs; -short skips the full-scale app inputs, which
-# take ~10x longer under the detector), and a short fuzz smoke over
-# the frontend fuzzer and the audited random-program fuzzer.
+# take ~10x longer under the detector), the accvet directive checks
+# over the shipped examples and the audited random-program corpus, and
+# a short fuzz smoke over the frontend fuzzer, the audited
+# random-program fuzzer and the vet-vs-auditor cross-check fuzzer.
 check: vet
 	$(GO) test ./...
 	$(GO) test -race -short -timeout 1200s ./...
+	$(MAKE) accvet
 	$(MAKE) fuzz-smoke
+
+# accvet runs the directive-verification pass the way CI consumes it:
+# accc -vet must accept every known-good shipped program, and the
+# golden/corpus tests pin its diagnostics (including the deliberately
+# broken programs under examples/vet).
+accvet:
+	for f in examples/testdata/*.c; do $(GO) run ./cmd/accc -vet $$f || exit 1; done
+	$(GO) test -run 'TestVetGoldenDiagnostics' ./internal/core
+	$(GO) test -run 'TestVetCleanOnAuditedCorpus|TestVetCrossCheckSeedCorpus' ./internal/rt
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseProgram -fuzztime=5s -run='^$$' ./internal/cc
 	$(GO) test -fuzz=FuzzAuditedRandomPrograms -fuzztime=5s -run='^$$' ./internal/rt
+	$(GO) test -fuzz=FuzzVetCrossCheck -fuzztime=5s -run='^$$' ./internal/rt
 
 build:
 	$(GO) build ./...

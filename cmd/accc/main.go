@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	accc [-stats] file.c
+//	accc [-stats] [-vet] file.c
 //	accc -            # read from stdin
+//
+// With -vet the accvet pass (internal/analysis) verifies every
+// localaccess clause against the inferred access footprint and prints
+// its diagnostics instead of the generated code; the exit status is 1
+// when any diagnostic is an error.
 package main
 
 import (
@@ -14,24 +19,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"accmulti/internal/core"
 )
 
 func main() {
 	stats := flag.Bool("stats", false, "print program statistics instead of generated code")
+	vet := flag.Bool("vet", false, "verify directives against inferred footprints; exit 1 on errors")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: accc [-stats] file.c (use - for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: accc [-stats] [-vet] file.c (use - for stdin)")
 		os.Exit(2)
 	}
 
 	var src []byte
 	var err error
+	display := "<stdin>"
 	if name := flag.Arg(0); name == "-" {
 		src, err = io.ReadAll(os.Stdin)
 	} else {
 		src, err = os.ReadFile(name)
+		display = filepath.Base(name)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "accc:", err)
@@ -42,6 +51,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "accc:", err)
 		os.Exit(1)
+	}
+	if *vet {
+		res, err := prog.Vet()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accc:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Diags.Format(display))
+		if res.Diags.HasErrors() {
+			os.Exit(1)
+		}
+		return
 	}
 	if *stats {
 		s := prog.Stats()

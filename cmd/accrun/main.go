@@ -6,8 +6,11 @@
 // Usage:
 //
 //	accrun [-machine desktop|super] [-gpus n] [-mode proposal|openmp|baseline|cuda]
-//	       [-audit] [-faults seed=7,oomgpu=1,oomalloc=5,...]
+//	       [-vet] [-audit] [-faults seed=7,oomgpu=1,oomalloc=5,...]
 //	       [-set n=1000 -set a=2.5 ...] [-print arr] file.c
+//
+// -vet runs the accvet directive checks first, printing diagnostics to
+// stderr and refusing to execute a program with verification errors.
 package main
 
 import (
@@ -15,12 +18,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"accmulti/internal/core"
+	"accmulti/internal/diag"
 	"accmulti/internal/ir"
 	"accmulti/internal/rt"
 	"accmulti/internal/sim"
@@ -39,6 +44,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print one line per runtime event (loader, kernels, comm)")
 	kernels := flag.Bool("kernels", false, "print a per-kernel statistics table after the run")
 	printArr := flag.String("print", "", "print this array's first elements after the run")
+	vet := flag.Bool("vet", false, "run the accvet directive checks before executing; abort on errors")
 	auditRun := flag.Bool("audit", false, "verify every device copy against a sequential shadow oracle")
 	auditTol := flag.Float64("audit-tol", 0, "relative tolerance for float reductions under -audit (0 = default)")
 	faults := flag.String("faults", "", "deterministic fault plan, e.g. seed=7,oomgpu=1,oomalloc=5,shrink=0.5,transfail=0.01")
@@ -112,6 +118,22 @@ func main() {
 	prog, err := core.Compile(string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if *vet {
+		vres, err := prog.Vet()
+		if err != nil {
+			fatal(err)
+		}
+		display := flag.Arg(0)
+		if display == "-" {
+			display = "<stdin>"
+		} else {
+			display = filepath.Base(display)
+		}
+		fmt.Fprint(os.Stderr, vres.Diags.Format(display))
+		if vres.Diags.HasErrors() {
+			fatal(fmt.Errorf("vet found %d error(s); not running", vres.Diags.Count(diag.Error)))
+		}
 	}
 	res, err := prog.Run(b, core.Config{
 		Machine: spec, Options: opts,

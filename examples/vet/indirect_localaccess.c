@@ -1,0 +1,21 @@
+/* BROKEN (ACCV003): table is indexed through idx[i], so its
+ * per-iteration footprint is data dependent; a localaccess stride
+ * cannot describe it and the array must replicate.
+ *   go run ./cmd/accc -vet examples/vet/indirect_localaccess.c
+ */
+int n;
+float out[n], table[n];
+int idx[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(table, idx) copy(out)
+    {
+        #pragma acc localaccess(table) stride(1)
+        #pragma acc localaccess(out) stride(1)
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out[i] = table[idx[i]];
+        }
+    }
+}

@@ -1,0 +1,19 @@
+/* IMPROVABLE (ACCV004): b is read-only with purely affine reads, so
+ * it could distribute across the GPUs instead of replicating; the
+ * analyzer infers the exact localaccess directive to paste in.
+ *   go run ./cmd/accc -vet examples/vet/missing_localaccess.c
+ */
+int n;
+float a[n], b[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(b) copy(a)
+    {
+        #pragma acc localaccess(a) stride(1)
+        #pragma acc parallel loop
+        for (i = 0; i < n - 1; i++) {
+            a[i] = b[i] + b[i + 1];
+        }
+    }
+}

@@ -1,0 +1,32 @@
+/* CLEAN (ACCV007): an iterated ping-pong Jacobi sweep whose halo
+ * windows force an inter-GPU boundary exchange after every launch;
+ * the analyzer predicts the exchange the runtime will perform.
+ *   go run ./cmd/accc -vet examples/vet/stencil_exchange.c
+ *   go run ./cmd/accrun -gpus 4 -set n=1024 -trace examples/vet/stencil_exchange.c
+ */
+int n;
+int t;
+float a[n], b[n];
+
+void main() {
+    int i;
+    #pragma acc data copy(a, b)
+    {
+        t = 0;
+        while (t < 10) {
+            #pragma acc parallel loop
+            #pragma acc localaccess(a) stride(1, 1, 1)
+            #pragma acc localaccess(b) stride(1)
+            for (i = 1; i < n - 1; i++) {
+                b[i] = 0.5 * a[i - 1] + a[i] + 0.5 * a[i + 1];
+            }
+            #pragma acc parallel loop
+            #pragma acc localaccess(b) stride(1, 1, 1)
+            #pragma acc localaccess(a) stride(1)
+            for (i = 1; i < n - 1; i++) {
+                a[i] = 0.5 * b[i - 1] + b[i] + 0.5 * b[i + 1];
+            }
+            t += 1;
+        }
+    }
+}

@@ -1,0 +1,20 @@
+/* BROKEN (ACCV001): the stencil reads b[i - 1] and b[i + 1] but
+ * declares stride(1) with no halo, so on more than one GPU the
+ * boundary reads fall outside the local partition.
+ *   go run ./cmd/accc -vet examples/vet/too_narrow_halo.c
+ */
+int n;
+float a[n], b[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(b) copy(a)
+    {
+        #pragma acc localaccess(b) stride(1)
+        #pragma acc localaccess(a) stride(1)
+        #pragma acc parallel loop
+        for (i = 1; i < n - 1; i++) {
+            a[i] = b[i - 1] + b[i + 1];
+        }
+    }
+}

@@ -1,0 +1,20 @@
+/* SUBOPTIMAL (ACCV002): the declared halo of two elements on each
+ * side is wider than the single b[i + 1] read needs, so every GPU
+ * loads and keeps boundary data it never touches.
+ *   go run ./cmd/accc -vet examples/vet/too_wide_halo.c
+ */
+int n;
+float a[n], b[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(b) copy(a)
+    {
+        #pragma acc localaccess(b) stride(1, 2, 2)
+        #pragma acc localaccess(a) stride(1)
+        #pragma acc parallel loop
+        for (i = 0; i < n - 1; i++) {
+            a[i] = b[i + 1];
+        }
+    }
+}

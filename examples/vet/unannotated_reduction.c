@@ -1,0 +1,20 @@
+/* RISKY (ACCV006): hist[b] += 1 is an array reduction with a
+ * data-dependent bucket, but it carries no reductiontoarray
+ * annotation, so colliding updates from different GPUs can be lost.
+ *   go run ./cmd/accc -vet examples/vet/unannotated_reduction.c
+ */
+int n, k;
+int data[n];
+int hist[k];
+
+void main() {
+    int i, b;
+    #pragma acc data copyin(data) copy(hist)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            b = (data[i] % k + k) % k;
+            hist[b] += 1;
+        }
+    }
+}

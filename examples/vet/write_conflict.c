@@ -1,0 +1,18 @@
+/* BROKEN (ACCV005): iterations i and i+1 both write a[2*i + 2], so
+ * the result depends on which GPU's replica merges last.
+ *   go run ./cmd/accc -vet examples/vet/write_conflict.c
+ */
+int n;
+float a[2 * n + 2], x[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(x) copy(a)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            a[2 * i] = x[i];
+            a[2 * i + 2] = x[i];
+        }
+    }
+}

@@ -1,6 +1,7 @@
 package acc
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -74,31 +75,67 @@ func TestParseUpdate(t *testing.T) {
 }
 
 func TestParseLocalAccessStride(t *testing.T) {
-	d := mustParse(t, "acc localaccess(nbr) stride(128)")
+	// The 1/2/3-argument forms of the stride clause, including the
+	// symmetric-halo shorthand stride(s, h) == stride(s, h, h).
+	tests := []struct {
+		text                string
+		array               string
+		stride, left, right string
+	}{
+		{"acc localaccess(nbr) stride(128)", "nbr", "128", "0", "0"},
+		{"acc localaccess(x) stride(1, 2)", "x", "1", "2", "2"},
+		{"acc localaccess(x) stride(1, 2, 3)", "x", "1", "2", "3"},
+		{"acc localaccess(x) stride(n/4)", "x", "n/4", "0", "0"},
+		{"acc localaccess(x) stride(1, 0, 2)", "x", "1", "0", "2"},
+		{"acc localaccess(x) stride(2, halo)", "x", "2", "halo", "halo"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.text, func(t *testing.T) {
+			la, err := ParseLocalAccess(mustParse(t, tc.text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !la.HasStride {
+				t.Fatal("HasStride = false")
+			}
+			if la.Array != tc.array || la.Stride != tc.stride || la.Left != tc.left || la.Right != tc.right {
+				t.Fatalf("la = %+v, want array=%s stride=%s left=%s right=%s",
+					la, tc.array, tc.stride, tc.left, tc.right)
+			}
+		})
+	}
+}
+
+func TestLocalAccessClausePositions(t *testing.T) {
+	// Columns flow from ParseDirectiveAt through to the structured
+	// LocalAccess, and clause-level errors report the clause position.
+	text := "acc localaccess(x) stride(1, 2)"
+	d, err := ParseDirectiveAt(text, 3, 13) // as if "#pragma " ends at col 12
+	if err != nil {
+		t.Fatal(err)
+	}
 	la, err := ParseLocalAccess(d)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if la.Array != "nbr" || !la.HasStride || la.Stride != "128" || la.Left != "0" || la.Right != "0" {
-		t.Fatalf("la = %+v", la)
+	wantHead := 13 + strings.Index(text, "localaccess")
+	wantStride := 13 + strings.Index(text, "stride")
+	if la.Col != wantHead || la.ClauseCol != wantStride {
+		t.Fatalf("Col = %d, ClauseCol = %d, want %d, %d", la.Col, la.ClauseCol, wantHead, wantStride)
 	}
 
-	d = mustParse(t, "acc localaccess(x) stride(1, 2)")
-	la, err = ParseLocalAccess(d)
+	bad := "acc localaccess(x) stride(1, 2, 3, 4)"
+	d, err = ParseDirectiveAt(bad, 3, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if la.Left != "2" || la.Right != "2" {
-		t.Fatalf("symmetric halo: %+v", la)
+	_, err = ParseLocalAccess(d)
+	if err == nil {
+		t.Fatal("4-arg stride should fail")
 	}
-
-	d = mustParse(t, "acc localaccess(x) stride(1, 2, 3)")
-	la, err = ParseLocalAccess(d)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if la.Stride != "1" || la.Left != "2" || la.Right != "3" {
-		t.Fatalf("full stride form: %+v", la)
+	wantPos := fmt.Sprintf("line 3, col %d", 13+strings.Index(bad, "stride"))
+	if !strings.Contains(err.Error(), wantPos) {
+		t.Fatalf("error %q should carry the stride clause position %q", err, wantPos)
 	}
 }
 
@@ -123,6 +160,10 @@ func TestParseLocalAccessErrors(t *testing.T) {
 		"acc localaccess(x) stride()",               // empty
 		"acc localaccess(x) stride(1, 2, 3, 4)",     // too many
 		"acc localaccess(x) bounds(0)",              // too few
+		"acc localaccess(x) bounds()",               // no bounds args
+		"acc localaccess(x) bounds(0, 1, 2)",        // too many bounds
+		"acc localaccess(x) stride( , 1)",           // empty first arg
+		"acc localaccess(x) stride(1, )",            // empty trailing arg
 		"acc localaccess(x, y) stride(1)",           // two arrays
 		"acc localaccess(3x) stride(1)",             // bad name
 	} {

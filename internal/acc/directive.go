@@ -61,6 +61,9 @@ func (k Kind) String() string {
 type Clause struct {
 	Name string
 	Args []string
+	// Col is the 1-based source column of the clause name (0 when the
+	// directive was parsed without position information).
+	Col int
 }
 
 // Directive is one parsed `#pragma acc` line.
@@ -69,6 +72,8 @@ type Directive struct {
 	Clauses []Clause
 	// Line is the 1-based source line of the pragma.
 	Line int
+	// Col is the 1-based source column where the directive text starts.
+	Col int
 	// Raw is the original pragma text after "acc", for diagnostics.
 	Raw string
 }
@@ -198,6 +203,20 @@ type LocalAccess struct {
 	Lower, Upper string
 	// Line is the pragma's source line.
 	Line int
+	// Col is the source column of the localaccess clause, and
+	// ClauseCol the column of its stride()/bounds() clause (0 when
+	// parsed without position information).
+	Col, ClauseCol int
+}
+
+// clauseErrf reports an error positioned at one clause of a directive
+// rather than at the directive as a whole.
+func clauseErrf(d *Directive, c Clause, format string, args ...any) error {
+	pos := fmt.Sprintf("line %d", d.Line)
+	if c.Col > 0 {
+		pos = fmt.Sprintf("line %d, col %d", d.Line, c.Col)
+	}
+	return fmt.Errorf("acc: %s: %s", pos, fmt.Sprintf(format, args...))
 }
 
 // ParseLocalAccess interprets a KindLocalAccess directive.
@@ -208,39 +227,48 @@ func ParseLocalAccess(d *Directive) (LocalAccess, error) {
 	la := LocalAccess{Line: d.Line}
 	head, ok := d.Clause("localaccess")
 	if !ok || len(head.Args) != 1 || !isIdent(head.Args[0]) {
-		return LocalAccess{}, fmt.Errorf("acc: line %d: localaccess needs exactly one array name argument", d.Line)
+		return LocalAccess{}, clauseErrf(d, head, "localaccess needs exactly one array name argument")
 	}
 	la.Array = head.Args[0]
+	la.Col = head.Col
 	stride, hasStride := d.Clause("stride")
 	bounds, hasBounds := d.Clause("bounds")
 	switch {
 	case hasStride && hasBounds:
-		return LocalAccess{}, fmt.Errorf("acc: line %d: localaccess(%s): stride and bounds are mutually exclusive", d.Line, la.Array)
+		return LocalAccess{}, clauseErrf(d, bounds, "localaccess(%s): stride and bounds are mutually exclusive", la.Array)
 	case hasStride:
 		la.HasStride = true
+		la.ClauseCol = stride.Col
+		if len(stride.Args) < 1 || len(stride.Args) > 3 {
+			return LocalAccess{}, clauseErrf(d, stride, "stride() takes 1-3 arguments, got %d", len(stride.Args))
+		}
+		for i, a := range stride.Args {
+			if a == "" {
+				return LocalAccess{}, clauseErrf(d, stride, "stride() argument %d is empty", i+1)
+			}
+		}
+		la.Stride = stride.Args[0]
 		la.Left, la.Right = "0", "0"
 		switch len(stride.Args) {
-		case 3:
-			la.Right = stride.Args[2]
-			fallthrough
 		case 2:
-			la.Left = stride.Args[1]
-			if len(stride.Args) == 2 {
-				la.Right = stride.Args[1] // symmetric halo shorthand
-			}
-			fallthrough
-		case 1:
-			la.Stride = stride.Args[0]
-		default:
-			return LocalAccess{}, fmt.Errorf("acc: line %d: stride() takes 1-3 arguments, got %d", d.Line, len(stride.Args))
+			// Symmetric halo shorthand: stride(s, h) == stride(s, h, h).
+			la.Left, la.Right = stride.Args[1], stride.Args[1]
+		case 3:
+			la.Left, la.Right = stride.Args[1], stride.Args[2]
 		}
 	case hasBounds:
+		la.ClauseCol = bounds.Col
 		if len(bounds.Args) != 2 {
-			return LocalAccess{}, fmt.Errorf("acc: line %d: bounds() takes exactly 2 arguments, got %d", d.Line, len(bounds.Args))
+			return LocalAccess{}, clauseErrf(d, bounds, "bounds() takes exactly 2 arguments, got %d", len(bounds.Args))
+		}
+		for i, a := range bounds.Args {
+			if a == "" {
+				return LocalAccess{}, clauseErrf(d, bounds, "bounds() argument %d is empty", i+1)
+			}
 		}
 		la.Lower, la.Upper = bounds.Args[0], bounds.Args[1]
 	default:
-		return LocalAccess{}, fmt.Errorf("acc: line %d: localaccess(%s) needs a stride() or bounds() clause", d.Line, la.Array)
+		return LocalAccess{}, clauseErrf(d, head, "localaccess(%s) needs a stride() or bounds() clause", la.Array)
 	}
 	return la, nil
 }

@@ -8,9 +8,18 @@ import (
 
 // ParseDirective parses the text of one `#pragma acc ...` line (the text
 // after "#pragma") into a structured Directive. line is the 1-based
-// source line for diagnostics.
+// source line for diagnostics. Clause columns are relative to the
+// directive text; use ParseDirectiveAt when the source column of the
+// text is known.
 func ParseDirective(text string, line int) (*Directive, error) {
-	fields, err := splitClauses(text)
+	return ParseDirectiveAt(text, line, 1)
+}
+
+// ParseDirectiveAt is ParseDirective with the 1-based source column of
+// the first character of text, so clause positions can be reported in
+// real source coordinates.
+func ParseDirectiveAt(text string, line, col int) (*Directive, error) {
+	fields, err := splitClauses(text, col)
 	if err != nil {
 		return nil, fmt.Errorf("acc: line %d: %w", line, err)
 	}
@@ -21,7 +30,7 @@ func ParseDirective(text string, line int) (*Directive, error) {
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("acc: line %d: empty acc directive", line)
 	}
-	d := &Directive{Line: line, Raw: strings.TrimSpace(text)}
+	d := &Directive{Line: line, Col: col, Raw: strings.TrimSpace(text)}
 
 	head := fields[0]
 	switch head.Name {
@@ -96,8 +105,9 @@ func checkClauseNames(d *Directive) error {
 
 // splitClauses tokenizes "acc parallel loop copyin(a, b[i]) gang" into
 // clause units, keeping parenthesized argument lists intact and
-// splitting their contents on top-level commas.
-func splitClauses(text string) ([]Clause, error) {
+// splitting their contents on top-level commas. base is the source
+// column of text[0]; each clause records the column of its name.
+func splitClauses(text string, base int) ([]Clause, error) {
 	var out []Clause
 	i, n := 0, len(text)
 	for i < n {
@@ -121,10 +131,10 @@ func splitClauses(text string) ([]Clause, error) {
 				if err != nil {
 					return nil, err
 				}
-				out = append(out, Clause{Name: name, Args: args})
+				out = append(out, Clause{Name: name, Args: args, Col: base + start})
 				i = next
 			} else {
-				out = append(out, Clause{Name: name})
+				out = append(out, Clause{Name: name, Col: base + start})
 			}
 		default:
 			return nil, fmt.Errorf("unexpected character %q in pragma", r)

@@ -1,0 +1,474 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"accmulti/internal/cc"
+	"accmulti/internal/diag"
+)
+
+func vet(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := cc.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Vet(prog)
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	return res
+}
+
+// one extracts the single diagnostic with the given code.
+func one(t *testing.T, res *Result, code string) diag.Diagnostic {
+	t.Helper()
+	ds := res.Diags.ByCode(code)
+	if len(ds) != 1 {
+		t.Fatalf("want exactly one %s, got %d: %v", code, len(ds), res.Diags)
+	}
+	return ds[0]
+}
+
+func TestTooNarrowStride(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+float b[n];
+
+void main() {
+    int i;
+    #pragma acc data copy(a, b)
+    {
+        #pragma acc parallel loop
+        #pragma acc localaccess(b) stride(1)
+        for (i = 0; i < n; i++) {
+            a[i] = b[i + 1];
+        }
+    }
+}
+`)
+	d := one(t, res, "ACCV001")
+	if d.Severity != diag.Error {
+		t.Errorf("severity = %v", d.Severity)
+	}
+	if d.Line != 12 {
+		t.Errorf("line = %d, want 12 (the offending read)", d.Line)
+	}
+	if d.Col != 20 {
+		t.Errorf("col = %d, want 20 (the b in b[i + 1])", d.Col)
+	}
+	for _, frag := range []string{"b[(i + 1)]", "1*i + 1", "stride(1)", "line 10", "narrower"} {
+		if !strings.Contains(d.Message, frag) {
+			t.Errorf("message %q should mention %q", d.Message, frag)
+		}
+	}
+	if res.FootprintSafe[11] {
+		t.Error("loop with under-declared footprint must not be footprint-safe")
+	}
+	if res.Safe() {
+		t.Error("Safe() must be false")
+	}
+}
+
+func TestTooNarrowBounds(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+float b[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    #pragma acc localaccess(b) bounds(i, i + 1)
+    for (i = 0; i < n; i++) {
+        a[i] = b[i + 2] + b[i];
+    }
+}
+`)
+	d := one(t, res, "ACCV001")
+	if d.Line != 10 {
+		t.Errorf("line = %d, want 10", d.Line)
+	}
+	if !strings.Contains(d.Message, "b[(i + 2)]") {
+		t.Errorf("message %q should name the offending read", d.Message)
+	}
+}
+
+func TestTooWideHalo(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+float b[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    #pragma acc localaccess(b) stride(1, 2, 2)
+    #pragma acc localaccess(a) stride(1)
+    for (i = 0; i < n; i++) {
+        a[i] = b[i + 1];
+    }
+}
+`)
+	d := one(t, res, "ACCV002")
+	if d.Severity != diag.Warning {
+		t.Errorf("severity = %v", d.Severity)
+	}
+	if d.Line != 8 {
+		t.Errorf("line = %d, want 8 (the localaccess directive)", d.Line)
+	}
+	if want := "#pragma acc localaccess(b) stride(1, 0, 1)"; d.FixIt != want {
+		t.Errorf("fix-it = %q, want %q", d.FixIt, want)
+	}
+	// A correctly declared footprint stays verified and safe.
+	if len(res.Diags.ByCode("ACCV001")) != 0 {
+		t.Errorf("no ACCV001 expected: %v", res.Diags)
+	}
+	if !res.FootprintSafe[10] {
+		t.Error("too-wide is a warning; the loop is still footprint-safe")
+	}
+}
+
+func TestLocalAccessOnIndirect(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+float c[n];
+int idx[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    #pragma acc localaccess(c) stride(1)
+    for (i = 0; i < n; i++) {
+        a[i] = c[idx[i]];
+    }
+}
+`)
+	d := one(t, res, "ACCV003")
+	if d.Severity != diag.Error || d.Line != 9 {
+		t.Errorf("d = %+v, want error at line 9 (the localaccess)", d)
+	}
+	for _, frag := range []string{"c[idx[i]]", "line 11", "replicate"} {
+		if !strings.Contains(d.Message, frag) {
+			t.Errorf("message %q should mention %q", d.Message, frag)
+		}
+	}
+	if res.Safe() {
+		t.Error("Safe() must be false")
+	}
+}
+
+func TestInferMissingLocalAccess(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+float b[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    #pragma acc localaccess(a) stride(1)
+    for (i = 0; i < n; i++) {
+        a[i] = b[i + 1] + b[i - 1];
+    }
+}
+`)
+	d := one(t, res, "ACCV004")
+	if d.Severity != diag.Info {
+		t.Errorf("severity = %v", d.Severity)
+	}
+	if d.Line != 7 {
+		t.Errorf("line = %d, want 7 (the parallel loop directive)", d.Line)
+	}
+	if want := "#pragma acc localaccess(b) stride(1, 1)"; d.FixIt != want {
+		t.Errorf("fix-it = %q, want %q", d.FixIt, want)
+	}
+}
+
+func TestNoInferenceForIndirectOrWritten(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+float c[n];
+int idx[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        a[i] = c[idx[i]];
+        c[i] = 0.0;
+    }
+}
+`)
+	// c is indirectly read and written; idx qualifies.
+	ds := res.Diags.ByCode("ACCV004")
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, `"idx"`) {
+		t.Fatalf("want one ACCV004 for idx, got %v", ds)
+	}
+}
+
+func TestReplicatedWriteConflictUniform(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+float x[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        a[5] = x[i];
+    }
+}
+`)
+	d := one(t, res, "ACCV005")
+	if d.Severity != diag.Error || d.Line != 9 {
+		t.Errorf("d = %+v, want error at line 9", d)
+	}
+	if !strings.Contains(d.Message, "a[5]") {
+		t.Errorf("message %q should name the write", d.Message)
+	}
+	if res.Safe() {
+		t.Error("Safe() must be false")
+	}
+}
+
+func TestReplicatedWriteConflictCongruent(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+float x[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        a[2*i] = x[i];
+        a[2*i + 2] = 0.0;
+    }
+}
+`)
+	d := one(t, res, "ACCV005")
+	if d.Line != 10 {
+		t.Errorf("line = %d, want 10 (the second conflicting write)", d.Line)
+	}
+	for _, frag := range []string{"a[(2 * i)]", "line 9", "a[((2 * i) + 2)]", "congruent"} {
+		if !strings.Contains(d.Message, frag) {
+			t.Errorf("message %q should mention %q", d.Message, frag)
+		}
+	}
+}
+
+func TestDisjointWritesAreClean(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+float x[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        a[2*i] = x[i];
+        a[2*i + 1] = 0.0;
+    }
+}
+`)
+	if len(res.Diags.ByCode("ACCV005")) != 0 {
+		t.Errorf("offsets 0 and 1 mod 2 never collide: %v", res.Diags)
+	}
+	if !res.FootprintSafe[8] {
+		t.Error("disjoint literal writes are footprint-safe")
+	}
+}
+
+func TestUnannotatedArrayReduction(t *testing.T) {
+	res := vet(t, `int n;
+int k;
+int data[n];
+float w[n];
+float acc_[k];
+
+void main() {
+    int i, b;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        b = data[i] % k;
+        acc_[b] += w[i];
+    }
+}
+`)
+	d := one(t, res, "ACCV006")
+	if d.Severity != diag.Warning || d.Line != 12 {
+		t.Errorf("d = %+v, want warning at line 12", d)
+	}
+	if want := "#pragma acc reductiontoarray(+: acc_[b])"; d.FixIt != want {
+		t.Errorf("fix-it = %q, want %q", d.FixIt, want)
+	}
+	if res.Safe() {
+		t.Error("Safe() must be false")
+	}
+}
+
+func TestAnnotatedReductionIsClean(t *testing.T) {
+	res := vet(t, `int n;
+int k;
+int data[n];
+int hist[k];
+
+void main() {
+    int i, b;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        b = data[i] % k;
+        #pragma acc reductiontoarray(+: hist[b])
+        hist[b] += 1;
+    }
+}
+`)
+	if n := len(res.Diags.ByCode("ACCV006")); n != 0 {
+		t.Errorf("annotated reduction flagged: %v", res.Diags)
+	}
+	if res.Diags.HasErrors() {
+		t.Errorf("unexpected errors: %v", res.Diags)
+	}
+}
+
+func TestAffineCompoundWriteNeedsNoAnnotation(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        a[i] += 1.0;
+    }
+}
+`)
+	if len(res.Diags.ByCode("ACCV006")) != 0 {
+		t.Errorf("a[i] += hits a distinct element per iteration: %v", res.Diags)
+	}
+}
+
+func TestHaloExchangePrediction(t *testing.T) {
+	res := vet(t, `int n;
+int t;
+float a[n];
+float b[n];
+
+void main() {
+    int i;
+    #pragma acc data copy(a, b)
+    {
+        t = 0;
+        while (t < 10) {
+            #pragma acc parallel loop
+            #pragma acc localaccess(a) stride(1, 1, 1)
+            #pragma acc localaccess(b) stride(1)
+            for (i = 1; i < n - 1; i++) {
+                b[i] = a[i - 1] + a[i] + a[i + 1];
+            }
+            #pragma acc parallel loop
+            #pragma acc localaccess(b) stride(1, 1, 1)
+            #pragma acc localaccess(a) stride(1)
+            for (i = 1; i < n - 1; i++) {
+                a[i] = b[i - 1] + b[i] + b[i + 1];
+            }
+            t += 1;
+        }
+    }
+}
+`)
+	ds := res.Diags.ByCode("ACCV007")
+	if len(ds) != 2 {
+		t.Fatalf("want 2 halo-exchange predictions (a and b), got %v", res.Diags)
+	}
+	for _, d := range ds {
+		if d.Severity != diag.Info {
+			t.Errorf("severity = %v", d.Severity)
+		}
+		if !strings.Contains(d.Message, "2 boundary element(s)") {
+			t.Errorf("message %q should carry the exact exchange size", d.Message)
+		}
+	}
+	// The reader-side localaccess lines.
+	if ds[0].Line != 13 || ds[1].Line != 19 {
+		t.Errorf("lines = %d, %d; want 13 and 19", ds[0].Line, ds[1].Line)
+	}
+	if res.Diags.HasErrors() {
+		t.Errorf("stencil is clean: %v", res.Diags)
+	}
+	if !res.Safe() {
+		t.Error("verified stencil must be footprint-safe")
+	}
+}
+
+func TestClampedReadsAreUnverifiedButNotErrors(t *testing.T) {
+	res := vet(t, `int n;
+float a[n];
+float b[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    #pragma acc localaccess(b) stride(1, 1, 1)
+    #pragma acc localaccess(a) stride(1)
+    for (i = 0; i < n; i++) {
+        a[i] = b[max(i - 1, 0)] + b[min(i + 1, n - 1)];
+    }
+}
+`)
+	if res.Diags.HasErrors() {
+		t.Errorf("clamped stencil reads are legal: %v", res.Diags)
+	}
+	if res.FootprintSafe[10] {
+		t.Error("clamped reads cannot be statically verified; loop must not be footprint-safe")
+	}
+}
+
+func TestSymbolicStrideIsUnverified(t *testing.T) {
+	res := vet(t, `int n;
+int w;
+float a[n];
+float b[n];
+
+void main() {
+    int i;
+    #pragma acc parallel loop
+    #pragma acc localaccess(b) stride(w)
+    #pragma acc localaccess(a) stride(1)
+    for (i = 0; i < n; i++) {
+        a[i] = b[i];
+    }
+}
+`)
+	if res.Diags.HasErrors() {
+		t.Errorf("symbolic stride is not provably wrong: %v", res.Diags)
+	}
+	if res.FootprintSafe[11] {
+		t.Error("symbolic stride cannot be verified")
+	}
+}
+
+func TestCleanSaxpyIsSafe(t *testing.T) {
+	res := vet(t, `int n;
+float aa;
+float x[n];
+float y[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(x) copy(y)
+    {
+        #pragma acc parallel loop
+        #pragma acc localaccess(x) stride(1)
+        #pragma acc localaccess(y) stride(1)
+        for (i = 0; i < n; i++) {
+            y[i] = aa * x[i] + y[i];
+        }
+    }
+}
+`)
+	if len(res.Diags) != 0 {
+		t.Errorf("saxpy should be diagnostic-free: %v", res.Diags)
+	}
+	if !res.Safe() {
+		t.Error("saxpy is footprint-safe")
+	}
+}

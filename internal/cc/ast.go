@@ -91,20 +91,25 @@ type FuncDecl struct {
 	Line   int
 }
 
-// Expr is an expression node. Every node carries its source line and,
-// after semantic analysis, its value type.
+// Expr is an expression node. Every node carries its source position
+// and, after semantic analysis, its value type.
 type Expr interface {
 	Pos() int
+	// Column is the 1-based source column of the expression's first
+	// token (0 for synthesized nodes).
+	Column() int
 	// Type is the analyzed value type (valid after ParseProgram).
 	Type() ElemType
 }
 
 type exprBase struct {
 	Line int
+	Col  int
 	T    ElemType
 }
 
 func (e *exprBase) Pos() int        { return e.Line }
+func (e *exprBase) Column() int     { return e.Col }
 func (e *exprBase) Type() ElemType  { return e.T }
 func (e *exprBase) setT(t ElemType) { e.T = t }
 

@@ -7,11 +7,15 @@ import (
 
 // lexer converts source text into tokens, keeping `#pragma` lines whole.
 type lexer struct {
-	src  string
-	pos  int
-	line int
-	toks []Token
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line's first character
+	toks      []Token
 }
+
+// col returns the 1-based column of byte offset pos on the current line.
+func (lx *lexer) col(pos int) int { return pos - lx.lineStart + 1 }
 
 // Lex tokenizes the source. It is exported for tests and tooling; the
 // parser calls it internally.
@@ -37,6 +41,7 @@ func (lx *lexer) run() error {
 		case c == '\n':
 			lx.line++
 			lx.pos++
+			lx.lineStart = lx.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			lx.pos++
 		case c == '/' && lx.peek(1) == '/':
@@ -61,7 +66,7 @@ func (lx *lexer) run() error {
 			}
 		}
 	}
-	lx.toks = append(lx.toks, Token{Kind: TokEOF, Line: lx.line})
+	lx.toks = append(lx.toks, Token{Kind: TokEOF, Line: lx.line, Col: lx.col(lx.pos)})
 	return nil
 }
 
@@ -78,6 +83,7 @@ func (lx *lexer) blockComment() error {
 	for lx.pos < len(lx.src) {
 		if lx.src[lx.pos] == '\n' {
 			lx.line++
+			lx.lineStart = lx.pos + 1
 		}
 		if lx.src[lx.pos] == '*' && lx.peek(1) == '/' {
 			lx.pos += 2
@@ -99,12 +105,18 @@ func (lx *lexer) pragma() error {
 	if !ok {
 		return errf(line, "malformed preprocessor line")
 	}
-	rest = strings.TrimSpace(rest)
-	body, ok := strings.CutPrefix(rest, "pragma")
+	off := 1 // past '#'
+	trimmed := strings.TrimLeft(rest, " \t\r")
+	off += len(rest) - len(trimmed)
+	body, ok := strings.CutPrefix(trimmed, "pragma")
 	if !ok {
 		return errf(line, "unsupported preprocessor directive %q (only #pragma is accepted)", text)
 	}
-	lx.toks = append(lx.toks, Token{Kind: TokPragma, Text: strings.TrimSpace(body), Line: line})
+	off += len("pragma")
+	bodyTrim := strings.TrimLeft(body, " \t\r")
+	off += len(body) - len(bodyTrim)
+	bodyTrim = strings.TrimRight(bodyTrim, " \t\r")
+	lx.toks = append(lx.toks, Token{Kind: TokPragma, Text: bodyTrim, Line: line, Col: lx.col(start) + off})
 	return nil
 }
 
@@ -142,7 +154,7 @@ func (lx *lexer) number() {
 		kind = TokFloat
 		lx.pos++
 	}
-	lx.toks = append(lx.toks, Token{Kind: kind, Text: text, Line: lx.line})
+	lx.toks = append(lx.toks, Token{Kind: kind, Text: text, Line: lx.line, Col: lx.col(start)})
 }
 
 func (lx *lexer) ident() {
@@ -150,14 +162,14 @@ func (lx *lexer) ident() {
 	for lx.pos < len(lx.src) && isIdentRune(rune(lx.src[lx.pos])) {
 		lx.pos++
 	}
-	lx.toks = append(lx.toks, Token{Kind: TokIdent, Text: lx.src[start:lx.pos], Line: lx.line})
+	lx.toks = append(lx.toks, Token{Kind: TokIdent, Text: lx.src[start:lx.pos], Line: lx.line, Col: lx.col(start)})
 }
 
 func (lx *lexer) punct() bool {
 	rest := lx.src[lx.pos:]
 	for _, p := range punct2 {
 		if strings.HasPrefix(rest, p) {
-			lx.toks = append(lx.toks, Token{Kind: TokPunct, Text: p, Line: lx.line})
+			lx.toks = append(lx.toks, Token{Kind: TokPunct, Text: p, Line: lx.line, Col: lx.col(lx.pos)})
 			lx.pos += len(p)
 			return true
 		}
@@ -165,7 +177,7 @@ func (lx *lexer) punct() bool {
 	switch rest[0] {
 	case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^', '~',
 		'(', ')', '[', ']', '{', '}', ';', ',', '?', ':':
-		lx.toks = append(lx.toks, Token{Kind: TokPunct, Text: rest[:1], Line: lx.line})
+		lx.toks = append(lx.toks, Token{Kind: TokPunct, Text: rest[:1], Line: lx.line, Col: lx.col(lx.pos)})
 		lx.pos++
 		return true
 	}

@@ -39,9 +39,12 @@ func ParseExprString(text string, line int, scope map[string]*VarDecl) (Expr, er
 	if err != nil {
 		return nil, errf(line, "in directive expression %q: %v", text, err)
 	}
-	// Rebase token lines onto the directive's line.
+	// Rebase token lines onto the directive's line. Columns are
+	// relative to the directive text, not the source line, so drop
+	// them rather than report misleading positions.
 	for i := range toks {
 		toks[i].Line = line
+		toks[i].Col = 0
 	}
 	p := &parser{toks: toks}
 	e, err := p.parseExpr()
@@ -232,7 +235,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 	// Gather directives that prefix the statement.
 	for p.cur().Kind == TokPragma {
 		tok := p.next()
-		d, err := acc.ParseDirective(tok.Text, tok.Line)
+		d, err := acc.ParseDirectiveAt(tok.Text, tok.Line, tok.Col)
 		if err != nil {
 			return nil, err
 		}
@@ -346,7 +349,7 @@ func (p *parser) parseLocalDecl(t ElemType, line int) (Stmt, error) {
 			}
 			inits = append(inits, &AssignStmt{
 				stmtBase: stmtBase{Line: tok.Line},
-				LHS:      &Ident{exprBase: exprBase{Line: tok.Line}, Name: tok.Text},
+				LHS:      &Ident{exprBase: exprBase{Line: tok.Line, Col: tok.Col}, Name: tok.Text},
 				Op:       "=",
 				RHS:      rhs,
 			})
@@ -534,7 +537,7 @@ func (p *parser) parseTernary() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CondExpr{exprBase: exprBase{Line: cond.Pos()}, Cond: cond, Then: then, Else: els}, nil
+	return &CondExpr{exprBase: exprBase{Line: cond.Pos(), Col: cond.Column()}, Cond: cond, Then: then, Else: els}, nil
 }
 
 func (p *parser) parseBinary(minPrec int) (Expr, error) {
@@ -556,7 +559,7 @@ func (p *parser) parseBinary(minPrec int) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lhs = &BinaryExpr{exprBase: exprBase{Line: tok.Line}, Op: tok.Text, X: lhs, Y: rhs}
+		lhs = &BinaryExpr{exprBase: exprBase{Line: lhs.Pos(), Col: lhs.Column()}, Op: tok.Text, X: lhs, Y: rhs}
 	}
 }
 
@@ -573,7 +576,7 @@ func (p *parser) parseUnary() (Expr, error) {
 			if tok.Text == "+" {
 				return x, nil
 			}
-			return &UnaryExpr{exprBase: exprBase{Line: tok.Line}, Op: tok.Text, X: x}, nil
+			return &UnaryExpr{exprBase: exprBase{Line: tok.Line, Col: tok.Col}, Op: tok.Text, X: x}, nil
 		}
 	}
 	return p.parsePostfix()
@@ -599,7 +602,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 				return nil, errf(x.Pos(), "only named arrays can be indexed")
 			}
 			x = &IndexExpr{
-				exprBase: exprBase{Line: id.Line},
+				exprBase: exprBase{Line: id.Line, Col: id.Col},
 				Array:    &VarDecl{Name: id.Name, Line: id.Line}, // resolved by sema
 				Index:    idx,
 			}
@@ -608,7 +611,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 			if !ok {
 				return nil, errf(x.Pos(), "only builtin functions can be called")
 			}
-			call := &CallExpr{exprBase: exprBase{Line: id.Line}, Name: id.Name}
+			call := &CallExpr{exprBase: exprBase{Line: id.Line, Col: id.Col}, Name: id.Name}
 			if !p.accept(")") {
 				for {
 					arg, err := p.parseExpr()
@@ -641,20 +644,20 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if err != nil {
 			return nil, errf(tok.Line, "bad integer literal %q", tok.Text)
 		}
-		return &NumLit{exprBase: exprBase{Line: tok.Line}, I: v}, nil
+		return &NumLit{exprBase: exprBase{Line: tok.Line, Col: tok.Col}, I: v}, nil
 	case TokFloat:
 		p.pos++
 		v, err := strconv.ParseFloat(tok.Text, 64)
 		if err != nil {
 			return nil, errf(tok.Line, "bad float literal %q", tok.Text)
 		}
-		return &NumLit{exprBase: exprBase{Line: tok.Line}, IsFloat: true, F: v}, nil
+		return &NumLit{exprBase: exprBase{Line: tok.Line, Col: tok.Col}, IsFloat: true, F: v}, nil
 	case TokIdent:
 		if IsKeyword(tok.Text) {
 			return nil, errf(tok.Line, "unexpected keyword %q in expression", tok.Text)
 		}
 		p.pos++
-		return &Ident{exprBase: exprBase{Line: tok.Line}, Name: tok.Text}, nil
+		return &Ident{exprBase: exprBase{Line: tok.Line, Col: tok.Col}, Name: tok.Text}, nil
 	case TokPunct:
 		if tok.Text == "(" {
 			p.pos++
@@ -668,7 +671,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				return &CastExpr{exprBase: exprBase{Line: tok.Line}, To: t, X: x}, nil
+				return &CastExpr{exprBase: exprBase{Line: tok.Line, Col: tok.Col}, To: t, X: x}, nil
 			}
 			x, err := p.parseExpr()
 			if err != nil {

@@ -46,6 +46,9 @@ type LocalSpec struct {
 	// typed, functions of the induction variable).
 	Lower, Upper Expr
 	Line         int
+	// Col is the source column of the localaccess clause and ClauseCol
+	// the column of its stride()/bounds() clause (0 when unknown).
+	Col, ClauseCol int
 }
 
 // ReduceSpec is a semantically resolved reductiontoarray directive.
@@ -334,7 +337,7 @@ func (sa *sema) localSpec(la acc.LocalAccess) (*LocalSpec, error) {
 	if !decl.IsArray {
 		return nil, errf(la.Line, "localaccess(%s): %q is not an array", la.Array, la.Array)
 	}
-	spec := &LocalSpec{Array: decl, HasStride: la.HasStride, Line: la.Line}
+	spec := &LocalSpec{Array: decl, HasStride: la.HasStride, Line: la.Line, Col: la.Col, ClauseCol: la.ClauseCol}
 	parse := func(text string) (Expr, error) {
 		e, err := ParseExprString(text, la.Line, sa.scope)
 		if err != nil {

@@ -28,11 +28,15 @@ const (
 	TokPragma
 )
 
-// Token is one lexical token with its source line.
+// Token is one lexical token with its source line and column
+// (1-based). For TokPragma the column is where the directive body
+// starts (after "#pragma"), so clause positions inside the directive
+// can be reported precisely.
 type Token struct {
 	Kind TokKind
 	Text string
 	Line int
+	Col  int
 }
 
 func (t Token) String() string {

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"accmulti/internal/analysis"
 	"accmulti/internal/audit"
 	"accmulti/internal/cc"
 	"accmulti/internal/ir"
@@ -20,6 +21,8 @@ import (
 type Program struct {
 	// Module is the executable translation.
 	Module *ir.Module
+	// Source is the type-checked AST the module was translated from.
+	Source *cc.Program
 }
 
 // Compile parses, analyzes and translates OpenACC C source.
@@ -32,11 +35,15 @@ func Compile(source string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Module: mod}, nil
+	return &Program{Module: mod, Source: prog}, nil
 }
 
 // GeneratedSource returns the translator's CUDA-like output.
 func (p *Program) GeneratedSource() string { return p.Module.GeneratedSource }
+
+// Vet runs the accvet directive-verification pass over the compiled
+// program, returning its diagnostics and footprint-safety verdicts.
+func (p *Program) Vet() (*analysis.Result, error) { return analysis.Vet(p.Source) }
 
 // Config selects the platform and runtime behaviour of one run.
 type Config struct {

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Every program shipped under examples/ carries a golden .diag file
+// holding exactly what `accc -vet` prints for it (empty for clean
+// programs). The examples/vet directory additionally serves as the
+// diagnostic showcase: across its programs every ACCV code must occur.
+
+func TestVetGoldenDiagnostics(t *testing.T) {
+	dirs := []string{
+		filepath.Join("..", "..", "examples", "testdata"),
+		filepath.Join("..", "..", "examples", "vet"),
+	}
+	codes := map[string]bool{}
+	checked := 0
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".c") {
+				continue
+			}
+			checked++
+			path := filepath.Join(dir, e.Name())
+			t.Run(e.Name(), func(t *testing.T) {
+				src, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				golden, err := os.ReadFile(strings.TrimSuffix(path, ".c") + ".diag")
+				if err != nil {
+					t.Fatalf("every example needs a golden .diag file: %v", err)
+				}
+				prog, err := Compile(string(src))
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				res, err := prog.Vet()
+				if err != nil {
+					t.Fatalf("vet: %v", err)
+				}
+				got := res.Diags.Format(e.Name())
+				if got != string(golden) {
+					t.Errorf("diagnostics changed.\n--- got ---\n%s--- want ---\n%s", got, golden)
+				}
+				for _, d := range res.Diags {
+					codes[d.Code] = true
+				}
+			})
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d example programs checked; the example set shrank", checked)
+	}
+	for _, code := range []string{"ACCV001", "ACCV002", "ACCV003", "ACCV004", "ACCV005", "ACCV006", "ACCV007"} {
+		if !codes[code] {
+			t.Errorf("no example under examples/ exercises %s", code)
+		}
+	}
+}

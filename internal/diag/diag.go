@@ -1,0 +1,137 @@
+// Package diag is the structured-diagnostics layer of the compiler's
+// verification passes: each finding carries a severity, a stable
+// machine-readable code, a source position, a human message and an
+// optional paste-able fix-it suggestion. The vet pass (internal/analysis)
+// produces diag.Lists; cmd/accc and cmd/accrun render them.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+const (
+	// Info reports something worth knowing that needs no action, such
+	// as a predicted inter-GPU exchange.
+	Info Severity = iota
+	// Warning reports a likely performance problem or a risky pattern
+	// that is still correct.
+	Warning
+	// Error reports a correctness problem; accc -vet exits nonzero.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Severity Severity
+	// Code is the stable machine-readable identifier (e.g. "ACCV001").
+	Code string
+	// Line and Col locate the finding (1-based; Col 0 when unknown).
+	Line, Col int
+	// Message is the human-readable description.
+	Message string
+	// FixIt, when non-empty, is replacement or insertion text the user
+	// can paste verbatim (e.g. a corrected pragma line).
+	FixIt string
+}
+
+// String renders the diagnostic in the canonical one-line format
+// `line:col: severity: message [CODE]`, followed by an indented
+// `fix-it:` line when a suggestion is attached.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.Col > 0 {
+		fmt.Fprintf(&b, "%d:%d: ", d.Line, d.Col)
+	} else {
+		fmt.Fprintf(&b, "%d: ", d.Line)
+	}
+	fmt.Fprintf(&b, "%s: %s [%s]", d.Severity, d.Message, d.Code)
+	if d.FixIt != "" {
+		fmt.Fprintf(&b, "\n    fix-it: %s", d.FixIt)
+	}
+	return b.String()
+}
+
+// List is an ordered collection of diagnostics.
+type List []Diagnostic
+
+// Add appends a diagnostic.
+func (l *List) Add(d Diagnostic) { *l = append(*l, d) }
+
+// Sort orders diagnostics by line, column, severity (most severe
+// first at equal positions), then code, giving deterministic output.
+func (l List) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i], l[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.Code < b.Code
+	})
+}
+
+// HasErrors reports whether any diagnostic is an Error.
+func (l List) HasErrors() bool {
+	for _, d := range l {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns how many diagnostics have the given severity.
+func (l List) Count(s Severity) int {
+	n := 0
+	for _, d := range l {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// ByCode returns the diagnostics carrying the given code.
+func (l List) ByCode(code string) List {
+	var out List
+	for _, d := range l {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders the list for terminal output, prefixing every line
+// with the given file name (usually the base name, keeping golden
+// files location independent). The list should be sorted first.
+func (l List) Format(file string) string {
+	var b strings.Builder
+	for _, d := range l {
+		fmt.Fprintf(&b, "%s:%s\n", file, d.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Severity: Error,
+		Code:     "ACCV001",
+		Line:     12,
+		Col:      34,
+		Message:  "declared footprint is too narrow",
+	}
+	got := d.String()
+	want := "12:34: error: declared footprint is too narrow [ACCV001]"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+
+	d.FixIt = "#pragma acc localaccess(a) stride(1, 1, 1)"
+	got = d.String()
+	if !strings.Contains(got, "\n    fix-it: #pragma acc localaccess(a) stride(1, 1, 1)") {
+		t.Errorf("fix-it missing: %q", got)
+	}
+
+	noCol := Diagnostic{Severity: Info, Code: "ACCV007", Line: 5, Message: "halo exchange"}
+	if got := noCol.String(); got != "5: info: halo exchange [ACCV007]" {
+		t.Errorf("no-col String() = %q", got)
+	}
+}
+
+func TestListSortAndQueries(t *testing.T) {
+	l := List{
+		{Severity: Info, Code: "ACCV007", Line: 9, Col: 1},
+		{Severity: Error, Code: "ACCV001", Line: 3, Col: 20},
+		{Severity: Warning, Code: "ACCV002", Line: 3, Col: 20},
+		{Severity: Error, Code: "ACCV005", Line: 3, Col: 4},
+	}
+	l.Sort()
+	wantOrder := []string{"ACCV005", "ACCV001", "ACCV002", "ACCV007"}
+	for i, code := range wantOrder {
+		if l[i].Code != code {
+			t.Fatalf("order[%d] = %s, want %s (full: %+v)", i, l[i].Code, code, l)
+		}
+	}
+	if !l.HasErrors() {
+		t.Error("HasErrors() = false")
+	}
+	if n := l.Count(Error); n != 2 {
+		t.Errorf("Count(Error) = %d", n)
+	}
+	if got := l.ByCode("ACCV002"); len(got) != 1 || got[0].Line != 3 {
+		t.Errorf("ByCode = %+v", got)
+	}
+	if (List{{Severity: Warning}}).HasErrors() {
+		t.Error("warnings are not errors")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	l := List{
+		{Severity: Warning, Code: "ACCV002", Line: 7, Col: 2, Message: "wider than needed", FixIt: "stride(1)"},
+	}
+	got := l.Format("x.c")
+	want := "x.c:7:2: warning: wider than needed [ACCV002]\n    fix-it: stride(1)\n"
+	if got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}

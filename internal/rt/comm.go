@@ -1,6 +1,8 @@
 package rt
 
 import (
+	"fmt"
+
 	"accmulti/internal/cc"
 	"accmulti/internal/ir"
 	"accmulti/internal/sim"
@@ -23,7 +25,16 @@ func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partia
 		case use.Written:
 			if r.distributed(use) {
 				p2p = append(p2p, r.deliverMisses(st, gpus)...)
-				p2p = append(p2p, r.syncOverlaps(st, gpus)...)
+				halo := r.syncOverlaps(st, gpus)
+				if len(halo) > 0 {
+					var bytes int64
+					for _, t := range halo {
+						bytes += t.Bytes
+					}
+					r.addEvent("halo-exchange", fmt.Sprintf(
+						"kernel %s: array %s, %d transfer(s), %d bytes", k.Name, use.Decl.Name, len(halo), bytes))
+				}
+				p2p = append(p2p, halo...)
 			} else {
 				p2p = append(p2p, r.syncReplicated(st, gpus)...)
 			}

@@ -274,17 +274,18 @@ type Report struct {
 	TransferRetries int
 	// Fallbacks counts OOM degradation-ladder steps taken.
 	Fallbacks int
-	// Events records every fault-handling action (transfer retries,
-	// placement fallbacks, GPU-count reductions) in occurrence order.
+	// Events records every notable runtime action — fault handling
+	// (transfer retries, placement fallbacks, GPU-count reductions) and
+	// inter-GPU halo exchanges — in occurrence order.
 	Events []Event
 }
 
-// Event is one recorded fault-handling action.
+// Event is one recorded runtime action.
 type Event struct {
 	// Time is the simulated clock when the action was taken.
 	Time time.Duration
-	// Kind classifies the action: "transfer-retry", "oom-fallback" or
-	// "oom-giveup".
+	// Kind classifies the action: "transfer-retry", "transfer-giveup",
+	// "oom-fallback", "oom-giveup" or "halo-exchange".
 	Kind string
 	// Detail is a human-readable description.
 	Detail string

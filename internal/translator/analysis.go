@@ -25,6 +25,18 @@ type accessInfo struct {
 	sawRead      bool
 	writesAffine bool // all write indices literal-affine in the loop var
 	writeCoeffs  []affineForm
+	// reads/writes/reduces record every individual subscript with its
+	// classification, in body order, for the vet pass.
+	reads, writes, reduces []indexAccess
+}
+
+// indexAccess is one observed subscript of an array.
+type indexAccess struct {
+	ref      *cc.IndexExpr
+	op       string // assignment operator for writes/reduces, "" for reads
+	form     affineForm
+	affine   bool // function of the induction variable and invariants only
+	indirect bool // data dependent (goes through another array load)
 }
 
 // affineForm is index = A*i + C with literal A and C.
@@ -205,16 +217,18 @@ func (a *analyzer) assign(st *cc.AssignStmt) {
 		if st.Reduce != nil {
 			in.reduced = true
 			in.redOp = st.Reduce.Op
+			in.reduces = append(in.reduces, a.classify(lhs, st.Op))
 			return
 		}
 		in.written = true
 		if st.Op != "=" {
 			// Compound assignment reads the old value.
-			a.classifyRead(in, lhs.Index)
+			a.classifyRead(in, lhs)
 		}
-		form := a.literalAffine(lhs.Index)
-		in.writeCoeffs = append(in.writeCoeffs, form)
-		if !form.OK {
+		w := a.classify(lhs, st.Op)
+		in.writes = append(in.writes, w)
+		in.writeCoeffs = append(in.writeCoeffs, w.form)
+		if !w.form.OK {
 			in.writesAffine = false
 		}
 	}
@@ -225,7 +239,7 @@ func (a *analyzer) rvalue(e cc.Expr) {
 	switch x := e.(type) {
 	case *cc.IndexExpr:
 		a.rvalue(x.Index)
-		a.classifyRead(a.info(x.Array), x.Index)
+		a.classifyRead(a.info(x.Array), x)
 	case *cc.BinaryExpr:
 		a.rvalue(x.X)
 		a.rvalue(x.Y)
@@ -244,17 +258,28 @@ func (a *analyzer) rvalue(e cc.Expr) {
 	}
 }
 
-func (a *analyzer) classifyRead(in *accessInfo, idx cc.Expr) {
+func (a *analyzer) classifyRead(in *accessInfo, ref *cc.IndexExpr) {
 	in.read = true
 	in.sawRead = true
-	if a.dataDependent(idx) {
+	r := a.classify(ref, "")
+	in.reads = append(in.reads, r)
+	if r.indirect {
 		in.indirectRead = true
 		in.affineRead = false
 		return
 	}
-	if !a.isAffine(idx) {
+	if !r.affine {
 		in.affineRead = false
 	}
+}
+
+// classify records one subscript with every classification the vet pass
+// and the translator need.
+func (a *analyzer) classify(ref *cc.IndexExpr, op string) indexAccess {
+	out := indexAccess{ref: ref, op: op, form: a.literalAffine(ref.Index)}
+	out.indirect = a.dataDependent(ref.Index)
+	out.affine = !out.indirect && a.isAffine(ref.Index)
+	return out
 }
 
 // mentionsArray reports whether the expression loads any array.
@@ -312,22 +337,26 @@ func (a *analyzer) isAffine(e cc.Expr) bool {
 	return ok
 }
 
+func (a *analyzer) literalAffine(e cc.Expr) affineForm {
+	return literalAffine(e, a.loopVar)
+}
+
 // literalAffine recognizes index expressions of the form A*i + C with
 // integer literal A and C (the conservative pattern used to elide
 // write-miss checks, paper §IV-D2).
-func (a *analyzer) literalAffine(e cc.Expr) affineForm {
+func literalAffine(e cc.Expr, loopVar *cc.VarDecl) affineForm {
 	switch x := e.(type) {
 	case *cc.NumLit:
 		if !x.IsFloat {
 			return affineForm{A: 0, C: x.I, OK: true}
 		}
 	case *cc.Ident:
-		if x.Decl == a.loopVar {
+		if x.Decl == loopVar {
 			return affineForm{A: 1, C: 0, OK: true}
 		}
 	case *cc.BinaryExpr:
-		l := a.literalAffine(x.X)
-		r := a.literalAffine(x.Y)
+		l := literalAffine(x.X, loopVar)
+		r := literalAffine(x.Y, loopVar)
 		if !l.OK || !r.OK {
 			return affineForm{}
 		}

@@ -1,0 +1,269 @@
+package translator
+
+// The vet pass (internal/analysis) and tests consume the translator's
+// access analysis through the exported types in this file, instead of
+// re-deriving footprints from the AST. AnalyzeProgram is read-only: it
+// never mutates the program or allocates environment slots, so it can
+// run on programs that will also be translated and executed.
+
+import (
+	"fmt"
+
+	"accmulti/internal/acc"
+	"accmulti/internal/cc"
+)
+
+// IndexForm describes one array subscript observed in a kernel body,
+// classified the same way the translator classifies it when building
+// array configuration information.
+type IndexForm struct {
+	// Line and Col locate the access (the array name) in the source.
+	Line, Col int
+	// Src is the whole access rendered as C, e.g. "a[2*i + 1]".
+	Src string
+	// Op is the assignment operator for writes and reductions
+	// ("=", "+=", ...); it is empty for reads.
+	Op string
+	// Affine reports that the subscript is a function of the induction
+	// variable and loop invariants only (no array loads, no scalars
+	// assigned in the body).
+	Affine bool
+	// Literal reports that the subscript is Coef*i + Off with integer
+	// literal coefficients; only then are Coef and Off meaningful.
+	Literal   bool
+	Coef, Off int64
+	// Indirect reports a data-dependent subscript (the index goes
+	// through another array load, as in pos[nbr[j]]).
+	Indirect bool
+}
+
+// ArrayFootprint is the inferred access summary of one (loop, array)
+// pair, together with the localaccess directive covering it, if any.
+type ArrayFootprint struct {
+	Array *cc.VarDecl
+	// Read/Written/Reduced classify the roles the loop body uses the
+	// array in. ReduceOp is the reductiontoarray operator when Reduced.
+	Read, Written, Reduced bool
+	ReduceOp               string
+	// AffineRead reports that every read subscript is affine;
+	// IndirectRead that at least one read is data dependent.
+	AffineRead, IndirectRead bool
+	// Reads, Writes and Reduces record each subscript in body order.
+	Reads, Writes, Reduces []IndexForm
+	// Spec is the resolved localaccess directive naming this array on
+	// this loop, or nil if there is none.
+	Spec *cc.LocalSpec
+}
+
+// LoopAccess describes one parallel loop and its per-array footprints.
+type LoopAccess struct {
+	// Line is the loop's source line.
+	Line int
+	// LoopVar is the induction variable the footprints are expressed
+	// over. For a collapse(2) loop it is the synthesized flat index
+	// (Slot -1: the variable exists for identity only).
+	LoopVar *cc.VarDecl
+	// Collapsed marks a collapse(2) loop; its original induction
+	// variables classify as body locals, so subscripts over them are
+	// deliberately non-affine.
+	Collapsed bool
+	// For is the loop statement itself.
+	For *cc.ForStmt
+	// Region is the innermost enclosing data region, nil at top level.
+	Region *RegionInfo
+	// Arrays lists the footprints in declaration (slot) order.
+	Arrays []*ArrayFootprint
+}
+
+// Footprint returns the footprint of one array, if the loop touches it.
+func (l *LoopAccess) Footprint(d *cc.VarDecl) *ArrayFootprint {
+	for _, fp := range l.Arrays {
+		if fp.Array == d {
+			return fp
+		}
+	}
+	return nil
+}
+
+// RegionInfo is one structured data region.
+type RegionInfo struct {
+	// Line is the source line of the data directive.
+	Line int
+	// Parent is the enclosing region, nil for outermost regions.
+	Parent *RegionInfo
+	// Args are the region's data clauses in source order.
+	Args []RegionArg
+}
+
+// RegionArg is one array named in a data clause.
+type RegionArg struct {
+	Decl  *cc.VarDecl
+	Class acc.DataClass
+}
+
+// ProgramAccess is the whole-program access analysis.
+type ProgramAccess struct {
+	Prog *cc.Program
+	// Loops are the parallel loops in source order.
+	Loops []*LoopAccess
+	// Regions are the data regions in source order (outermost first
+	// among nested ones).
+	Regions []*RegionInfo
+}
+
+// AnalyzeProgram runs the translator's kernel access analysis over
+// every parallel loop of an analyzed program and returns the inferred
+// footprints in exported form. It fails on loops the translator would
+// reject (non-canonical form, imperfect collapse nests).
+func AnalyzeProgram(prog *cc.Program) (*ProgramAccess, error) {
+	pa := &ProgramAccess{Prog: prog}
+	if err := pa.walk(prog.Main.Body, nil); err != nil {
+		return nil, err
+	}
+	return pa, nil
+}
+
+func (pa *ProgramAccess) walk(s cc.Stmt, region *RegionInfo) error {
+	switch st := s.(type) {
+	case *cc.Block:
+		if st.Data != nil {
+			args, err := st.Data.DataArgs()
+			if err != nil {
+				return err
+			}
+			r := &RegionInfo{Line: st.Data.Line, Parent: region}
+			for _, a := range args {
+				r.Args = append(r.Args, RegionArg{Decl: pa.Prog.Scope[a.Array], Class: a.Class})
+			}
+			pa.Regions = append(pa.Regions, r)
+			region = r
+		}
+		for _, sub := range st.Stmts {
+			if err := pa.walk(sub, region); err != nil {
+				return err
+			}
+		}
+	case *cc.IfStmt:
+		if err := pa.walk(st.Then, region); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return pa.walk(st.Else, region)
+		}
+	case *cc.WhileStmt:
+		return pa.walk(st.Body, region)
+	case *cc.ForStmt:
+		if st.Parallel != nil {
+			loop, err := loopAccess(st, region)
+			if err != nil {
+				return err
+			}
+			pa.Loops = append(pa.Loops, loop)
+			return nil
+		}
+		return pa.walk(st.Body, region)
+	}
+	return nil
+}
+
+// loopAccess analyzes one parallel loop, mirroring the loop-shape
+// handling of buildKernel/buildCollapsedKernel without mutating the
+// program.
+func loopAccess(st *cc.ForStmt, region *RegionInfo) (*LoopAccess, error) {
+	var (
+		loopVar   *cc.VarDecl
+		infos     map[*cc.VarDecl]*accessInfo
+		collapsed bool
+	)
+	if hasCollapse2(st.Parallel) {
+		outerVar, _, _, err := canonicalLoop(st)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := soleNestedFor(st.Body)
+		if err != nil {
+			return nil, fmt.Errorf("translator: line %d: collapse(2): %w", st.Line, err)
+		}
+		innerVar, _, _, err := canonicalLoop(inner)
+		if err != nil {
+			return nil, err
+		}
+		loopVar = &cc.VarDecl{
+			Name: fmt.Sprintf("__flat_L%d", st.Line),
+			Type: cc.TInt,
+			Slot: -1,
+			Line: st.Line,
+		}
+		infos = analyzeKernelBody(inner.Body, loopVar, outerVar, innerVar)
+		collapsed = true
+	} else {
+		var err error
+		loopVar, _, _, err = canonicalLoop(st)
+		if err != nil {
+			return nil, err
+		}
+		infos = analyzeKernelBody(st.Body, loopVar)
+	}
+
+	loop := &LoopAccess{
+		Line:      st.Line,
+		LoopVar:   loopVar,
+		Collapsed: collapsed,
+		For:       st,
+		Region:    region,
+	}
+	specs := map[*cc.VarDecl]*cc.LocalSpec{}
+	for _, sp := range st.Specs {
+		if _, dup := specs[sp.Array]; !dup {
+			specs[sp.Array] = sp
+		}
+	}
+	for _, d := range sortedDecls(infos) {
+		in := infos[d]
+		loop.Arrays = append(loop.Arrays, &ArrayFootprint{
+			Array:        d,
+			Read:         in.read,
+			Written:      in.written,
+			Reduced:      in.reduced,
+			ReduceOp:     in.redOp,
+			AffineRead:   in.sawRead && in.affineRead,
+			IndirectRead: in.indirectRead,
+			Reads:        indexForms(in.reads),
+			Writes:       indexForms(in.writes),
+			Reduces:      indexForms(in.reduces),
+			Spec:         specs[d],
+		})
+	}
+	return loop, nil
+}
+
+func indexForms(list []indexAccess) []IndexForm {
+	var out []IndexForm
+	for _, x := range list {
+		out = append(out, IndexForm{
+			Line:     x.ref.Pos(),
+			Col:      x.ref.Column(),
+			Src:      ExprString(x.ref),
+			Op:       x.op,
+			Affine:   x.affine,
+			Literal:  x.form.OK,
+			Coef:     x.form.A,
+			Off:      x.form.C,
+			Indirect: x.indirect,
+		})
+	}
+	return out
+}
+
+// ExprString renders an expression as C source text.
+func ExprString(e cc.Expr) string { return exprC(e, nil) }
+
+// LiteralAffine reports whether e is coef*loopVar + off with integer
+// literal coefficients, the affine pattern the verifier reasons about.
+func LiteralAffine(e cc.Expr, loopVar *cc.VarDecl) (coef, off int64, ok bool) {
+	f := literalAffine(e, loopVar)
+	return f.A, f.C, f.OK
+}
+
+// LiteralInt extracts an integer literal from an expression.
+func LiteralInt(e cc.Expr) (int64, bool) { return litInt(e) }

@@ -1,0 +1,147 @@
+package translator
+
+import (
+	"strings"
+	"testing"
+
+	"accmulti/internal/cc"
+)
+
+const footprintSrc = `int n;
+float a[n];
+float b[n];
+int idx[n];
+float c[n];
+
+void main() {
+    int i;
+    #pragma acc data copy(a, b) copyin(idx, c)
+    {
+        #pragma acc parallel loop
+        #pragma acc localaccess(a) stride(1)
+        for (i = 0; i < n; i++) {
+            a[i] = b[i + 1] + c[idx[i]];
+        }
+    }
+}
+`
+
+func TestAnalyzeProgramFootprints(t *testing.T) {
+	prog, err := cc.ParseProgram(footprintSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := AnalyzeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pa.Loops) != 1 || len(pa.Regions) != 1 {
+		t.Fatalf("got %d loops, %d regions; want 1, 1", len(pa.Loops), len(pa.Regions))
+	}
+	loop := pa.Loops[0]
+	if loop.Line != 13 || loop.Region != pa.Regions[0] || loop.Collapsed {
+		t.Fatalf("loop = %+v", loop)
+	}
+	if loop.LoopVar == nil || loop.LoopVar.Name != "i" {
+		t.Fatalf("LoopVar = %+v", loop.LoopVar)
+	}
+	if len(loop.Region.Args) != 4 {
+		t.Fatalf("region args = %+v", loop.Region.Args)
+	}
+
+	a := loop.Footprint(prog.Scope["a"])
+	if a == nil || !a.Written || a.Read || a.Spec == nil || !a.Spec.HasStride {
+		t.Fatalf("a = %+v", a)
+	}
+	if len(a.Writes) != 1 {
+		t.Fatalf("a.Writes = %+v", a.Writes)
+	}
+	w := a.Writes[0]
+	if w.Src != "a[i]" || w.Op != "=" || !w.Literal || w.Coef != 1 || w.Off != 0 || w.Line != 14 {
+		t.Fatalf("a write = %+v", w)
+	}
+
+	fb := loop.Footprint(prog.Scope["b"])
+	if fb == nil || !fb.Read || fb.Written || fb.Spec != nil || !fb.AffineRead {
+		t.Fatalf("b = %+v", fb)
+	}
+	r := fb.Reads[0]
+	if r.Src != "b[(i + 1)]" || r.Op != "" || !r.Literal || r.Coef != 1 || r.Off != 1 {
+		t.Fatalf("b read = %+v", r)
+	}
+	if r.Col == 0 {
+		t.Fatal("b read lost its column")
+	}
+
+	fc := loop.Footprint(prog.Scope["c"])
+	if fc == nil || !fc.IndirectRead || fc.AffineRead {
+		t.Fatalf("c = %+v", fc)
+	}
+	if len(fc.Reads) != 1 || !fc.Reads[0].Indirect || fc.Reads[0].Literal {
+		t.Fatalf("c reads = %+v", fc.Reads)
+	}
+
+	fidx := loop.Footprint(prog.Scope["idx"])
+	if fidx == nil || !fidx.AffineRead || fidx.IndirectRead {
+		t.Fatalf("idx = %+v", fidx)
+	}
+}
+
+func TestAnalyzeProgramCollapse(t *testing.T) {
+	src := `int n;
+float g[n*n];
+
+void main() {
+    int i, j;
+    #pragma acc parallel loop collapse(2)
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            g[i*n + j] = 1.0;
+        }
+    }
+}
+`
+	prog, err := cc.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := prog.NumInts
+	pa, err := AnalyzeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.NumInts != slots {
+		t.Fatalf("AnalyzeProgram grew the int table: %d -> %d", slots, prog.NumInts)
+	}
+	loop := pa.Loops[0]
+	if !loop.Collapsed || loop.LoopVar.Slot != -1 {
+		t.Fatalf("loop = %+v var = %+v", loop, loop.LoopVar)
+	}
+	g := loop.Footprint(prog.Scope["g"])
+	if g == nil || !g.Written {
+		t.Fatalf("g = %+v", g)
+	}
+	// The original induction variables are body locals of the flat
+	// loop, so the subscript must classify as non-affine.
+	if g.Writes[0].Affine || g.Writes[0].Literal {
+		t.Fatalf("collapsed write should be conservative: %+v", g.Writes[0])
+	}
+}
+
+func TestExprStringRoundTrips(t *testing.T) {
+	prog, err := cc.ParseProgram(footprintSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := AnalyzeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range pa.Loops[0].Arrays {
+		for _, r := range append(fp.Reads, fp.Writes...) {
+			if r.Src == "" || strings.Contains(r.Src, "/*?*/") {
+				t.Errorf("%s: unrenderable access %+v", fp.Array.Name, r)
+			}
+		}
+	}
+}
