@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench eval eval-json examples clean check fuzz-smoke accvet
+.PHONY: all build vet test test-short cover bench bench-quick bench-baseline eval eval-json examples clean check fuzz-smoke accvet
 
 all: build vet test
 
@@ -16,6 +16,7 @@ all: build vet test
 check: vet
 	$(GO) test ./...
 	$(GO) test -race -short -timeout 1200s ./...
+	$(MAKE) bench-quick
 	$(MAKE) accvet
 	$(MAKE) fuzz-smoke
 
@@ -51,6 +52,22 @@ cover:
 # The full benchmark matrix as testing.B benches (one per table/figure).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-quick is the host-performance regression gate: the steady-state
+# allocation-budget assertions plus one iteration of each wall-clock
+# gate benchmark (legacy-vs-optimized loader, replicated-write diff,
+# plan resolution). Cheap enough to run in every `make check`.
+bench-quick:
+	$(GO) test -run 'TestSteadyStateAllocBudget' \
+		-bench 'BenchmarkIteratedStencilLoader|BenchmarkReplicatedWriteDiff|BenchmarkLaunchPlanResolve' \
+		-benchtime=1x -benchmem ./internal/rt
+
+# bench-baseline regenerates the committed wall-clock baseline
+# (BENCH_PR3.json): end-to-end elapsed-time measurements with the host
+# optimizations on vs off, with result verification and the
+# report-invariance bit asserted per workload.
+bench-baseline:
+	$(GO) run ./cmd/accbench -json -verify wallclock > BENCH_PR3.json
 
 # Regenerate the paper's evaluation (Tables I-II, Figs 7-9, ablations,
 # cluster study) with result verification.

@@ -5,17 +5,26 @@
 //
 //	accbench [-scale f] [-apps MD,KMEANS,BFS] [-verify] [-seed n] [targets...]
 //
-// Targets: table1 table2 fig7 fig8 fig9 ablations cluster all (default: all).
+// Targets: table1 table2 fig7 fig8 fig9 ablations cluster wallclock all
+// (default: all; wallclock is opt-in — it measures real elapsed host
+// time, not simulated time, so it only runs when asked for).
 // -scale multiplies the per-app default benchmark scales (fractions of
 // the paper's input sizes chosen so the functional simulation finishes
 // in minutes); -scale with appname=frac pairs in -appscale pins exact
 // fractions.
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected
+// benchmark run for host-side performance work:
+//
+//	accbench -cpuprofile cpu.out fig7
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -24,14 +33,40 @@ import (
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 1.0, "multiplier on the per-app default bench scales")
-		appScale = flag.String("appscale", "", "per-app input fractions, e.g. MD=1.0,BFS=0.05")
-		appsFlag = flag.String("apps", "", "comma-separated subset of MD,KMEANS,BFS")
-		verify   = flag.Bool("verify", false, "verify every run against the Go references")
-		seed     = flag.Int64("seed", 0, "input generator seed (0 = default)")
-		jsonOut  = flag.Bool("json", false, "emit the selected sections as JSON instead of text")
+		scale      = flag.Float64("scale", 1.0, "multiplier on the per-app default bench scales")
+		appScale   = flag.String("appscale", "", "per-app input fractions, e.g. MD=1.0,BFS=0.05")
+		appsFlag   = flag.String("apps", "", "comma-separated subset of MD,KMEANS,BFS")
+		verify     = flag.Bool("verify", false, "verify every run against the Go references")
+		seed       = flag.Int64("seed", 0, "input generator seed (0 = default)")
+		jsonOut    = flag.Bool("json", false, "emit the selected sections as JSON instead of text")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Verify: *verify}
 	if *appsFlag != "" {
@@ -67,6 +102,7 @@ func main() {
 		table2    []bench.Table2Row
 		ablations []bench.AblationRow
 		cluster   []bench.ClusterRow
+		wallclock []bench.WallClockRow
 		err       error
 	)
 	if all || want["table2"] {
@@ -89,9 +125,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	if want["wallclock"] { // opt-in: measures real time, not simulated
+		if wallclock, err = bench.WallClock(cfg); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *jsonOut {
-		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster); err != nil {
+		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster, wallclock); err != nil {
 			fatal(err)
 		}
 		return
@@ -129,6 +170,10 @@ func main() {
 	}
 	if cluster != nil {
 		bench.RenderCluster(os.Stdout, cluster)
+		fmt.Println()
+	}
+	if wallclock != nil {
+		bench.RenderWallClock(os.Stdout, wallclock)
 	}
 }
 

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"accmulti/internal/apps"
+	"accmulti/internal/core"
+	"accmulti/internal/ir"
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+)
+
+// Wall-clock benchmark of the host-side performance layer (PR 3).
+// Unlike every other section of the evaluation, which reports
+// *simulated* time, this one measures real elapsed host time for
+// complete runs with the optimizations on (default) and off
+// (DisableHostParallel + DisablePlanCache), and asserts that the
+// simulated-time Report is bit-identical between the two — the
+// optimizations may only move wall clock, never results.
+
+// WallClockRow is one workload's measurement.
+type WallClockRow struct {
+	// Name identifies the workload ("MD", "STENCIL-REPL", ...).
+	Name string
+	// Desc summarizes the input.
+	Desc string
+	// Runs is the measurement repetition count (best-of).
+	Runs int
+	// OptimizedMS and SerialMS are best-of-Runs elapsed milliseconds
+	// with the host optimizations on and off.
+	OptimizedMS, SerialMS float64
+	// Speedup is SerialMS / OptimizedMS.
+	Speedup float64
+	// Invariant records that the two configurations produced
+	// bit-identical simulated-time Reports.
+	Invariant bool
+}
+
+// stencilReplSource is a synthetic iterated ping-pong stencil with *no*
+// localaccess directives: both arrays replicate across GPUs, so every
+// timestep exercises the dirty-bit diff (each GPU writes its partition
+// core), the loader, and the plan cache (the same two kernels relaunch
+// every step).
+const stencilReplSource = `
+int n, steps;
+float a[n], b[n];
+
+void main() {
+    int t, i;
+    #pragma acc data copy(a) create(b)
+    {
+        for (t = 0; t < steps; t++) {
+            #pragma acc parallel loop gang vector
+            for (i = 1; i < n - 1; i++) {
+                b[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+            }
+            #pragma acc parallel loop gang vector
+            for (i = 1; i < n - 1; i++) {
+                a[i] = b[i];
+            }
+        }
+    }
+}
+`
+
+// wallWorkload is one measurable end-to-end run.
+type wallWorkload struct {
+	name, desc string
+	run        func(opts rt.Options) (*rt.Report, error)
+}
+
+func stencilWorkload(spec sim.MachineSpec, n, steps int) (wallWorkload, error) {
+	prog, err := core.Compile(stencilReplSource)
+	if err != nil {
+		return wallWorkload{}, fmt.Errorf("bench: stencil-repl: %w", err)
+	}
+	return wallWorkload{
+		name: "STENCIL-REPL",
+		desc: fmt.Sprintf("%d cells x %d steps, replicated ping-pong", n, steps),
+		run: func(opts rt.Options) (*rt.Report, error) {
+			a := ir.NewHostArray(prog.Module.Prog.Scope["a"], int64(n))
+			for i := range a.F32 {
+				a.F32[i] = float32(i%97) * 0.25
+			}
+			b := ir.NewBindings().
+				SetScalar("n", float64(n)).SetScalar("steps", float64(steps)).
+				SetArray("a", a)
+			res, err := prog.Run(b, core.Config{Machine: spec, Options: opts})
+			if err != nil {
+				return nil, err
+			}
+			return res.Report, nil
+		},
+	}, nil
+}
+
+func appWorkload(cfg Config, name string, spec sim.MachineSpec) (wallWorkload, error) {
+	app, err := apps.ByName(name)
+	if err != nil {
+		return wallWorkload{}, err
+	}
+	prog, err := core.Compile(app.Source)
+	if err != nil {
+		return wallWorkload{}, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	scale := cfg.scaleFor(name)
+	return wallWorkload{
+		name: name,
+		run: func(opts rt.Options) (*rt.Report, error) {
+			in, err := app.Generate(scale, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := prog.Run(in.Bindings, core.Config{Machine: spec, Options: opts})
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Verify {
+				if err := in.Verify(res.Instance); err != nil {
+					return nil, fmt.Errorf("bench: %s: %w", name, err)
+				}
+			}
+			return res.Report, nil
+		},
+	}, nil
+}
+
+// WallClock measures every workload under both configurations,
+// best-of-3, and checks report invariance.
+func WallClock(cfg Config) ([]WallClockRow, error) {
+	cfg = cfg.withDefaults()
+	spec := sim.Desktop() // 4 GPUs: the multi-GPU host paths all engage
+	var loads []wallWorkload
+	st, err := stencilWorkload(spec, int(1<<20*cfg.Scale), 8)
+	if err != nil {
+		return nil, err
+	}
+	loads = append(loads, st)
+	for _, name := range cfg.Apps {
+		wl, err := appWorkload(cfg, name, spec)
+		if err != nil {
+			return nil, err
+		}
+		wl.desc = "paper app, desktop scale"
+		loads = append(loads, wl)
+	}
+
+	serialOpts := rt.Options{DisableHostParallel: true, DisablePlanCache: true}
+	const runs = 3
+	var rows []WallClockRow
+	for _, wl := range loads {
+		best := func(opts rt.Options) (float64, *rt.Report, error) {
+			bestMS := 0.0
+			var rep *rt.Report
+			for i := 0; i < runs; i++ {
+				start := time.Now()
+				r, err := wl.run(opts)
+				ms := float64(time.Since(start)) / float64(time.Millisecond)
+				if err != nil {
+					return 0, nil, fmt.Errorf("bench: %s: %w", wl.name, err)
+				}
+				if rep == nil || ms < bestMS {
+					bestMS = ms
+				}
+				rep = r
+			}
+			return bestMS, rep, nil
+		}
+		optMS, optRep, err := best(rt.Options{})
+		if err != nil {
+			return nil, err
+		}
+		serMS, serRep, err := best(serialOpts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WallClockRow{
+			Name: wl.name, Desc: wl.desc, Runs: runs,
+			OptimizedMS: optMS, SerialMS: serMS,
+			Speedup:   serMS / optMS,
+			Invariant: reflect.DeepEqual(optRep, serRep),
+		})
+	}
+	return rows, nil
+}
+
+// RenderWallClock prints the wall-clock section as text.
+func RenderWallClock(w io.Writer, rows []WallClockRow) {
+	fmt.Fprintln(w, "Host wall-clock (real elapsed time; simulated-time reports bit-identical)")
+	fmt.Fprintf(w, "  %-14s %10s %10s %8s  %s\n", "workload", "serial ms", "opt ms", "speedup", "invariant")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %10.1f %10.1f %7.2fx  %v\n",
+			r.Name, r.SerialMS, r.OptimizedMS, r.Speedup, r.Invariant)
+	}
+}

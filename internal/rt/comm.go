@@ -15,7 +15,7 @@ import (
 // hierarchical (intra- then inter-GPU) reductions.
 
 func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partials [][]float64) error {
-	var p2p []sim.Transfer
+	p2p := r.p2pScratch[:0]
 
 	for _, use := range k.Arrays {
 		st := r.state(use.Decl)
@@ -41,6 +41,7 @@ func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partia
 			st.deviceNewer = true
 		}
 	}
+	r.p2pScratch = p2p
 	if err := r.account(p2p, &r.rep.GPUGPUTime); err != nil {
 		return err
 	}
@@ -56,7 +57,7 @@ func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partia
 	// device-to-host copies) and merge with the original host value,
 	// the final level of the paper's hierarchical reduction.
 	if len(k.ScalarReds) > 0 {
-		var tiny []sim.Transfer
+		tiny := r.tinyScratch[:0]
 		for ri, red := range k.ScalarReds {
 			acc := getRedSlot(env, red)
 			for g := range gpus {
@@ -65,6 +66,7 @@ func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partia
 			}
 			setRedSlot(env, red, acc)
 		}
+		r.tinyScratch = tiny
 		if err := r.account(tiny, &r.rep.CPUGPUTime); err != nil {
 			return err
 		}
@@ -77,94 +79,146 @@ func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partia
 // two-level scheme only chunks whose second-level bit is set travel;
 // the single-level ablation ships the whole replica plus its dirty-bit
 // array as soon as anything is dirty (paper §IV-D1).
+//
+// The implementation is staged for host wall-clock (virtual time is
+// untouched — the priced transfer list is derived from the chunk bits
+// exactly as the serial scheme derived it, in the same order):
+//
+//  1. scan — each source extracts its dirty runs with uint64 word
+//     scans, once, instead of re-walking the byte array per
+//     destination. Sources scan concurrently: each reads only its own
+//     dirty bits and writes only its own diff slot.
+//  2. apply — each run lands on every other replica as one bulk copy.
+//     Under the BSP contract each element is written by one GPU per
+//     superstep, so the per-source run lists are disjoint and sources
+//     apply concurrently (disjoint writes; checked, not assumed — see
+//     below). If the check fails (a racy program writing the same
+//     element from several GPUs), the apply falls back to serial
+//     source order, which reproduces the serial scheme's last-writer
+//     and value-forwarding behaviour exactly, because values are read
+//     at apply time.
+//  3. clear — a new BSP superstep starts clean; per-copy clears are
+//     disjoint and run concurrently.
 func (r *Runtime) syncReplicated(st *arrayState, gpus []*sim.Device) []sim.Transfer {
 	if len(gpus) == 1 {
 		c := st.copies[0]
 		if c.dirty != nil {
-			clearBytes(c.dirty)
-			clearBytes(c.chunkDirty)
+			clear(c.dirty)
+			clear(c.chunkDirty)
 		}
 		return nil
 	}
-	var transfers []sim.Transfer
-	for g := range gpus {
+
+	// Stage 1 — scan.
+	diffs := r.diffScratchFor(len(gpus))
+	r.fanOutGPUs(len(gpus), func(g int) {
+		r.scanDirty(st, gpus, g, &diffs[g])
+	})
+
+	// Stage 2 — apply. The disjointness assertion the concurrency
+	// rests on: one k-way merge over the (sorted, maximal) run lists.
+	lists := r.diffLists[:0]
+	idx := r.diffIdx[:0]
+	withRuns := 0
+	for g := range diffs {
+		lists = append(lists, diffs[g].runs)
+		idx = append(idx, 0)
+		if len(diffs[g].runs) > 0 {
+			withRuns++
+		}
+	}
+	r.diffLists, r.diffIdx = lists, idx
+	apply := func(g int) {
 		src := st.copies[g]
-		if src.dirty == nil || !src.valid {
-			continue
-		}
-		if r.opts.Sabotage != nil && r.opts.Sabotage.DropDirtyChunks {
-			continue // test hook: lose this replica's dirty chunks
-		}
-		if r.opts.DisableTwoLevelDirty {
-			transfers = append(transfers, r.shipWholeReplica(st, gpus, g)...)
-			continue
-		}
-		for ch := range src.chunkDirty {
-			if src.chunkDirty[ch] == 0 {
-				continue
-			}
-			lo := int64(ch) * src.chunkElems
-			hi := lo + src.chunkElems
-			if hi > src.localLen() {
-				hi = src.localLen()
-			}
-			// The chunk ships to every other replica; receivers apply
-			// the elements the first-level dirty bits mark.
-			chunkBytes := (hi - lo) * st.elemSize
+		for _, run := range diffs[g].runs {
 			for g2 := range gpus {
-				if g2 == g {
-					continue
+				if g2 != g {
+					copyRun(st.copies[g2], src, run.lo, run.hi)
 				}
-				dst := st.copies[g2]
-				for p := lo; p < hi; p++ {
-					if src.dirty[p] == 1 {
-						dst.storeF(p, src.loadF(p)) // replicas share layout
-					}
-				}
-				transfers = append(transfers, sim.Transfer{
-					Kind: sim.PeerToPeer, Bytes: chunkBytes, Src: g, Dst: g2,
-				})
 			}
 		}
 	}
-	// A new BSP superstep starts clean.
-	for g := range gpus {
+	if withRuns <= 1 || runsDisjoint(lists, idx) {
+		r.fanOutGPUs(len(gpus), apply)
+	} else {
+		for g := range gpus {
+			apply(g)
+		}
+	}
+
+	// Stage 3 — clear.
+	r.fanOutGPUs(len(gpus), func(g int) {
 		c := st.copies[g]
 		if c.dirty != nil {
-			clearBytes(c.dirty)
-			clearBytes(c.chunkDirty)
+			clear(c.dirty)
+			clear(c.chunkDirty)
 		}
+	})
+
+	// Concatenate per-source transfers in source order — the exact
+	// sequence the serial scheme emitted.
+	merged := r.replScratch[:0]
+	for g := range diffs {
+		merged = append(merged, diffs[g].transfers...)
 	}
-	return transfers
+	r.replScratch = merged
+	return merged
 }
 
-func (r *Runtime) shipWholeReplica(st *arrayState, gpus []*sim.Device, g int) []sim.Transfer {
+// scanDirty extracts source g's dirty runs and priced transfers into
+// its diff slot. Run extraction is word-parallel (dirty bytes are 0 or
+// 1, so zero and all-ones words resolve eight elements per step); the
+// transfer list mirrors the serial scheme byte for byte: one transfer
+// per (dirty chunk, destination) under the two-level scheme, or one
+// whole-replica payload (data + dirty bits) per destination under the
+// single-level ablation.
+func (r *Runtime) scanDirty(st *arrayState, gpus []*sim.Device, g int, d *srcDiff) {
 	src := st.copies[g]
-	any := false
-	for _, b := range src.chunkDirty {
-		if b == 1 {
-			any = true
-			break
-		}
+	if src.dirty == nil || !src.valid {
+		return
 	}
-	if !any {
-		return nil
+	if r.opts.Sabotage != nil && r.opts.Sabotage.DropDirtyChunks {
+		return // test hook: lose this replica's dirty chunks
 	}
-	var transfers []sim.Transfer
-	payload := src.localLen()*st.elemSize + src.localLen() // data + dirty bits
-	for g2 := range gpus {
-		if g2 == g {
-			continue
-		}
-		dst := st.copies[g2]
-		for p := int64(0); p < src.localLen(); p++ {
-			if src.dirty[p] == 1 {
-				dst.storeF(p, src.loadF(p))
+	if r.opts.DisableTwoLevelDirty {
+		any := false
+		for _, b := range src.chunkDirty {
+			if b == 1 {
+				any = true
+				break
 			}
 		}
-		transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: payload, Src: g, Dst: g2})
+		if !any {
+			return
+		}
+		d.runs = appendNonzeroRuns(d.runs, src.dirty, 0, src.localLen())
+		payload := src.localLen()*st.elemSize + src.localLen() // data + dirty bits
+		for g2 := range gpus {
+			if g2 != g {
+				d.transfers = append(d.transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: payload, Src: g, Dst: g2})
+			}
+		}
+		return
 	}
-	return transfers
+	for ch := range src.chunkDirty {
+		if src.chunkDirty[ch] == 0 {
+			continue
+		}
+		lo := int64(ch) * src.chunkElems
+		hi := lo + src.chunkElems
+		if hi > src.localLen() {
+			hi = src.localLen()
+		}
+		// The chunk ships to every other replica; receivers apply the
+		// elements the first-level dirty bits mark.
+		d.runs = appendNonzeroRuns(d.runs, src.dirty, lo, hi)
+		chunkBytes := (hi - lo) * st.elemSize
+		for g2 := range gpus {
+			if g2 != g {
+				d.transfers = append(d.transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: chunkBytes, Src: g, Dst: g2})
+			}
+		}
+	}
 }
 
 // deliverMisses routes buffered remote writes on distributed arrays to
@@ -381,10 +435,4 @@ func (r *Runtime) mergeReduction(st *arrayState, use *ir.ArrayUse, gpus []*sim.D
 		)
 	}
 	return transfers
-}
-
-func clearBytes(b []uint8) {
-	for i := range b {
-		b[i] = 0
-	}
 }

@@ -1,0 +1,128 @@
+package rt_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+)
+
+// Report-invariance golden tests for the host-side performance layer
+// (PR 3). The parallel loader copies, the word-parallel dirty diff and
+// the launch-plan cache are wall-clock optimizations only: every
+// virtual-time figure, transfer volume, launch count, peak-memory
+// number and event stream must be bit-identical with the optimizations
+// on, off, and under GOMAXPROCS=1. These tests pin that over the
+// audited random-program corpus on every machine tier.
+
+// invarianceConfigs are the runtime configurations whose Reports and
+// outputs must match the default exactly.
+func invarianceConfigs() map[string]rt.Options {
+	return map[string]rt.Options{
+		"no-plan-cache":    {DisablePlanCache: true},
+		"no-host-parallel": {DisableHostParallel: true},
+		"all-serial":       {DisablePlanCache: true, DisableHostParallel: true},
+	}
+}
+
+func checkRunsIdentical(t *testing.T, label, src string, want, got runResult) {
+	t.Helper()
+	if !reflect.DeepEqual(want.rep, got.rep) {
+		t.Fatalf("%s: Report diverged from default options:\nwant %+v\ngot  %+v\n%s",
+			label, want.rep, got.rep, src)
+	}
+	if !reflect.DeepEqual(want.out, got.out) || !reflect.DeepEqual(want.out2, got.out2) ||
+		!reflect.DeepEqual(want.hist, got.hist) || want.total != got.total {
+		t.Fatalf("%s: computed results diverged from default options\n%s", label, src)
+	}
+}
+
+func TestHostPerfReportInvariance(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	specs := []sim.MachineSpec{
+		sim.Desktop().WithGPUs(1),
+		sim.Desktop(),
+		sim.SupercomputerNode(),
+	}
+	for _, seed := range seeds {
+		p := genRandProg(rand.New(rand.NewSource(seed)))
+		for _, spec := range specs {
+			ref, err := p.runFull(t, spec, rt.Options{}, nil)
+			if err != nil {
+				t.Fatalf("seed %d on %s: %v\n%s", seed, spec.Name, err, p.src)
+			}
+			for name, opts := range invarianceConfigs() {
+				res, err := p.runFull(t, spec, opts, nil)
+				if err != nil {
+					t.Fatalf("seed %d on %s (%s): %v\n%s", seed, spec.Name, name, err, p.src)
+				}
+				label := fmt.Sprintf("seed %d on %s (%s)", seed, spec.Name, name)
+				checkRunsIdentical(t, label, p.src, ref, res)
+			}
+		}
+	}
+}
+
+// TestHostPerfGOMAXPROCS1Invariance pins that the parallel paths are
+// scheduling-independent: with the whole process pinned to one OS
+// thread the fan-out goroutines interleave arbitrarily, yet the report
+// and results must not move.
+func TestHostPerfGOMAXPROCS1Invariance(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		p := genRandProg(rand.New(rand.NewSource(seed)))
+		spec := sim.SupercomputerNode()
+		ref, err := p.runFull(t, spec, rt.Options{}, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, p.src)
+		}
+		prev := runtime.GOMAXPROCS(1)
+		res, err2 := p.runFull(t, spec, rt.Options{}, nil)
+		runtime.GOMAXPROCS(prev)
+		if err2 != nil {
+			t.Fatalf("seed %d under GOMAXPROCS=1: %v\n%s", seed, err2, p.src)
+		}
+		checkRunsIdentical(t, fmt.Sprintf("seed %d GOMAXPROCS=1", seed), p.src, ref, res)
+	}
+}
+
+// TestHostPerfInvarianceUnderFaults extends the invariance guarantee to
+// fault-injected runs: the fault oracles consume randomness in
+// allocation and transfer order, so this doubles as a regression test
+// that the serial prepare pass preserved the legacy ordering exactly.
+func TestHostPerfInvarianceUnderFaults(t *testing.T) {
+	seeds := []int64{3, 8, 21}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		p := genRandProg(rand.New(rand.NewSource(seed)))
+		plan := &sim.FaultPlan{Seed: 20130700 + seed, TransferFailRate: 0.05}
+		spec := sim.Desktop()
+		ref, refErr := p.runFull(t, spec, rt.Options{}, plan)
+		for name, opts := range invarianceConfigs() {
+			res, err := p.runFull(t, spec, opts, plan)
+			if (refErr == nil) != (err == nil) {
+				t.Fatalf("seed %d (%s): error divergence: default %v, variant %v\n%s",
+					seed, name, refErr, err, p.src)
+			}
+			if !reflect.DeepEqual(ref.rep, res.rep) {
+				t.Fatalf("seed %d (%s): faulted Report diverged\nwant %+v\ngot  %+v\n%s",
+					seed, name, ref.rep, res.rep, p.src)
+			}
+			if refErr == nil {
+				checkRunsIdentical(t, fmt.Sprintf("seed %d (%s) faulted", seed, name), p.src, ref, res)
+			}
+		}
+	}
+}

@@ -143,16 +143,8 @@ func (r *Runtime) resetKernelArrays(k *ir.Kernel) error {
 // subset (always an index-aligned prefix of the machine's GPUs).
 func (r *Runtime) launchAttempt(k *ir.Kernel, env *ir.Env, gpus []*sim.Device) error {
 	lower, upper := k.Lower(env), k.Upper(env)
-	parts := partition(lower, upper, len(gpus))
-	if r.opts.BalanceLoad {
-		if bal := r.balancedPartition(k, env, lower, upper, len(gpus)); bal != nil {
-			parts = bal
-		}
-	}
 
 	// Phase A — data loader.
-	needs := make([][]need, len(gpus))
-	var transfers []sim.Transfer
 	for _, use := range k.Arrays {
 		st := r.state(use.Decl)
 		if !st.present && !st.deviceNewer {
@@ -162,22 +154,38 @@ func (r *Runtime) launchAttempt(k *ir.Kernel, env *ir.Env, gpus []*sim.Device) e
 			r.bumpHost(st)
 		}
 	}
+	// Resolve the partition and per-GPU needs (cached across launches;
+	// resolved after the implicit-movement bumps so the plan's epoch
+	// snapshot is the one the loading decisions see).
+	parts, needs := r.resolvePlan(k, env, len(gpus), lower, upper)
+
+	// The prepare pass stays serial in (GPU, array) order — device
+	// allocations and transfer records feed deterministic fault
+	// oracles, so their order is load-bearing — and defers the bulk
+	// content copies as per-GPU jobs, which then run concurrently.
+	transfers := r.loadTransfers[:0]
+	jobs := r.jobScratchFor(len(gpus))
 	var loadErr error
 loading:
 	for g := range gpus {
-		needs[g] = make([]need, len(k.Arrays))
 		for ui, use := range k.Arrays {
 			st := r.state(use.Decl)
-			nd := r.computeNeed(k, use, env, parts[g], st, len(gpus))
-			needs[g][ui] = nd
-			tr, err := r.ensureLoaded(st, st.copies[g], nd)
-			transfers = append(transfers, tr...)
+			var job copyJob
+			var err error
+			transfers, job, err = r.prepareLoad(st, st.copies[g], needs[g][ui], transfers)
+			if job.c != nil {
+				jobs[g] = append(jobs[g], job)
+			}
 			if err != nil {
 				loadErr = fmt.Errorf("rt: kernel %s: loading %s on GPU%d: %w", k.Name, use.Decl.Name, g, err)
 				break loading
 			}
 		}
 	}
+	// Copies prepared before a failure still ran in the serial scheme;
+	// run them all so a degraded retry resumes from identical state.
+	r.runCopyJobs(jobs)
+	r.loadTransfers = transfers
 	// Transfers performed before a failure still happened: price them
 	// so the degraded retry's accounting stays honest.
 	if err := r.account(transfers, &r.rep.CPUGPUTime); err != nil {
@@ -256,7 +264,7 @@ loading:
 
 	// Phase D — arrays outside data regions return to the host after
 	// every loop (implicit copy-out).
-	var out []sim.Transfer
+	out := r.outTransfers[:0]
 	for _, use := range k.Arrays {
 		st := r.state(use.Decl)
 		if !st.present && (use.Written || use.Reduced) {
@@ -267,6 +275,7 @@ loading:
 			out = append(out, tr...)
 		}
 	}
+	r.outTransfers = out
 	if err := r.account(out, &r.rep.CPUGPUTime); err != nil {
 		return err
 	}

@@ -192,8 +192,22 @@ func (r *Runtime) gatherToHost(st *arrayState) ([]sim.Transfer, error) {
 		if !c.valid {
 			continue
 		}
-		for i := c.lo; i <= c.hi; i++ {
-			hostStoreF(st.host, i, c.loadF(c.phys(i)))
+		if !c.transformed {
+			// Untransformed copies are host-layout slices of matching
+			// element type: gather with one memmove per copy.
+			n := c.hi - c.lo + 1
+			switch {
+			case c.f32 != nil:
+				copy(st.host.F32[c.lo:c.hi+1], c.f32[:n])
+			case c.f64 != nil:
+				copy(st.host.F64[c.lo:c.hi+1], c.f64[:n])
+			default:
+				copy(st.host.I32[c.lo:c.hi+1], c.i32[:n])
+			}
+		} else {
+			for i := c.lo; i <= c.hi; i++ {
+				hostStoreF(st.host, i, c.loadF(c.phys(i)))
+			}
 		}
 		transfers = append(transfers, sim.Transfer{
 			Kind: sim.DeviceToHost, Bytes: c.localLen() * st.elemSize, Src: c.g, Dst: -1,
@@ -331,13 +345,40 @@ func (r *Runtime) transformActive(use *ir.ArrayUse) bool {
 // ensureLoaded reconciles one GPU copy with a need, returning the bus
 // transfers performed. This is where the reload-skip optimization
 // lives: a valid copy of the right lineage covering the needed range
-// costs nothing.
+// costs nothing. It is prepareLoad with the deferred content copy run
+// inline — launchAttempt uses the split form to overlap the copies of
+// all GPUs.
 func (r *Runtime) ensureLoaded(st *arrayState, c *gpuCopy, nd need) ([]sim.Transfer, error) {
+	transfers, job, err := r.prepareLoad(st, c, nd, nil)
+	if job.c != nil {
+		job.run()
+	}
+	return transfers, err
+}
+
+// prepareLoad is the serial half of loading one GPU copy: every
+// decision and every side effect whose *order* is observable — device
+// allocations (the deterministic OOM fault oracle counts them per
+// device), host gathers, transfer records (the transient-failure
+// oracle consumes a seeded stream per priced transfer) and version
+// bookkeeping — happens here, on the host strand, in the exact
+// sequence the serial loader used. Only the bulk content movement is
+// deferred: the returned copyJob (zero when no content flows) writes
+// the copy's private storage from the host mirror and is safe to run
+// concurrently with other GPUs' jobs.
+//
+// Transfers are appended to the passed batch (reused across launches).
+// On an auxiliary-allocation failure the copy is released, so the
+// would-be job is dropped rather than returned: the serial code copied
+// content and then discarded it with the release, which is
+// state-identical to never copying.
+func (r *Runtime) prepareLoad(st *arrayState, c *gpuCopy, nd need, transfers []sim.Transfer) ([]sim.Transfer, copyJob, error) {
+	var job copyJob
 	if nd.hi < nd.lo {
 		// This GPU needs nothing (empty partition); keep whatever is
 		// resident but relinquish any write ownership.
 		c.coreLo, c.coreHi = 0, -1
-		return nil, nil
+		return transfers, job, nil
 	}
 	covered := c.valid && c.lo <= nd.lo && c.hi >= nd.hi &&
 		c.transformed == nd.transform && (!nd.transform || c.width == nd.width)
@@ -349,7 +390,6 @@ func (r *Runtime) ensureLoaded(st *arrayState, c *gpuCopy, nd need) ([]sim.Trans
 		reload = true
 	}
 
-	var transfers []sim.Transfer
 	if reload && st.deviceNewer {
 		if covered {
 			// The device holds newer content than the host; never
@@ -358,10 +398,13 @@ func (r *Runtime) ensureLoaded(st *arrayState, c *gpuCopy, nd need) ([]sim.Trans
 			reload = false
 		} else {
 			// The copy must change shape but carries content the host
-			// lacks: gather first so the reload reads fresh data.
+			// lacks: gather first so the reload reads fresh data. This
+			// clears deviceNewer, so an array gathers at most once per
+			// launch — and always before any of its copy jobs is
+			// queued, which is what makes deferring the jobs safe.
 			tr, err := r.gatherToHost(st)
 			if err != nil {
-				return nil, err
+				return transfers, job, err
 			}
 			transfers = append(transfers, tr...)
 		}
@@ -370,12 +413,10 @@ func (r *Runtime) ensureLoaded(st *arrayState, c *gpuCopy, nd need) ([]sim.Trans
 		r.tracef("loader: reload %s gpu%d [%d,%d] content=%v (covered=%v fresh=%v devNewer=%v)",
 			st.decl.Name, c.g, nd.lo, nd.hi, nd.contentIn, covered, fresh, st.deviceNewer)
 		if err := c.realloc(nd); err != nil {
-			return transfers, err
+			return transfers, job, err
 		}
 		if nd.contentIn {
-			for i := nd.lo; i <= nd.hi; i++ {
-				c.storeF(c.phys(i), hostLoadF(st.host, i))
-			}
+			job = copyJob{st: st, c: c, lo: nd.lo, hi: nd.hi}
 			transfers = append(transfers, sim.Transfer{
 				Kind: sim.HostToDevice, Bytes: (nd.hi - nd.lo + 1) * st.elemSize, Src: -1, Dst: c.g,
 			})
@@ -390,11 +431,11 @@ func (r *Runtime) ensureLoaded(st *arrayState, c *gpuCopy, nd need) ([]sim.Trans
 		// free everything it holds so the error path leaks nothing and
 		// a degraded retry starts from a clean slate.
 		if relErr := c.release(); relErr != nil {
-			return transfers, relErr
+			return transfers, copyJob{}, relErr
 		}
-		return transfers, err
+		return transfers, copyJob{}, err
 	}
-	return transfers, nil
+	return transfers, job, nil
 }
 
 // realloc (re)allocates the copy's storage for a range/layout change.

@@ -109,6 +109,16 @@ type Options struct {
 	// of triggering the fallback ladder / bounded retries. The default
 	// (false) is the resilient behaviour.
 	DisableDegradation bool
+	// DisablePlanCache turns the launch-plan cache off: partition and
+	// per-GPU needs are recomputed from scratch every launch. Exists
+	// for the report-invariance tests and wall-clock ablations; the
+	// virtual-time report must be bit-identical either way.
+	DisablePlanCache bool
+	// DisableHostParallel runs the host-side loader copies and the
+	// dirty-diff stages serially instead of one goroutine per GPU.
+	// Exists for the report-invariance tests and wall-clock ablations;
+	// the virtual-time report must be bit-identical either way.
+	DisableHostParallel bool
 	// Sabotage deliberately corrupts communication steps so tests can
 	// prove the auditor detects real consistency bugs. Never set it
 	// outside tests.
@@ -175,6 +185,26 @@ type Runtime struct {
 	// rung of the OOM degradation ladder: localaccess arrays place as
 	// full replicas for that attempt.
 	forceReplicate bool
+
+	// planCache memoizes resolved launch plans (partition + per-GPU
+	// needs) across launches of the same kernel; see plancache.go for
+	// the validity rules.
+	planCache map[planKey]*launchPlan
+	// scalarScratch is reused for plan-cache validation fingerprints.
+	scalarScratch []int64
+
+	// Per-launch scratch, reused to keep the steady-state hot path
+	// allocation-free. Launches never nest and the runtime's host
+	// strand is single-threaded, so plain fields suffice.
+	loadTransfers []sim.Transfer // Phase A H2D batch
+	outTransfers  []sim.Transfer // Phase D copy-out batch
+	p2pScratch    []sim.Transfer // commSync GPU-GPU batch
+	tinyScratch   []sim.Transfer // commSync scalar-reduction batch
+	replScratch   []sim.Transfer // syncReplicated merged transfer list
+	jobs          [][]copyJob    // deferred loader content copies
+	diffs         []srcDiff      // per-source dirty-run diffs
+	diffLists     [][]span       // runsDisjoint input scratch
+	diffIdx       []int          // runsDisjoint merge cursors
 }
 
 type fpKey struct {
@@ -203,6 +233,7 @@ func New(mach *sim.Machine, opts Options) *Runtime {
 		kernelExecs: map[int]int{},
 		fpCache:     map[fpKey]fpVal{},
 		balCache:    map[balKey]balVal{},
+		planCache:   map[planKey]*launchPlan{},
 	}
 }
 
