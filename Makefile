@@ -12,7 +12,8 @@ all: build vet test
 # take ~10x longer under the detector), the accvet directive checks
 # over the shipped examples and the audited random-program corpus, and
 # a short fuzz smoke over the frontend fuzzer, the audited
-# random-program fuzzer and the vet-vs-auditor cross-check fuzzer.
+# random-program fuzzer, the vet-vs-auditor cross-check fuzzer and the
+# specialized-vs-interpreted differential fuzzer.
 check: vet
 	$(GO) test ./...
 	$(GO) test -race -short -timeout 1200s ./...
@@ -33,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseProgram -fuzztime=5s -run='^$$' ./internal/cc
 	$(GO) test -fuzz=FuzzAuditedRandomPrograms -fuzztime=5s -run='^$$' ./internal/rt
 	$(GO) test -fuzz=FuzzVetCrossCheck -fuzztime=5s -run='^$$' ./internal/rt
+	$(GO) test -fuzz=FuzzSpecializedVsInterp -fuzztime=5s -run='^$$' ./internal/rt
 
 build:
 	$(GO) build ./...
@@ -54,20 +56,23 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-quick is the host-performance regression gate: the steady-state
-# allocation-budget assertions plus one iteration of each wall-clock
-# gate benchmark (legacy-vs-optimized loader, replicated-write diff,
-# plan resolution). Cheap enough to run in every `make check`.
+# allocation-budget assertions (loader paths and specialized launches)
+# plus one iteration of each wall-clock gate benchmark
+# (legacy-vs-optimized loader, replicated-write diff, plan resolution,
+# and the Phase-B interpreter-vs-specialized pairs). Cheap enough to
+# run in every `make check`.
 bench-quick:
-	$(GO) test -run 'TestSteadyStateAllocBudget' \
-		-bench 'BenchmarkIteratedStencilLoader|BenchmarkReplicatedWriteDiff|BenchmarkLaunchPlanResolve' \
+	$(GO) test -run 'TestSteadyStateAllocBudget|TestSpecLaunchSteadyStateAllocBudget|TestPhaseBSpeedupGate' \
+		-bench 'BenchmarkIteratedStencilLoader|BenchmarkReplicatedWriteDiff|BenchmarkLaunchPlanResolve|BenchmarkPhaseBSaxpy|BenchmarkPhaseBStencil' \
 		-benchtime=1x -benchmem ./internal/rt
 
 # bench-baseline regenerates the committed wall-clock baseline
-# (BENCH_PR3.json): end-to-end elapsed-time measurements with the host
-# optimizations on vs off, with result verification and the
-# report-invariance bit asserted per workload.
+# (BENCH_PR4.json): end-to-end elapsed-time measurements with the host
+# optimizations (including kernel specialization) on vs off, with
+# result verification and the report-invariance bit asserted per
+# workload.
 bench-baseline:
-	$(GO) run ./cmd/accbench -json -verify wallclock > BENCH_PR3.json
+	$(GO) run ./cmd/accbench -json -verify wallclock > BENCH_PR4.json
 
 # Regenerate the paper's evaluation (Tables I-II, Figs 7-9, ablations,
 # cluster study) with result verification.

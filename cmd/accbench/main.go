@@ -37,6 +37,7 @@ func main() {
 		appScale   = flag.String("appscale", "", "per-app input fractions, e.g. MD=1.0,BFS=0.05")
 		appsFlag   = flag.String("apps", "", "comma-separated subset of MD,KMEANS,BFS")
 		verify     = flag.Bool("verify", false, "verify every run against the Go references")
+		noSpec     = flag.Bool("no-specialize", false, "disable the specialized kernel executors (Phase B fast path)")
 		seed       = flag.Int64("seed", 0, "input generator seed (0 = default)")
 		jsonOut    = flag.Bool("json", false, "emit the selected sections as JSON instead of text")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
@@ -68,7 +69,7 @@ func main() {
 		}()
 	}
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Verify: *verify}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Verify: *verify, NoSpecialize: *noSpec}
 	if *appsFlag != "" {
 		cfg.Apps = strings.Split(*appsFlag, ",")
 	}

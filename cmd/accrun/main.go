@@ -49,6 +49,7 @@ func main() {
 	auditTol := flag.Float64("audit-tol", 0, "relative tolerance for float reductions under -audit (0 = default)")
 	faults := flag.String("faults", "", "deterministic fault plan, e.g. seed=7,oomgpu=1,oomalloc=5,shrink=0.5,transfail=0.01")
 	noDegrade := flag.Bool("no-degrade", false, "make injected faults fatal instead of degrading gracefully")
+	noSpec := flag.Bool("no-specialize", false, "disable the specialized kernel executors (Phase B fast path)")
 	flag.Var(&sets, "set", "bind a scalar parameter, name=value (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -97,6 +98,7 @@ func main() {
 		opts.Trace = os.Stderr
 	}
 	opts.DisableDegradation = *noDegrade
+	opts.DisableSpecialize = *noSpec
 	plan, err := sim.ParseFaultPlan(*faults)
 	if err != nil {
 		fatal(err)

@@ -32,6 +32,10 @@ type Config struct {
 	Verify bool
 	// Apps restricts the sweep (empty = all three).
 	Apps []string
+	// NoSpecialize disables the specialized kernel executors (the
+	// Phase-B direct-slice fast path) in every measured configuration,
+	// isolating the other host optimizations.
+	NoSpecialize bool
 }
 
 // Default per-app benchmark scales: fractions of the paper's input
@@ -187,6 +191,9 @@ func runMachine(cfg Config, app *apps.App, prog *core.Program, mach sim.MachineS
 
 // runOnce executes one configuration, optionally verifying results.
 func runOnce(cfg Config, app *apps.App, prog *core.Program, spec sim.MachineSpec, opts rt.Options, scale float64) (*rt.Report, error) {
+	if cfg.NoSpecialize {
+		opts.DisableSpecialize = true
+	}
 	in, err := app.Generate(scale, cfg.Seed)
 	if err != nil {
 		return nil, err

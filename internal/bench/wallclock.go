@@ -148,7 +148,7 @@ func WallClock(cfg Config) ([]WallClockRow, error) {
 		loads = append(loads, wl)
 	}
 
-	serialOpts := rt.Options{DisableHostParallel: true, DisablePlanCache: true}
+	serialOpts := rt.Options{DisableHostParallel: true, DisablePlanCache: true, DisableSpecialize: true}
 	const runs = 3
 	var rows []WallClockRow
 	for _, wl := range loads {
@@ -169,7 +169,7 @@ func WallClock(cfg Config) ([]WallClockRow, error) {
 			}
 			return bestMS, rep, nil
 		}
-		optMS, optRep, err := best(rt.Options{})
+		optMS, optRep, err := best(rt.Options{DisableSpecialize: cfg.NoSpecialize})
 		if err != nil {
 			return nil, err
 		}

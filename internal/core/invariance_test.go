@@ -23,14 +23,17 @@ import (
 
 // perfVariants returns the option sets compared against the default.
 func perfVariants(base rt.Options) map[string]rt.Options {
-	serial, noCache := base, base
+	serial, noCache, noSpec := base, base, base
 	serial.DisableHostParallel = true
 	noCache.DisablePlanCache = true
+	noSpec.DisableSpecialize = true
 	both := serial
 	both.DisablePlanCache = true
+	both.DisableSpecialize = true
 	return map[string]rt.Options{
 		"no-host-parallel": serial,
 		"no-plan-cache":    noCache,
+		"no-specialize":    noSpec,
 		"all-serial":       both,
 	}
 }

@@ -142,6 +142,10 @@ type Kernel struct {
 	CPUEfficiency float64
 	// HasArrayReduction reports any reductiontoarray statement.
 	HasArrayReduction bool
+	// Spec is the kernel's specialized direct-slice form, or nil when
+	// the body is not eligible (see BuildKernelSpec). The runtime
+	// decides per launch whether the fast path may actually run.
+	Spec *KernelSpec
 }
 
 // Use returns the ArrayUse for a declaration, if the kernel touches it.

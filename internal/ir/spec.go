@@ -1,0 +1,1015 @@
+package ir
+
+import (
+	"errors"
+	"math"
+
+	"accmulti/internal/cc"
+)
+
+// Kernel specialization (the direct-slice fast path): at translate time
+// BuildKernelSpec pattern-matches a kernel body against the eligible
+// shape — straight-line or simply-branched statements whose array
+// accesses are affine in the induction variable — and compiles a second
+// body that runs directly on the device copies' backing slices, with no
+// ArrayView dispatch, no per-access counter increments and no per-store
+// dirty marking. The instrumentation the interpreter performs
+// per-access is reconstructed analytically:
+//
+//   - Per-iteration operation and byte costs are accumulated at compile
+//     time into IterCost formulas (Base for unconditional statements,
+//     one Arms entry per if-arm); at run time the launch multiplies
+//     them by the iteration count and the observed arm-taken counts.
+//   - Affine access indices are monotone in the induction variable, so
+//     evaluating each index at the chunk's first and last iteration
+//     yields its exact element range: one range check per (access,
+//     chunk) replaces the per-access phys() check, and the write
+//     footprint of a store access is exactly the arithmetic progression
+//     between those endpoints, which the runtime marks dirty in bulk.
+//
+// Anything outside the shape — inner loops, break/continue, ?:,
+// short-circuit operators (data-dependent cost), indirect or non-affine
+// indices, assignment to the induction variable — makes BuildKernelSpec
+// return nil and the kernel permanently runs on the instrumented
+// interpreter. The runtime adds launch-time fallback conditions on top
+// (audit mode, fault plans, miss-check lanes, layout-transformed
+// copies; see internal/rt).
+
+// errSpecIneligible aborts spec compilation; the kernel falls back to
+// the interpreter. It never escapes BuildKernelSpec.
+var errSpecIneligible = errors.New("ir: kernel not eligible for specialization")
+
+// AccessKind classifies one compiled array access site.
+type AccessKind uint8
+
+const (
+	// AccessLoad reads an element of the resident range.
+	AccessLoad AccessKind = iota
+	// AccessStore writes an element of the resident range.
+	AccessStore
+	// AccessReduce updates a reduction lane at a logical index.
+	AccessReduce
+)
+
+// SpecAccess is one static array access site of a specialized body.
+type SpecAccess struct {
+	// Slot is the accessed array's slot.
+	Slot int
+	// Kind classifies the access.
+	Kind AccessKind
+	// InBranch marks accesses under an if-arm (executed conditionally).
+	InBranch bool
+	// Index is the access index compiled for the *host* environment:
+	// the runtime evaluates it at a chunk's first and last iteration to
+	// range-check the whole chunk before running the fast path.
+	Index ExprI
+}
+
+// IterCost is the per-execution instrumentation cost of a statement
+// group: what the interpreter would have added to the Env counters each
+// time the group ran.
+type IterCost struct {
+	Flops        int64
+	BytesRead    int64
+	BytesWritten int64
+	ReduceOps    int64
+	// Stores counts element stores per array slot (used for the
+	// dirty-marking byte surcharge of replicated written arrays).
+	Stores []int64
+}
+
+// DArray is a specialized body's direct handle on one device copy:
+// the typed backing slice (exactly one of F32/F64/I32 is non-nil,
+// matching the declared element type), the resident base offset, and
+// this worker's reduction lane when the array is a reduction target.
+type DArray struct {
+	F32  []float32
+	F64  []float64
+	I32  []int32
+	Base int64
+	// LaneF/LaneI is the worker's reduction lane, indexed by logical
+	// element index (lanes always span the whole array).
+	LaneF []float64
+	LaneI []int64
+}
+
+// DEnv is one worker's environment for a specialized body: flat scalar
+// tables (same slots as Env), direct array handles by slot, and the
+// arm-taken counters the analytic cost model consumes.
+type DEnv struct {
+	Ints   []int64
+	Floats []float64
+	Arrays []DArray
+	// Branch counts executions per if-arm, indexed like KernelSpec.Arms.
+	Branch []int64
+}
+
+// NewDEnv allocates a worker environment sized for the spec.
+func (s *KernelSpec) NewDEnv() *DEnv {
+	return &DEnv{
+		Ints:   make([]int64, s.NumInts),
+		Floats: make([]float64, s.NumFloats),
+		Arrays: make([]DArray, s.NumArrays),
+		Branch: make([]int64, len(s.Arms)),
+	}
+}
+
+// DStmt executes one iteration's worth of a specialized statement.
+type DStmt func(*DEnv)
+
+type (
+	dExprI func(*DEnv) int64
+	dExprF func(*DEnv) float64
+)
+
+// KernelSpec is the compiled specialization of one kernel.
+type KernelSpec struct {
+	// Body executes one iteration; the runner stores the iteration
+	// index in LoopSlot first.
+	Body DStmt
+	// LoopSlot is the induction variable's int slot.
+	LoopSlot int
+	// NumInts/NumFloats/NumArrays size worker environments.
+	NumInts, NumFloats, NumArrays int
+	// Base is the unconditional per-iteration cost.
+	Base IterCost
+	// Arms holds one per-execution cost per if-arm, in the order the
+	// arms were compiled (DEnv.Branch uses the same indexing).
+	Arms []IterCost
+	// Accesses lists every static array access site.
+	Accesses []SpecAccess
+	// BranchStores[slot] reports a store to the slot under an if-arm:
+	// its exact dirty footprint is data-dependent, so dirty-marked
+	// launches fall back to the interpreter for such kernels.
+	BranchStores []bool
+	// VecBody, when non-nil, is the tiled form of Body (see specvec.go):
+	// one call covers up to VecTile iterations with one tight loop per
+	// expression node. The runtime may only use it when its per-launch
+	// alias check proves the tile schedule element-equivalent.
+	VecBody VStmt
+	// NumBufI/NumBufF size a VecEnv's scratch vectors.
+	NumBufI, NumBufF int
+}
+
+// specBuilder compiles the body, accumulating static costs into the
+// bucket that is live at each compile site (Base, or the current arm).
+type specBuilder struct {
+	loopVar *cc.VarDecl
+	// assigned marks scalars the body writes: index expressions must
+	// not depend on them (their value would vary mid-iteration).
+	assigned map[*cc.VarDecl]bool
+	spec     *KernelSpec
+	arms     []*IterCost
+	cur      *IterCost
+	inBranch bool
+}
+
+// BuildKernelSpec compiles the specialized form of a kernel body, or
+// returns nil when the body is not eligible.
+func BuildKernelSpec(body cc.Stmt, loopVar *cc.VarDecl, prog *cc.Program) *KernelSpec {
+	b := &specBuilder{
+		loopVar:  loopVar,
+		assigned: map[*cc.VarDecl]bool{},
+		spec: &KernelSpec{
+			LoopSlot:     loopVar.Slot,
+			NumInts:      prog.NumInts,
+			NumFloats:    prog.NumFloats,
+			NumArrays:    prog.NumArrays,
+			BranchStores: make([]bool, prog.NumArrays),
+		},
+	}
+	b.spec.Base.Stores = make([]int64, prog.NumArrays)
+	collectAssignedScalars(body, b.assigned)
+	if b.assigned[loopVar] {
+		return nil // body rewrites the induction variable
+	}
+	b.cur = &b.spec.Base
+	st, err := b.stmt(body)
+	if err != nil {
+		return nil
+	}
+	if st == nil {
+		st = func(*DEnv) {}
+	}
+	b.spec.Body = st
+	b.spec.Arms = make([]IterCost, len(b.arms))
+	for i, a := range b.arms {
+		b.spec.Arms[i] = *a
+	}
+	if len(b.spec.Arms) == 0 {
+		buildVec(body, loopVar, b.assigned, b.spec)
+	}
+	return b.spec
+}
+
+// collectAssignedScalars records every scalar the body assigns
+// (including inside constructs that will later reject the body — the
+// pre-pass stays conservative and total).
+func collectAssignedScalars(s cc.Stmt, out map[*cc.VarDecl]bool) {
+	switch st := s.(type) {
+	case *cc.Block:
+		for _, c := range st.Stmts {
+			collectAssignedScalars(c, out)
+		}
+	case *cc.AssignStmt:
+		if id, ok := st.LHS.(*cc.Ident); ok {
+			out[id.Decl] = true
+		}
+	case *cc.IfStmt:
+		collectAssignedScalars(st.Then, out)
+		if st.Else != nil {
+			collectAssignedScalars(st.Else, out)
+		}
+	case *cc.WhileStmt:
+		collectAssignedScalars(st.Body, out)
+	case *cc.ForStmt:
+		if st.Init != nil {
+			collectAssignedScalars(st.Init, out)
+		}
+		if st.Post != nil {
+			collectAssignedScalars(st.Post, out)
+		}
+		collectAssignedScalars(st.Body, out)
+	}
+}
+
+// affineDegree returns the degree (0 or 1) of a folded index expression
+// in the induction variable. Degree ≤ 1 with loop-invariant
+// coefficients means the index is exactly a*i + b in int64 arithmetic,
+// hence monotone over any iteration chunk — the property the endpoint
+// range checks and the bulk dirty marking rely on.
+func (b *specBuilder) affineDegree(e cc.Expr) (int, error) {
+	switch x := e.(type) {
+	case *cc.NumLit:
+		return 0, nil
+	case *cc.Ident:
+		if x.Decl == b.loopVar {
+			return 1, nil
+		}
+		if b.assigned[x.Decl] {
+			return 0, errSpecIneligible // varies mid-iteration
+		}
+		return 0, nil
+	case *cc.IndexExpr:
+		return 0, errSpecIneligible // indirect index
+	case *cc.UnaryExpr:
+		d, err := b.affineDegree(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == "-" {
+			return d, nil
+		}
+		if d != 0 {
+			return 0, errSpecIneligible
+		}
+		return 0, nil
+	case *cc.BinaryExpr:
+		dx, err := b.affineDegree(x.X)
+		if err != nil {
+			return 0, err
+		}
+		dy, err := b.affineDegree(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+", "-":
+			d := dx
+			if dy > d {
+				d = dy
+			}
+			if d > 0 && x.Type() != cc.TInt {
+				return 0, errSpecIneligible
+			}
+			return d, nil
+		case "*":
+			if dx > 0 && dy > 0 {
+				return 0, errSpecIneligible // degree 2
+			}
+			d := dx + dy
+			if d > 0 && x.Type() != cc.TInt {
+				return 0, errSpecIneligible
+			}
+			return d, nil
+		default:
+			// Division, modulo, shifts, bitwise and comparisons break
+			// affinity unless fully invariant.
+			if dx != 0 || dy != 0 {
+				return 0, errSpecIneligible
+			}
+			return 0, nil
+		}
+	case *cc.CallExpr:
+		for _, a := range x.Args {
+			if d, err := b.affineDegree(a); err != nil || d != 0 {
+				return 0, errSpecIneligible
+			}
+		}
+		return 0, nil
+	case *cc.CastExpr:
+		if x.To == cc.TInt && x.X.Type() == cc.TInt {
+			return b.affineDegree(x.X)
+		}
+		if d, err := b.affineDegree(x.X); err != nil || d != 0 {
+			return 0, errSpecIneligible
+		}
+		return 0, nil
+	case *cc.CondExpr:
+		return 0, errSpecIneligible
+	}
+	return 0, errSpecIneligible
+}
+
+// dNop is the empty statement.
+func dNop(*DEnv) {}
+
+func (b *specBuilder) stmt(s cc.Stmt) (DStmt, error) {
+	switch st := s.(type) {
+	case *cc.Block:
+		if st.Data != nil {
+			return nil, errSpecIneligible
+		}
+		var seq []DStmt
+		for _, c := range st.Stmts {
+			d, err := b.stmt(c)
+			if err != nil {
+				return nil, err
+			}
+			if d != nil {
+				seq = append(seq, d)
+			}
+		}
+		switch len(seq) {
+		case 0:
+			return nil, nil
+		case 1:
+			return seq[0], nil
+		case 2:
+			s0, s1 := seq[0], seq[1]
+			return func(env *DEnv) { s0(env); s1(env) }, nil
+		}
+		return func(env *DEnv) {
+			for _, d := range seq {
+				d(env)
+			}
+		}, nil
+
+	case *cc.DeclStmt:
+		return nil, nil // slots live in the environment
+
+	case *cc.AssignStmt:
+		switch lhs := st.LHS.(type) {
+		case *cc.Ident:
+			if lhs.Decl == b.loopVar {
+				return nil, errSpecIneligible
+			}
+			return b.scalarAssign(st, lhs)
+		case *cc.IndexExpr:
+			if st.Reduce != nil {
+				return b.arrayReduce(st, lhs)
+			}
+			return b.arrayAssign(st, lhs)
+		}
+		return nil, errSpecIneligible
+
+	case *cc.IfStmt:
+		return b.ifStmt(st)
+	}
+	// Inner loops, break/continue, update directives: interpreter only.
+	return nil, errSpecIneligible
+}
+
+// ifStmt compiles a simple branch. Each arm gets its own cost bucket
+// and a DEnv.Branch counter; the condition's cost belongs to the
+// enclosing bucket (it is evaluated unconditionally).
+func (b *specBuilder) ifStmt(st *cc.IfStmt) (DStmt, error) {
+	cond, err := b.cond(st.Cond)
+	if err != nil {
+		return nil, err
+	}
+	savedCur, savedBranch := b.cur, b.inBranch
+	defer func() { b.cur, b.inBranch = savedCur, savedBranch }()
+	b.inBranch = true
+
+	newArm := func() (int, *IterCost) {
+		c := &IterCost{Stores: make([]int64, b.spec.NumArrays)}
+		b.arms = append(b.arms, c)
+		return len(b.arms) - 1, c
+	}
+	thenIdx, thenCost := newArm()
+	b.cur = thenCost
+	then, err := b.stmt(st.Then)
+	if err != nil {
+		return nil, err
+	}
+	if then == nil {
+		then = dNop
+	}
+	if st.Else == nil {
+		return func(env *DEnv) {
+			if cond(env) {
+				env.Branch[thenIdx]++
+				then(env)
+			}
+		}, nil
+	}
+	elseIdx, elseCost := newArm()
+	b.cur = elseCost
+	els, err := b.stmt(st.Else)
+	if err != nil {
+		return nil, err
+	}
+	if els == nil {
+		els = dNop
+	}
+	return func(env *DEnv) {
+		if cond(env) {
+			env.Branch[thenIdx]++
+			then(env)
+		} else {
+			env.Branch[elseIdx]++
+			els(env)
+		}
+	}, nil
+}
+
+func (b *specBuilder) scalarAssign(st *cc.AssignStmt, lhs *cc.Ident) (DStmt, error) {
+	slot := lhs.Decl.Slot
+	if lhs.Decl.Type == cc.TInt {
+		rhs, err := b.exprI(st.RHS)
+		if err != nil {
+			return nil, err
+		}
+		if st.Op != "=" {
+			b.cur.Flops++
+		}
+		switch st.Op {
+		case "=":
+			return func(e *DEnv) { e.Ints[slot] = rhs(e) }, nil
+		case "+=":
+			return func(e *DEnv) { e.Ints[slot] += rhs(e) }, nil
+		case "-=":
+			return func(e *DEnv) { e.Ints[slot] -= rhs(e) }, nil
+		case "*=":
+			return func(e *DEnv) { e.Ints[slot] *= rhs(e) }, nil
+		case "/=":
+			return func(e *DEnv) { e.Ints[slot] /= rhs(e) }, nil
+		case "%=":
+			return func(e *DEnv) { e.Ints[slot] %= rhs(e) }, nil
+		case "<<=":
+			return func(e *DEnv) { e.Ints[slot] <<= uint(rhs(e)) }, nil
+		case ">>=":
+			return func(e *DEnv) { e.Ints[slot] >>= uint(rhs(e)) }, nil
+		}
+		return nil, errSpecIneligible
+	}
+	rhs, err := b.exprF(st.RHS)
+	if err != nil {
+		return nil, err
+	}
+	round := func(v float64) float64 { return v }
+	if lhs.Decl.Type == cc.TFloat {
+		round = func(v float64) float64 { return float64(float32(v)) }
+	}
+	switch st.Op {
+	case "=":
+		return func(e *DEnv) { e.Floats[slot] = round(rhs(e)) }, nil
+	case "+=":
+		b.cur.Flops++
+		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] + rhs(e)) }, nil
+	case "-=":
+		b.cur.Flops++
+		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] - rhs(e)) }, nil
+	case "*=":
+		b.cur.Flops++
+		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] * rhs(e)) }, nil
+	case "/=":
+		b.cur.Flops += 4
+		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] / rhs(e)) }, nil
+	}
+	return nil, errSpecIneligible
+}
+
+// index compiles an access index twice — once against the host Env for
+// the launch-time endpoint checks, once for the specialized body — and
+// verifies it is affine. Only the direct compilation accrues cost (one
+// evaluation per execution, like the interpreter).
+func (b *specBuilder) index(idx cc.Expr) (ExprI, dExprI, error) {
+	if _, err := b.affineDegree(foldExpr(idx)); err != nil {
+		return nil, nil, err
+	}
+	hostIdx, err := CompileExprI(idx)
+	if err != nil {
+		return nil, nil, errSpecIneligible
+	}
+	didx, err := b.exprI(idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return hostIdx, didx, nil
+}
+
+func (b *specBuilder) arrayAssign(st *cc.AssignStmt, lhs *cc.IndexExpr) (DStmt, error) {
+	decl := lhs.Array
+	slot := decl.Slot
+	hostIdx, didx, err := b.index(lhs.Index)
+	if err != nil {
+		return nil, err
+	}
+	b.spec.Accesses = append(b.spec.Accesses, SpecAccess{
+		Slot: slot, Kind: AccessStore, InBranch: b.inBranch, Index: hostIdx,
+	})
+	if b.inBranch {
+		b.spec.BranchStores[slot] = true
+	}
+	size := decl.Type.Size()
+	b.cur.Stores[slot]++
+	b.cur.BytesWritten += size
+	if decl.Type == cc.TInt {
+		rhs, err := b.exprI(st.RHS)
+		if err != nil {
+			return nil, err
+		}
+		if st.Op == "=" {
+			return func(e *DEnv) {
+				a := &e.Arrays[slot]
+				a.I32[didx(e)-a.Base] = int32(rhs(e))
+			}, nil
+		}
+		apply, err := intApply(st.Op, st.Pos())
+		if err != nil {
+			return nil, errSpecIneligible
+		}
+		b.cur.Flops++
+		b.cur.BytesRead += size
+		return func(e *DEnv) {
+			a := &e.Arrays[slot]
+			p := didx(e) - a.Base
+			a.I32[p] = int32(apply(int64(a.I32[p]), rhs(e)))
+		}, nil
+	}
+	rhs, err := b.exprF(st.RHS)
+	if err != nil {
+		return nil, err
+	}
+	f32 := decl.Type == cc.TFloat
+	if st.Op == "=" {
+		if f32 {
+			return func(e *DEnv) {
+				a := &e.Arrays[slot]
+				a.F32[didx(e)-a.Base] = float32(rhs(e))
+			}, nil
+		}
+		return func(e *DEnv) {
+			a := &e.Arrays[slot]
+			a.F64[didx(e)-a.Base] = rhs(e)
+		}, nil
+	}
+	apply, err := floatApply(st.Op, st.Pos())
+	if err != nil {
+		return nil, errSpecIneligible
+	}
+	b.cur.Flops++
+	b.cur.BytesRead += size
+	if f32 {
+		return func(e *DEnv) {
+			a := &e.Arrays[slot]
+			p := didx(e) - a.Base
+			a.F32[p] = float32(apply(float64(a.F32[p]), rhs(e)))
+		}, nil
+	}
+	return func(e *DEnv) {
+		a := &e.Arrays[slot]
+		p := didx(e) - a.Base
+		a.F64[p] = apply(a.F64[p], rhs(e))
+	}, nil
+}
+
+func (b *specBuilder) arrayReduce(st *cc.AssignStmt, lhs *cc.IndexExpr) (DStmt, error) {
+	decl := lhs.Array
+	slot := decl.Slot
+	hostIdx, didx, err := b.index(lhs.Index)
+	if err != nil {
+		return nil, err
+	}
+	b.spec.Accesses = append(b.spec.Accesses, SpecAccess{
+		Slot: slot, Kind: AccessReduce, InBranch: b.inBranch, Index: hostIdx,
+	})
+	mul := st.Reduce.Op == "*"
+	// The interpreter charges one flop at the statement plus the view's
+	// fixed reduce cost (one flop, 8 bytes each way, one ReduceOp).
+	b.cur.Flops += 2
+	b.cur.ReduceOps++
+	b.cur.BytesRead += 8
+	b.cur.BytesWritten += 8
+	if decl.Type == cc.TInt {
+		rhs, err := b.exprI(st.RHS)
+		if err != nil {
+			return nil, err
+		}
+		if mul {
+			return func(e *DEnv) {
+				a := &e.Arrays[slot]
+				a.LaneI[didx(e)] *= rhs(e)
+			}, nil
+		}
+		return func(e *DEnv) {
+			a := &e.Arrays[slot]
+			a.LaneI[didx(e)] += rhs(e)
+		}, nil
+	}
+	rhs, err := b.exprF(st.RHS)
+	if err != nil {
+		return nil, err
+	}
+	if mul {
+		return func(e *DEnv) {
+			a := &e.Arrays[slot]
+			a.LaneF[didx(e)] *= rhs(e)
+		}, nil
+	}
+	return func(e *DEnv) {
+		a := &e.Arrays[slot]
+		a.LaneF[didx(e)] += rhs(e)
+	}, nil
+}
+
+// exprI, exprF and cond mirror CompileExprI/CompileExprF/compileCond:
+// same folding entry points, same coercions, no runtime counters.
+
+func (b *specBuilder) exprI(e cc.Expr) (dExprI, error) {
+	e = foldExpr(e)
+	if e.Type() == cc.TInt {
+		ci, _, err := b.compile(e)
+		return ci, err
+	}
+	_, cf, err := b.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	return func(env *DEnv) int64 { return int64(cf(env)) }, nil
+}
+
+func (b *specBuilder) exprF(e cc.Expr) (dExprF, error) {
+	e = foldExpr(e)
+	if e.Type() != cc.TInt {
+		_, cf, err := b.compile(e)
+		return cf, err
+	}
+	ci, _, err := b.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	return func(env *DEnv) float64 { return float64(ci(env)) }, nil
+}
+
+func (b *specBuilder) cond(e cc.Expr) (func(*DEnv) bool, error) {
+	if e.Type() == cc.TInt {
+		op, err := b.exprI(e)
+		if err != nil {
+			return nil, err
+		}
+		return func(env *DEnv) bool { return op(env) != 0 }, nil
+	}
+	op, err := b.exprF(e)
+	if err != nil {
+		return nil, err
+	}
+	return func(env *DEnv) bool { return op(env) != 0 }, nil
+}
+
+func (b *specBuilder) compile(e cc.Expr) (dExprI, dExprF, error) {
+	switch x := e.(type) {
+	case *cc.NumLit:
+		if x.IsFloat {
+			v := x.F
+			return nil, func(*DEnv) float64 { return v }, nil
+		}
+		v := x.I
+		return func(*DEnv) int64 { return v }, nil, nil
+
+	case *cc.Ident:
+		slot := x.Decl.Slot
+		if x.Type() == cc.TInt {
+			return func(env *DEnv) int64 { return env.Ints[slot] }, nil, nil
+		}
+		return nil, func(env *DEnv) float64 { return env.Floats[slot] }, nil
+
+	case *cc.IndexExpr:
+		return b.load(x)
+
+	case *cc.BinaryExpr:
+		return b.binary(x)
+
+	case *cc.UnaryExpr:
+		switch x.Op {
+		case "-":
+			b.cur.Flops++
+			if x.Type() == cc.TInt {
+				op, err := b.exprI(x.X)
+				if err != nil {
+					return nil, nil, err
+				}
+				return func(env *DEnv) int64 { return -op(env) }, nil, nil
+			}
+			op, err := b.exprF(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			return nil, func(env *DEnv) float64 { return -op(env) }, nil
+		case "!":
+			op, err := b.cond(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			b.cur.Flops++
+			return func(env *DEnv) int64 {
+				if op(env) {
+					return 0
+				}
+				return 1
+			}, nil, nil
+		case "~":
+			op, err := b.exprI(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			b.cur.Flops++
+			return func(env *DEnv) int64 { return ^op(env) }, nil, nil
+		}
+		return nil, nil, errSpecIneligible
+
+	case *cc.CondExpr:
+		// The arms' costs are data-dependent: interpreter only.
+		return nil, nil, errSpecIneligible
+
+	case *cc.CallExpr:
+		return b.call(x)
+
+	case *cc.CastExpr:
+		if x.To == cc.TInt {
+			if x.X.Type() == cc.TInt {
+				return b.compile(x.X)
+			}
+			op, err := b.exprF(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			return func(env *DEnv) int64 { return int64(op(env)) }, nil, nil
+		}
+		op, err := b.exprF(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if x.To == cc.TFloat {
+			return nil, func(env *DEnv) float64 { return float64(float32(op(env))) }, nil
+		}
+		return nil, op, nil
+	}
+	return nil, nil, errSpecIneligible
+}
+
+// load compiles an array read as a direct slice access.
+func (b *specBuilder) load(x *cc.IndexExpr) (dExprI, dExprF, error) {
+	slot := x.Array.Slot
+	hostIdx, didx, err := b.index(x.Index)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.spec.Accesses = append(b.spec.Accesses, SpecAccess{
+		Slot: slot, Kind: AccessLoad, InBranch: b.inBranch, Index: hostIdx,
+	})
+	b.cur.BytesRead += x.Array.Type.Size()
+	switch x.Array.Type {
+	case cc.TInt:
+		return func(env *DEnv) int64 {
+			a := &env.Arrays[slot]
+			return int64(a.I32[didx(env)-a.Base])
+		}, nil, nil
+	case cc.TFloat:
+		return nil, func(env *DEnv) float64 {
+			a := &env.Arrays[slot]
+			return float64(a.F32[didx(env)-a.Base])
+		}, nil
+	default:
+		return nil, func(env *DEnv) float64 {
+			a := &env.Arrays[slot]
+			return a.F64[didx(env)-a.Base]
+		}, nil
+	}
+}
+
+func (b *specBuilder) binary(x *cc.BinaryExpr) (dExprI, dExprF, error) {
+	switch x.Op {
+	case "&&", "||":
+		// Short-circuiting makes the right operand's cost
+		// data-dependent; the analytic formulas cannot express that.
+		return nil, nil, errSpecIneligible
+	}
+
+	switch x.Op {
+	case "<", "<=", ">", ">=", "==", "!=":
+		if x.X.Type() == cc.TInt && x.Y.Type() == cc.TInt {
+			a, err := b.exprI(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			c, err := b.exprI(x.Y)
+			if err != nil {
+				return nil, nil, err
+			}
+			b.cur.Flops++
+			var fn dExprI
+			switch x.Op {
+			case "<":
+				fn = func(e *DEnv) int64 { return b2i(a(e) < c(e)) }
+			case "<=":
+				fn = func(e *DEnv) int64 { return b2i(a(e) <= c(e)) }
+			case ">":
+				fn = func(e *DEnv) int64 { return b2i(a(e) > c(e)) }
+			case ">=":
+				fn = func(e *DEnv) int64 { return b2i(a(e) >= c(e)) }
+			case "==":
+				fn = func(e *DEnv) int64 { return b2i(a(e) == c(e)) }
+			default:
+				fn = func(e *DEnv) int64 { return b2i(a(e) != c(e)) }
+			}
+			return fn, nil, nil
+		}
+		a, err := b.exprF(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := b.exprF(x.Y)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.cur.Flops++
+		var fn dExprI
+		switch x.Op {
+		case "<":
+			fn = func(e *DEnv) int64 { return b2i(a(e) < c(e)) }
+		case "<=":
+			fn = func(e *DEnv) int64 { return b2i(a(e) <= c(e)) }
+		case ">":
+			fn = func(e *DEnv) int64 { return b2i(a(e) > c(e)) }
+		case ">=":
+			fn = func(e *DEnv) int64 { return b2i(a(e) >= c(e)) }
+		case "==":
+			fn = func(e *DEnv) int64 { return b2i(a(e) == c(e)) }
+		default:
+			fn = func(e *DEnv) int64 { return b2i(a(e) != c(e)) }
+		}
+		return fn, nil, nil
+	}
+
+	if x.Type() == cc.TInt {
+		a, err := b.exprI(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := b.exprI(x.Y)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.cur.Flops++
+		switch x.Op {
+		case "+":
+			return func(e *DEnv) int64 { return a(e) + c(e) }, nil, nil
+		case "-":
+			return func(e *DEnv) int64 { return a(e) - c(e) }, nil, nil
+		case "*":
+			return func(e *DEnv) int64 { return a(e) * c(e) }, nil, nil
+		case "/":
+			return func(e *DEnv) int64 { return a(e) / c(e) }, nil, nil
+		case "%":
+			return func(e *DEnv) int64 { return a(e) % c(e) }, nil, nil
+		case "&":
+			return func(e *DEnv) int64 { return a(e) & c(e) }, nil, nil
+		case "|":
+			return func(e *DEnv) int64 { return a(e) | c(e) }, nil, nil
+		case "^":
+			return func(e *DEnv) int64 { return a(e) ^ c(e) }, nil, nil
+		case "<<":
+			return func(e *DEnv) int64 { return a(e) << uint(c(e)) }, nil, nil
+		case ">>":
+			return func(e *DEnv) int64 { return a(e) >> uint(c(e)) }, nil, nil
+		}
+		return nil, nil, errSpecIneligible
+	}
+
+	a, err := b.exprF(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := b.exprF(x.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch x.Op {
+	case "+":
+		b.cur.Flops++
+		return nil, func(e *DEnv) float64 { return a(e) + c(e) }, nil
+	case "-":
+		b.cur.Flops++
+		return nil, func(e *DEnv) float64 { return a(e) - c(e) }, nil
+	case "*":
+		b.cur.Flops++
+		return nil, func(e *DEnv) float64 { return a(e) * c(e) }, nil
+	case "/":
+		b.cur.Flops += 4
+		return nil, func(e *DEnv) float64 { return a(e) / c(e) }, nil
+	}
+	return nil, nil, errSpecIneligible
+}
+
+func (b *specBuilder) call(x *cc.CallExpr) (dExprI, dExprF, error) {
+	bi, ok := cc.Builtins[x.Name]
+	if !ok {
+		return nil, nil, errSpecIneligible
+	}
+	b.cur.Flops += bi.Flops
+	if x.Type() == cc.TInt {
+		args := make([]dExprI, len(x.Args))
+		for i, a := range x.Args {
+			c, err := b.exprI(a)
+			if err != nil {
+				return nil, nil, err
+			}
+			args[i] = c
+		}
+		switch x.Name {
+		case "min":
+			a0, a1 := args[0], args[1]
+			return func(e *DEnv) int64 { return min(a0(e), a1(e)) }, nil, nil
+		case "max":
+			a0, a1 := args[0], args[1]
+			return func(e *DEnv) int64 { return max(a0(e), a1(e)) }, nil, nil
+		case "abs":
+			a0 := args[0]
+			return func(e *DEnv) int64 {
+				v := a0(e)
+				if v < 0 {
+					return -v
+				}
+				return v
+			}, nil, nil
+		}
+		return nil, nil, errSpecIneligible
+	}
+	args := make([]dExprF, len(x.Args))
+	for i, a := range x.Args {
+		c, err := b.exprF(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		args[i] = c
+	}
+	fn1, fn2, ok := floatBuiltin(x.Name)
+	if !ok {
+		return nil, nil, errSpecIneligible
+	}
+	if fn1 != nil {
+		a0 := args[0]
+		return nil, func(e *DEnv) float64 { return fn1(a0(e)) }, nil
+	}
+	a0, a1 := args[0], args[1]
+	return nil, func(e *DEnv) float64 { return fn2(a0(e), a1(e)) }, nil
+}
+
+// floatBuiltin maps a float builtin name to its math implementation
+// (one- or two-argument); both spec compilation paths share it so they
+// call bit-identical functions.
+func floatBuiltin(name string) (fn1 func(float64) float64, fn2 func(float64, float64) float64, ok bool) {
+	switch name {
+	case "sqrt", "sqrtf":
+		fn1 = math.Sqrt
+	case "fabs", "fabsf", "abs":
+		fn1 = math.Abs
+	case "exp", "expf":
+		fn1 = math.Exp
+	case "log", "logf":
+		fn1 = math.Log
+	case "floor":
+		fn1 = math.Floor
+	case "ceil":
+		fn1 = math.Ceil
+	case "pow", "powf":
+		fn2 = math.Pow
+	case "min":
+		fn2 = math.Min
+	case "max":
+		fn2 = math.Max
+	default:
+		return nil, nil, false
+	}
+	return fn1, fn2, true
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

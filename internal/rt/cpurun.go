@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"accmulti/internal/ir"
 	"accmulti/internal/sim"
@@ -43,14 +42,11 @@ func (r *Runtime) launchCPU(k *ir.Kernel, env *ir.Env) error {
 	for ri, red := range k.ScalarReds {
 		setRedSlot(base, red, redVals[ri])
 	}
-	var (
-		wctr int32
-		rmu  sync.Mutex
-	)
+	var rmu sync.Mutex
 	loopSlot := k.LoopVar.Slot
-	counters, err := cpu.ParallelFor(int(n), func(start, end int) sim.Counters {
+	counters, err := cpu.ParallelForWorkers(int(n), nil, func(w, start, end int) (sim.Counters, error) {
 		we := base.Clone()
-		we.WorkerID = int(atomic.AddInt32(&wctr, 1) - 1)
+		we.WorkerID = w
 		for it := start; it < end; it++ {
 			we.Ints[loopSlot] = lower + int64(it)
 			if err := k.Body(we); err != nil {
@@ -58,9 +54,9 @@ func (r *Runtime) launchCPU(k *ir.Kernel, env *ir.Env) error {
 					continue // `continue` binding to the parallel loop
 				}
 				if errors.Is(err, ir.ErrLoopBreak) {
-					panic(fmt.Errorf("line %d: break out of a parallel loop is not allowed", k.Line))
+					return sim.Counters{}, fmt.Errorf("line %d: break out of a parallel loop is not allowed", k.Line)
 				}
-				panic(err)
+				return sim.Counters{}, err
 			}
 		}
 		rmu.Lock()
@@ -74,7 +70,7 @@ func (r *Runtime) launchCPU(k *ir.Kernel, env *ir.Env) error {
 			BytesWritten: we.BytesWritten,
 			Iterations:   int64(end - start),
 			ReduceOps:    we.ReduceOps,
-		}
+		}, nil
 	})
 	if err != nil {
 		return fmt.Errorf("rt: kernel %s on CPU: %w", k.Name, err)

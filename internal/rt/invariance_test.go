@@ -25,7 +25,8 @@ func invarianceConfigs() map[string]rt.Options {
 	return map[string]rt.Options{
 		"no-plan-cache":    {DisablePlanCache: true},
 		"no-host-parallel": {DisableHostParallel: true},
-		"all-serial":       {DisablePlanCache: true, DisableHostParallel: true},
+		"no-specialize":    {DisableSpecialize: true},
+		"all-serial":       {DisablePlanCache: true, DisableHostParallel: true, DisableSpecialize: true},
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"accmulti/internal/cc"
@@ -210,7 +209,11 @@ loading:
 		}
 	}
 
-	// Phase B — kernel execution on every GPU concurrently.
+	// Phase B — kernel execution on every GPU concurrently. The
+	// specialized executor, when one applies, is resolved on the host
+	// strand (its cache is unsynchronized); each GPU goroutine then
+	// decides independently whether its chunk can take the fast path.
+	ex := r.specExecutor(k)
 	eff := r.kernelEfficiency(k)
 	var (
 		mu        sync.Mutex
@@ -225,7 +228,7 @@ loading:
 		wg.Add(1)
 		go func(g int, dev *sim.Device) {
 			defer wg.Done()
-			counters, redVals, err := r.runOnGPU(k, env, g, dev, parts[g], needs[g])
+			counters, redVals, err := r.runOnGPU(k, env, g, dev, parts[g], needs[g], ex)
 			cost := dev.Spec.KernelCost(counters, eff)
 			if r.opts.Mode == ModeBaseline && counters.ReduceOps > 0 {
 				// Without the reductiontoarray extension the compiler
@@ -299,26 +302,31 @@ func (r *Runtime) kernelEfficiency(k *ir.Kernel) float64 {
 }
 
 // runOnGPU executes one GPU's share of the iteration space and returns
-// the work counters and the GPU's scalar-reduction partials.
-func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, dev *sim.Device, p span, nds []need) (sim.Counters, []float64, error) {
+// the work counters and the GPU's scalar-reduction partials. The
+// specialized executor handles the chunk when its per-GPU conditions
+// hold; otherwise the instrumented interpreter runs.
+func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, dev *sim.Device, p span, nds []need, ex *specExec) (sim.Counters, []float64, error) {
 	redVals := identityPartials(k)
 	n := p.count()
 	if n == 0 {
 		return sim.Counters{}, redVals, nil
+	}
+	if ex != nil {
+		counters, handled, err := ex.run(r, k, env, g, dev, p, nds, redVals)
+		if handled {
+			return counters, redVals, err
+		}
 	}
 	views := r.buildViews(k, env, g, nds)
 	base := env.CloneWithViews(views)
 	for ri, red := range k.ScalarReds {
 		setRedSlot(base, red, redVals[ri])
 	}
-	var (
-		wctr int32
-		rmu  sync.Mutex
-	)
+	var rmu sync.Mutex
 	loopSlot := k.LoopVar.Slot
-	counters, err := dev.ParallelFor(int(n), func(start, end int) sim.Counters {
+	counters, err := dev.ParallelForWorkers(int(n), nil, func(w, start, end int) (sim.Counters, error) {
 		we := base.Clone()
-		we.WorkerID = int(atomic.AddInt32(&wctr, 1) - 1)
+		we.WorkerID = w
 		for it := start; it < end; it++ {
 			we.Ints[loopSlot] = p.lo + int64(it)
 			if err := k.Body(we); err != nil {
@@ -326,9 +334,9 @@ func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, dev *sim.Device, p 
 					continue // `continue` binding to the parallel loop
 				}
 				if errors.Is(err, ir.ErrLoopBreak) {
-					panic(fmt.Errorf("line %d: break out of a parallel loop is not allowed", k.Line))
+					return sim.Counters{}, fmt.Errorf("line %d: break out of a parallel loop is not allowed", k.Line)
 				}
-				panic(err)
+				return sim.Counters{}, err
 			}
 		}
 		rmu.Lock()
@@ -342,7 +350,7 @@ func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, dev *sim.Device, p 
 			BytesWritten: we.BytesWritten,
 			Iterations:   int64(end - start),
 			ReduceOps:    we.ReduceOps,
-		}
+		}, nil
 	})
 	// Fold per-lane chunk marks into the shared chunk-dirty array now
 	// that the worker strands are done.

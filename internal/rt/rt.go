@@ -119,6 +119,12 @@ type Options struct {
 	// Exists for the report-invariance tests and wall-clock ablations;
 	// the virtual-time report must be bit-identical either way.
 	DisableHostParallel bool
+	// DisableSpecialize turns the specialized kernel executors off:
+	// every launch runs the instrumented closure-tree interpreter, as
+	// before PR 4. Exists for the report-invariance tests and wall-clock
+	// ablations; reports, events, transfers and final array contents
+	// must be bit-identical either way.
+	DisableSpecialize bool
 	// Sabotage deliberately corrupts communication steps so tests can
 	// prove the auditor detects real consistency bugs. Never set it
 	// outside tests.
@@ -190,6 +196,12 @@ type Runtime struct {
 	// needs) across launches of the same kernel; see plancache.go for
 	// the validity rules.
 	planCache map[planKey]*launchPlan
+	// specExecs caches one specialized executor per eligible kernel ID
+	// (worker environments, result slots, endpoint scratch); see
+	// specexec.go. Unlike the plan cache it needs no validation: the
+	// specialized body is static and all launch-varying state is
+	// re-bound on every run.
+	specExecs map[int]*specExec
 	// scalarScratch is reused for plan-cache validation fingerprints.
 	scalarScratch []int64
 
@@ -234,6 +246,7 @@ func New(mach *sim.Machine, opts Options) *Runtime {
 		fpCache:     map[fpKey]fpVal{},
 		balCache:    map[balKey]balVal{},
 		planCache:   map[planKey]*launchPlan{},
+		specExecs:   map[int]*specExec{},
 	}
 }
 

@@ -1,0 +1,465 @@
+package rt_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+	"accmulti/internal/translator"
+)
+
+// Differential suite for the specialized kernel executors (PR 4): every
+// template below runs twice — once with the fast path enabled (the
+// default) and once with DisableSpecialize — and the two executions
+// must be bit-identical in every observable: the virtual-time report
+// (counters, transfer volumes, events, peaks), every array's final
+// contents, and the host scalar state. The template family deliberately
+// spans both sides of the eligibility fence: affine straight-line and
+// branched kernels that specialize, per-GPU fallbacks (branch stores on
+// dirty-marked replicas), and launch-global fallbacks (indirect
+// indices, non-affine reductiontoarray, ?:, inner sequential loops) so
+// the fallback hand-off itself is under differential test too.
+
+type specTemplate struct {
+	name string
+	src  string
+	// scalars produces the bindings (always including "n").
+	scalars func(rng *rand.Rand) map[string]float64
+}
+
+func nScalar(rng *rand.Rand) map[string]float64 {
+	return map[string]float64{"n": float64(64 + rng.Intn(1200))}
+}
+
+var specTemplates = []specTemplate{
+	{
+		name: "saxpy64",
+		src: `
+int n;
+double a;
+double x[n], y[n];
+void main() {
+    int i;
+    #pragma acc data copyin(x) copy(y)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            y[i] = a * x[i] + y[i];
+        }
+    }
+}
+`,
+		scalars: func(rng *rand.Rand) map[string]float64 {
+			m := nScalar(rng)
+			m["a"] = 0.5 + rng.Float64()
+			return m
+		},
+	},
+	{
+		// Iterated float ping-pong stencil: exercises the executor cache
+		// across launches, interior-range loops and the bulk dirty
+		// marking that feeds replica chunk sync.
+		name: "stencil-iter",
+		src: `
+int n, steps;
+float a[n], b[n];
+void main() {
+    int i, s;
+    #pragma acc data copy(a) create(b)
+    {
+        for (s = 0; s < steps; s++) {
+            #pragma acc parallel loop
+            for (i = 1; i < n - 1; i++) {
+                b[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+            }
+            #pragma acc parallel loop
+            for (i = 1; i < n - 1; i++) {
+                a[i] = b[i];
+            }
+        }
+    }
+}
+`,
+		scalars: func(rng *rand.Rand) map[string]float64 {
+			m := nScalar(rng)
+			m["steps"] = float64(1 + rng.Intn(4))
+			return m
+		},
+	},
+	{
+		// Stores under both if-arms: fast path at one GPU (no dirty
+		// marking), per-GPU interpreter fallback on replicated multi-GPU
+		// launches (BranchStores × wantDirty).
+		name: "branch-store",
+		src: `
+int n;
+int in_[n], out_[n];
+void main() {
+    int i;
+    int v;
+    #pragma acc data copyin(in_) copy(out_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            v = in_[i];
+            if (v > 0) {
+                out_[i] = v * 2;
+            } else {
+                out_[i] = 0 - v;
+            }
+        }
+    }
+}
+`,
+		scalars: nScalar,
+	},
+	{
+		// Scalar reduction fed from one if-arm: arm-taken counting must
+		// reproduce the interpreter's data-dependent flop totals exactly.
+		name: "branch-reduce",
+		src: `
+int n;
+int total;
+int in_[n];
+void main() {
+    int i;
+    int v;
+    total = 0;
+    #pragma acc data copyin(in_)
+    {
+        #pragma acc parallel loop reduction(+:total)
+        for (i = 0; i < n; i++) {
+            v = in_[i];
+            if (v % 3 == 0) {
+                total += v;
+            }
+        }
+    }
+}
+`,
+		scalars: nScalar,
+	},
+	{
+		// Two strided affine stores, one a compound assignment (extra
+		// read + flop per store, stride-2 dirty footprints).
+		name: "strided-opassign",
+		src: `
+int n;
+int in_[n], out_[2 * n + 1];
+void main() {
+    int i;
+    #pragma acc data copyin(in_) copy(out_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out_[2 * i] = in_[i];
+            out_[2 * i + 1] += in_[i] / 2;
+        }
+    }
+}
+`,
+		scalars: nScalar,
+	},
+	{
+		// Distributed placement: writes stay within the local partition,
+		// so no miss-check lanes are needed and the fast path runs on
+		// partition-sized copies (Base offsets exercised).
+		name: "distributed-affine",
+		src: `
+int n;
+float in_[n], out_[n];
+void main() {
+    int i;
+    #pragma acc data copyin(in_) copy(out_)
+    {
+        #pragma acc localaccess(in_) stride(1)
+        #pragma acc localaccess(out_) stride(1)
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out_[i] = in_[i] * 0.5 + 1.0;
+        }
+    }
+}
+`,
+		scalars: nScalar,
+	},
+	{
+		// Builtin calls and float32 rounding on an eligible body.
+		name: "builtins-mix",
+		src: `
+int n;
+float in_[n], out_[n];
+void main() {
+    int i;
+    #pragma acc data copyin(in_) copy(out_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out_[i] = sqrt(fabs(in_[i]) + 1.0) + min(in_[i], 0.5) * 0.25;
+        }
+    }
+}
+`,
+		scalars: nScalar,
+	},
+	{
+		// Integer shift/bit/mod soup plus a scalar temp.
+		name: "intops",
+		src: `
+int n;
+int in_[n], out_[n];
+void main() {
+    int i;
+    int v;
+    #pragma acc data copyin(in_) copy(out_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            v = (in_[i] << 1) ^ (in_[i] >> 2);
+            out_[i] = (v & 1023) | (i % 7);
+        }
+    }
+}
+`,
+		scalars: nScalar,
+	},
+	{
+		// reductiontoarray at an affine index: the fast path updates the
+		// per-worker lanes directly, at logical indices.
+		name: "lanes-affine",
+		src: `
+int n;
+int in_[n], acc_[n];
+void main() {
+    int i;
+    #pragma acc data copyin(in_) copy(acc_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            #pragma acc reductiontoarray(+: acc_[i])
+            acc_[i] += in_[i];
+        }
+    }
+}
+`,
+		scalars: nScalar,
+	},
+	{
+		// Indirect scatter: launch-global interpreter fallback.
+		name: "indirect-fallback",
+		src: `
+int n;
+int in_[n], idx_[n], out_[n];
+void main() {
+    int i;
+    #pragma acc data copyin(in_, idx_) copy(out_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out_[idx_[i]] = in_[i] + 1;
+        }
+    }
+}
+`,
+		scalars: nScalar,
+	},
+	{
+		// Non-affine reductiontoarray index: interpreter fallback.
+		name: "histo-fallback",
+		src: `
+int n, k;
+int in_[n], hist_[k];
+void main() {
+    int i;
+    int v;
+    #pragma acc data copyin(in_) copy(hist_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            v = in_[i];
+            #pragma acc reductiontoarray(+: hist_[(v % k + k) % k])
+            hist_[(v % k + k) % k] += 1;
+        }
+    }
+}
+`,
+		scalars: func(rng *rand.Rand) map[string]float64 {
+			m := nScalar(rng)
+			m["k"] = float64(3 + rng.Intn(13))
+			return m
+		},
+	},
+	{
+		// ?: has data-dependent operand cost: interpreter fallback.
+		name: "condexpr-fallback",
+		src: `
+int n;
+int in_[n], out_[n];
+void main() {
+    int i;
+    #pragma acc data copyin(in_) copy(out_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out_[i] = in_[i] > 0 ? in_[i] : 1 - in_[i];
+        }
+    }
+}
+`,
+		scalars: nScalar,
+	},
+	{
+		// Inner sequential loop: interpreter fallback.
+		name: "innerloop-fallback",
+		src: `
+int n, k;
+int in_[n], out_[n];
+void main() {
+    int i, j;
+    int v;
+    #pragma acc data copyin(in_) copy(out_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            v = 0;
+            for (j = 0; j < k; j++) {
+                v = v + in_[i];
+            }
+            out_[i] = v;
+        }
+    }
+}
+`,
+		scalars: func(rng *rand.Rand) map[string]float64 {
+			m := nScalar(rng)
+			m["k"] = float64(1 + rng.Intn(4))
+			return m
+		},
+	},
+}
+
+// runSpecTemplate compiles, binds and runs one template, filling every
+// array deterministically from fillSeed after Bind (the module
+// auto-allocates unbound arrays). idx_ arrays get a permutation of [0, n).
+func runSpecTemplate(t testing.TB, tpl specTemplate, scalars map[string]float64, fillSeed int64, spec sim.MachineSpec, opts rt.Options) (*rt.Report, *ir.Instance, error) {
+	t.Helper()
+	prog, err := cc.ParseProgram(tpl.src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", tpl.name, err)
+	}
+	mod, err := translator.Translate(prog)
+	if err != nil {
+		t.Fatalf("%s: translate: %v", tpl.name, err)
+	}
+	bind := ir.NewBindings()
+	for name, v := range scalars {
+		bind.SetScalar(name, v)
+	}
+	inst, err := mod.Bind(bind)
+	if err != nil {
+		t.Fatalf("%s: bind: %v", tpl.name, err)
+	}
+	n := int(scalars["n"])
+	rng := rand.New(rand.NewSource(fillSeed))
+	for _, a := range inst.Arrays {
+		if a.Decl.Name == "idx_" {
+			// A permutation, not rng.Intn(n): duplicate indices would let
+			// two workers store different values into the same out_
+			// element, making even the interpreter's result depend on
+			// goroutine scheduling.
+			for i, p := range rng.Perm(n)[:len(a.I32)] {
+				a.I32[i] = int32(p)
+			}
+			continue
+		}
+		switch {
+		case a.F32 != nil:
+			for i := range a.F32 {
+				a.F32[i] = rng.Float32()*2 - 1
+			}
+		case a.F64 != nil:
+			for i := range a.F64 {
+				a.F64[i] = rng.Float64()*2 - 1
+			}
+		default:
+			for i := range a.I32 {
+				a.I32[i] = int32(rng.Intn(2001) - 1000)
+			}
+		}
+	}
+	mach, err := sim.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.New(mach, opts)
+	return r.Report(), inst, r.Run(inst)
+}
+
+// checkSpecDiff runs one (template, scalars, fill) triple with the fast
+// path off and on and requires bit-identical observables.
+func checkSpecDiff(t testing.TB, tpl specTemplate, scalars map[string]float64, fillSeed int64) {
+	t.Helper()
+	for _, spec := range []sim.MachineSpec{
+		sim.Desktop().WithGPUs(1),
+		sim.Desktop(),
+		sim.SupercomputerNode(),
+	} {
+		refRep, refInst, refErr := runSpecTemplate(t, tpl, scalars, fillSeed, spec, rt.Options{DisableSpecialize: true})
+		rep, inst, err := runSpecTemplate(t, tpl, scalars, fillSeed, spec, rt.Options{})
+		label := fmt.Sprintf("%s on %s (n=%g)", tpl.name, spec.Name, scalars["n"])
+		if refErr != nil || err != nil {
+			t.Fatalf("%s: run failed: interp %v, spec %v", label, refErr, err)
+		}
+		if !reflect.DeepEqual(refRep, rep) {
+			t.Fatalf("%s: Report diverged\ninterp %+v\nspec   %+v", label, refRep, rep)
+		}
+		for i := range refInst.Arrays {
+			want, got := refInst.Arrays[i], inst.Arrays[i]
+			if !reflect.DeepEqual(want.F32, got.F32) ||
+				!reflect.DeepEqual(want.F64, got.F64) ||
+				!reflect.DeepEqual(want.I32, got.I32) {
+				t.Fatalf("%s: array %q diverged", label, want.Decl.Name)
+			}
+		}
+		if !reflect.DeepEqual(refInst.Env.Ints, inst.Env.Ints) ||
+			!reflect.DeepEqual(refInst.Env.Floats, inst.Env.Floats) {
+			t.Fatalf("%s: final scalar state diverged\ninterp ints %v floats %v\nspec   ints %v floats %v",
+				label, refInst.Env.Ints, refInst.Env.Floats, inst.Env.Ints, inst.Env.Floats)
+		}
+	}
+}
+
+func TestSpecializedVsInterpCorpus(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, tpl := range specTemplates {
+		tpl := tpl
+		t.Run(tpl.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				rng := rand.New(rand.NewSource(seed))
+				checkSpecDiff(t, tpl, tpl.scalars(rng), seed*1000+7)
+			}
+		})
+	}
+}
+
+// FuzzSpecializedVsInterp lets the fuzzer explore (template, shape,
+// content) triples; specialization must never move a single bit.
+func FuzzSpecializedVsInterp(f *testing.F) {
+	for ti := range specTemplates {
+		f.Add(ti, int64(42))
+	}
+	f.Fuzz(func(t *testing.T, ti int, seed int64) {
+		ti = ((ti % len(specTemplates)) + len(specTemplates)) % len(specTemplates)
+		tpl := specTemplates[ti]
+		rng := rand.New(rand.NewSource(seed))
+		checkSpecDiff(t, tpl, tpl.scalars(rng), seed^0x5eed)
+	})
+}

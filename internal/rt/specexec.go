@@ -1,0 +1,434 @@
+package rt
+
+import (
+	"sync/atomic"
+
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+)
+
+// Specialized kernel executors: the Phase-B fast path.
+//
+// When the translator produced a KernelSpec for a kernel (see
+// ir.BuildKernelSpec), the runtime can run each GPU's share of the
+// iteration space directly on the device copies' backing slices instead
+// of driving the instrumented closure-tree interpreter. The contract is
+// the PR-3 invariance standard: reports, events, transfers and final
+// array contents must be bit-identical with the fast path on or off, so
+// the executor only runs when it can reproduce the interpreter exactly:
+//
+//   - Launch-global fallbacks (specExecutor returns nil): specialization
+//     disabled, audit mode (the auditor observes per-access semantics),
+//     an armed fault plan, or no KernelSpec at all.
+//   - Per-GPU fallbacks (run returns handled=false): miss-check lanes
+//     (distributed writes buffer out-of-partition stores one record at
+//     a time), layout-transformed copies (physical indices are not
+//     affine in the logical index), dirty marking of a slot written
+//     under a branch (the write footprint is data-dependent), an empty
+//     resident range on an accessed array, or an endpoint range check
+//     that fails — the interpreter then reproduces the exact legacy
+//     behaviour, including its partition-violation panic texts.
+//
+// What the per-access instrumentation did, the executor reconstructs:
+// counters analytically (per-iteration IterCost formulas × iteration
+// and arm-taken counts), dirty bits in bulk (each affine store's
+// footprint is the arithmetic progression between its endpoint
+// indices), and range safety by monotonicity (an affine index over a
+// chunk attains its extrema at the chunk's first and last iteration).
+type specExec struct {
+	spec *ir.KernelSpec
+	// uiBySlot maps array slots to the kernel's Arrays index (-1 when
+	// the slot is not a kernel array).
+	uiBySlot []int
+	// gs is the per-GPU reusable launch scratch, indexed by GPU.
+	gs []specGPU
+	// hits counts per-GPU chunks the fast path handled (tests assert
+	// eligible kernels actually specialize). Atomic: GPU goroutines.
+	hits int64
+}
+
+// specGPU is one GPU's executor scratch, reused across launches so the
+// steady state allocates nothing.
+type specGPU struct {
+	// envs are the per-worker direct environments.
+	envs []*ir.DEnv
+	// slots is the ParallelForWorkers result storage.
+	slots []sim.WorkerSlot
+	// evalEnv evaluates access-index endpoints against the host scalars.
+	evalEnv *ir.Env
+	// v0, v1 hold each access's index at the chunk's first and last
+	// iteration (in Accesses order).
+	v0, v1 []int64
+	// branch accumulates arm-taken counts over the workers.
+	branch []int64
+	// venvs wrap envs for the tiled body (nil when the spec has none);
+	// accA/accB are the per-launch affine coefficients all of this GPU's
+	// workers share (index(i) = accA*i + accB, in Accesses order).
+	venvs      []*ir.VecEnv
+	accA, accB []int64
+}
+
+// specExecutor resolves the executor for a launch, or nil when the
+// whole launch must interpret. Called on the host strand only (the
+// cache map is unsynchronized, like the plan cache).
+func (r *Runtime) specExecutor(k *ir.Kernel) *specExec {
+	if k.Spec == nil || r.opts.DisableSpecialize || r.auditing() || r.mach.FaultPlan() != nil {
+		return nil
+	}
+	ex, ok := r.specExecs[k.ID]
+	if !ok {
+		ex = &specExec{
+			spec:     k.Spec,
+			uiBySlot: make([]int, k.Spec.NumArrays),
+			gs:       make([]specGPU, r.mach.NumGPUs()),
+		}
+		for slot := range ex.uiBySlot {
+			ex.uiBySlot[slot] = -1
+		}
+		for ui, use := range k.Arrays {
+			ex.uiBySlot[use.Decl.Slot] = ui
+		}
+		r.specExecs[k.ID] = ex
+	}
+	return ex
+}
+
+// run executes one GPU's share on the fast path. handled=false means
+// the caller must fall back to the interpreter for this GPU (nothing
+// was mutated). On handled=true, redVals has this GPU's scalar
+// reduction partials merged in and the returned counters are exactly
+// what the interpreter would have accumulated.
+func (ex *specExec) run(r *Runtime, k *ir.Kernel, env *ir.Env, g int, dev *sim.Device, p span, nds []need, redVals []float64) (sim.Counters, bool, error) {
+	spec := ex.spec
+	n := p.count()
+
+	// Structural per-GPU fallbacks.
+	for ui := range k.Arrays {
+		nd := &nds[ui]
+		if nd.transform || nd.wantMiss {
+			return sim.Counters{}, false, nil
+		}
+		if nd.wantDirty && spec.BranchStores[k.Arrays[ui].Decl.Slot] {
+			return sim.Counters{}, false, nil
+		}
+	}
+
+	gs := &ex.gs[g]
+	ex.ensureScratch(r, gs, dev)
+
+	// Endpoint range checks: each access's affine index is monotone over
+	// [p.lo, p.hi), so checking it at the first and last iteration
+	// covers the whole chunk. Runs before any mutation, so a failed
+	// check can still hand the chunk to the interpreter, which
+	// reproduces the exact legacy diagnostics (including for accesses a
+	// branch would never have executed — a conservative, slower-only
+	// difference).
+	ev := gs.evalEnv
+	copy(ev.Ints, env.Ints)
+	copy(ev.Floats, env.Floats)
+	loopSlot := spec.LoopSlot
+	for ai := range spec.Accesses {
+		a := &spec.Accesses[ai]
+		ui := ex.uiBySlot[a.Slot]
+		if ui < 0 {
+			return sim.Counters{}, false, nil
+		}
+		st := r.state(k.Arrays[ui].Decl)
+		c := st.copies[g]
+		ev.Ints[loopSlot] = p.lo
+		v0 := a.Index(ev)
+		ev.Ints[loopSlot] = p.hi - 1
+		v1 := a.Index(ev)
+		lo, hi := v0, v1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if a.Kind == ir.AccessReduce {
+			if lo < 0 || hi >= st.n {
+				return sim.Counters{}, false, nil
+			}
+		} else {
+			if !c.valid || lo < c.lo || hi > c.hi {
+				return sim.Counters{}, false, nil
+			}
+		}
+		gs.v0[ai], gs.v1[ai] = v0, v1
+	}
+	atomic.AddInt64(&ex.hits, 1)
+
+	// Worker environments: one per chunk ParallelForWorkers will spawn,
+	// with the host scalars, identity reduction slots, zeroed arm
+	// counters and the GPU's slices bound by slot.
+	workers := dev.Spec.Workers
+	if workers > int(n) {
+		workers = int(n)
+	}
+	chunk := (int(n) + workers - 1) / workers
+	nw := (int(n) + chunk - 1) / chunk
+	for w := 0; w < nw; w++ {
+		de := gs.envs[w]
+		copy(de.Ints, env.Ints)
+		copy(de.Floats, env.Floats)
+		for i := range de.Branch {
+			de.Branch[i] = 0
+		}
+		for ri, red := range k.ScalarReds {
+			setRedSlotD(de, red, redVals[ri])
+		}
+		for ui, use := range k.Arrays {
+			c := r.state(use.Decl).copies[g]
+			da := &de.Arrays[use.Decl.Slot]
+			da.F32, da.F64, da.I32 = c.f32, c.f64, c.i32
+			da.Base = c.lo
+			da.LaneF, da.LaneI = nil, nil
+			if nds[ui].wantLanes {
+				if c.lanesI != nil {
+					da.LaneI = c.lanesI[w]
+				} else {
+					da.LaneF = c.lanesF[w]
+				}
+			}
+		}
+	}
+
+	base := p.lo
+	var err error
+	if spec.VecBody != nil && ex.prepVec(gs, p, n) {
+		vbody := spec.VecBody
+		_, err = dev.ParallelForWorkers(int(n), gs.slots, func(w, start, end int) (sim.Counters, error) {
+			vm := gs.venvs[w]
+			for s := start; s < end; s += ir.VecTile {
+				l := end - s
+				if l > ir.VecTile {
+					l = ir.VecTile
+				}
+				vbody(vm, base+int64(s), l)
+			}
+			return sim.Counters{}, nil
+		})
+	} else {
+		body := spec.Body
+		_, err = dev.ParallelForWorkers(int(n), gs.slots, func(w, start, end int) (sim.Counters, error) {
+			de := gs.envs[w]
+			ints := de.Ints
+			for it := start; it < end; it++ {
+				ints[loopSlot] = base + int64(it)
+				body(de)
+			}
+			return sim.Counters{}, nil
+		})
+	}
+	if err != nil {
+		return sim.Counters{}, true, err
+	}
+
+	// Merge scalar-reduction partials and arm counts in worker order.
+	for ri, red := range k.ScalarReds {
+		for w := 0; w < nw; w++ {
+			redVals[ri] = mergeRed(red, redVals[ri], getRedSlotD(gs.envs[w], red))
+		}
+	}
+	for j := range gs.branch {
+		gs.branch[j] = 0
+		for w := 0; w < nw; w++ {
+			gs.branch[j] += gs.envs[w].Branch[j]
+		}
+	}
+
+	// Analytic counters: per-iteration base cost × iterations, plus each
+	// arm's per-execution cost × its observed execution count.
+	var ctrs sim.Counters
+	ctrs.Iterations = n
+	addCost(&ctrs, &spec.Base, n)
+	for j := range spec.Arms {
+		addCost(&ctrs, &spec.Arms[j], gs.branch[j])
+	}
+
+	// Dirty marking: every store on a dirty-marked slot is unconditional
+	// here (branch stores fell back above), so its footprint is exactly
+	// the progression between its endpoint indices, and the interpreter
+	// would have charged 2 bytes of dirty-bit traffic per store.
+	for ai := range spec.Accesses {
+		a := &spec.Accesses[ai]
+		if a.Kind != ir.AccessStore {
+			continue
+		}
+		ui := ex.uiBySlot[a.Slot]
+		nd := &nds[ui]
+		if !nd.wantDirty {
+			continue
+		}
+		c := r.state(k.Arrays[ui].Decl).copies[g]
+		markDirtyAffine(c, gs.v0[ai], gs.v1[ai], n)
+		ctrs.BytesWritten += 2 * n
+	}
+	return ctrs, true, nil
+}
+
+// ensureScratch sizes the per-GPU scratch once; later launches reuse it.
+func (ex *specExec) ensureScratch(r *Runtime, gs *specGPU, dev *sim.Device) {
+	spec := ex.spec
+	if gs.evalEnv == nil {
+		gs.evalEnv = &ir.Env{
+			Ints:   make([]int64, spec.NumInts),
+			Floats: make([]float64, spec.NumFloats),
+		}
+		gs.v0 = make([]int64, len(spec.Accesses))
+		gs.v1 = make([]int64, len(spec.Accesses))
+		gs.branch = make([]int64, len(spec.Arms))
+		if spec.VecBody != nil {
+			gs.accA = make([]int64, len(spec.Accesses))
+			gs.accB = make([]int64, len(spec.Accesses))
+		}
+	}
+	if len(gs.envs) < dev.Spec.Workers {
+		gs.envs = make([]*ir.DEnv, dev.Spec.Workers)
+		for w := range gs.envs {
+			gs.envs[w] = spec.NewDEnv()
+		}
+		gs.slots = make([]sim.WorkerSlot, dev.Spec.Workers)
+		if spec.VecBody != nil {
+			gs.venvs = make([]*ir.VecEnv, dev.Spec.Workers)
+			for w := range gs.venvs {
+				vm := spec.NewVecEnv(gs.envs[w])
+				vm.AccA, vm.AccB = gs.accA, gs.accB
+				gs.venvs[w] = vm
+			}
+		}
+	}
+}
+
+// prepVec derives each access's affine coefficients over the chunk from
+// its endpoint values and decides whether the tiled body's statement-
+// blocked schedule is element-equivalent to the per-iteration schedule.
+// Two accesses of the same array may be reordered against each other
+// only if they provably hit the same element every iteration (program
+// order is then preserved per element) or provably disjoint element
+// sets. Reduce accesses write per-worker lanes, not the array, so they
+// only interfere with other reduces.
+func (ex *specExec) prepVec(gs *specGPU, p span, n int64) bool {
+	spec := ex.spec
+	for ai := range spec.Accesses {
+		var A int64
+		if n > 1 {
+			A = (gs.v1[ai] - gs.v0[ai]) / (n - 1)
+		}
+		gs.accA[ai] = A
+		gs.accB[ai] = gs.v0[ai] - A*p.lo
+	}
+	acc := spec.Accesses
+	for i := range acc {
+		for j := i + 1; j < len(acc); j++ {
+			if acc[i].Slot != acc[j].Slot {
+				continue
+			}
+			ki, kj := acc[i].Kind, acc[j].Kind
+			var conflict bool
+			switch {
+			case ki == ir.AccessStore && kj != ir.AccessReduce,
+				kj == ir.AccessStore && ki != ir.AccessReduce:
+				conflict = true
+			case ki == ir.AccessReduce && kj == ir.AccessReduce:
+				conflict = true
+			}
+			if !conflict {
+				continue
+			}
+			ai, bi := gs.accA[i], gs.accB[i]
+			aj, bj := gs.accA[j], gs.accB[j]
+			if ai == aj && bi == bj && ai != 0 {
+				continue // same element every iteration
+			}
+			if vecDisjoint(gs.v0[i], gs.v1[i], gs.v0[j], gs.v1[j], ai, aj, bi, bj) {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// vecDisjoint reports that two affine access footprints share no
+// element: separated ranges, or equal nonzero strides whose offset
+// difference is not a multiple of the stride.
+func vecDisjoint(v0i, v1i, v0j, v1j, ai, aj, bi, bj int64) bool {
+	loi, hii := v0i, v1i
+	if loi > hii {
+		loi, hii = hii, loi
+	}
+	loj, hij := v0j, v1j
+	if loj > hij {
+		loj, hij = hij, loj
+	}
+	if hii < loj || hij < loi {
+		return true
+	}
+	return ai == aj && ai != 0 && (bi-bj)%ai != 0
+}
+
+// addCost accumulates c×times into the launch counters.
+func addCost(ctrs *sim.Counters, c *ir.IterCost, times int64) {
+	ctrs.Flops += c.Flops * times
+	ctrs.BytesRead += c.BytesRead * times
+	ctrs.BytesWritten += c.BytesWritten * times
+	ctrs.ReduceOps += c.ReduceOps * times
+}
+
+// markDirtyAffine marks the dirty bits and chunk bits of one store
+// access's footprint: the arithmetic progression from v0 to v1 over
+// iters iterations (logical element indices; the copy is untransformed,
+// so physical offset = logical − lo).
+func markDirtyAffine(c *gpuCopy, v0, v1, iters int64) {
+	if v1 < v0 {
+		v0, v1 = v1, v0
+	}
+	p0, p1 := v0-c.lo, v1-c.lo
+	if iters == 1 || p0 == p1 {
+		c.dirty[p0] = 1
+		c.chunkDirty[p0/c.chunkElems] = 1
+		return
+	}
+	step := (p1 - p0) / (iters - 1)
+	if step == 1 {
+		fillOnes(c.dirty[p0 : p1+1])
+		// Contiguous, so every chunk in the range holds a store.
+		for ch := p0 / c.chunkElems; ch <= p1/c.chunkElems; ch++ {
+			c.chunkDirty[ch] = 1
+		}
+		return
+	}
+	for p := p0; p <= p1; p += step {
+		c.dirty[p] = 1
+		c.chunkDirty[p/c.chunkElems] = 1
+	}
+}
+
+// fillOnes sets every byte of s to 1 (copy-doubling; Go only pattern-
+// matches memset for zeroing).
+func fillOnes(s []uint8) {
+	if len(s) == 0 {
+		return
+	}
+	s[0] = 1
+	for filled := 1; filled < len(s); filled *= 2 {
+		copy(s[filled:], s[:filled])
+	}
+}
+
+// setRedSlotD / getRedSlotD mirror setRedSlot/getRedSlot for direct
+// environments.
+func setRedSlotD(e *ir.DEnv, red ir.ScalarRed, v float64) {
+	if red.Decl.Type == cc.TInt {
+		e.Ints[red.Decl.Slot] = int64(v)
+	} else {
+		e.Floats[red.Decl.Slot] = v
+	}
+}
+
+func getRedSlotD(e *ir.DEnv, red ir.ScalarRed) float64 {
+	if red.Decl.Type == cc.TInt {
+		return float64(e.Ints[red.Decl.Slot])
+	}
+	return e.Floats[red.Decl.Slot]
+}

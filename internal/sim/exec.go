@@ -12,6 +12,28 @@ import (
 // recovered and surfaced as an error so a bad kernel cannot take down
 // the host process.
 func (d *Device) ParallelFor(n int, fn func(start, end int) Counters) (Counters, error) {
+	return d.ParallelForWorkers(n, nil, func(_, start, end int) (Counters, error) {
+		return fn(start, end), nil
+	})
+}
+
+// WorkerSlot is one worker's result cell for ParallelForWorkers.
+// Callers may keep a slice of them across launches so the steady state
+// allocates nothing.
+type WorkerSlot struct {
+	C   Counters
+	Err error
+}
+
+// ParallelForWorkers is ParallelFor with stable worker identities and
+// batched accounting: fn receives the worker index w (the chunk index,
+// deterministic across runs) alongside its range, returns its range's
+// Counters once instead of incrementing shared state per element, and
+// may return an error, which is reported in worker order. slots, when
+// non-nil and large enough, is reused as the per-worker result storage;
+// pass nil to let the call allocate. Panics in fn are still recovered
+// into errors.
+func (d *Device) ParallelForWorkers(n int, slots []WorkerSlot, fn func(w, start, end int) (Counters, error)) (Counters, error) {
 	if n <= 0 {
 		return Counters{}, nil
 	}
@@ -20,59 +42,59 @@ func (d *Device) ParallelFor(n int, fn func(start, end int) Counters) (Counters,
 		workers = n
 	}
 	if workers == 1 {
-		return runRange(fn, 0, n)
+		return runRange(fn, 0, 0, n)
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		total    Counters
-		firstErr error
-	)
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		if start >= n {
-			break
-		}
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		if raceDetectorEnabled {
-			// Kernels may carry benign app-level races (same-value
-			// relaxations); run the simulated lanes one by one so the
-			// detector watches only the runtime's real concurrency.
-			c, err := runRange(fn, start, end)
-			total.Add(c)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		wg.Add(1)
-		go func(start, end int) {
-			defer wg.Done()
-			c, err := runRange(fn, start, end)
-			mu.Lock()
-			defer mu.Unlock()
-			total.Add(c)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}(start, end)
+	nw := (n + chunk - 1) / chunk // spawned workers; can be < workers
+	if len(slots) < nw {
+		slots = make([]WorkerSlot, nw)
 	}
-	wg.Wait()
+	if raceDetectorEnabled {
+		// Kernels may carry benign app-level races (same-value
+		// relaxations); run the simulated lanes one by one so the
+		// detector watches only the runtime's real concurrency.
+		for w := 0; w < nw; w++ {
+			start := w * chunk
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			slots[w].C, slots[w].Err = runRange(fn, w, start, end)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			start := w * chunk
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			wg.Add(1)
+			go func(w, start, end int) {
+				defer wg.Done()
+				slots[w].C, slots[w].Err = runRange(fn, w, start, end)
+			}(w, start, end)
+		}
+		wg.Wait()
+	}
+	var total Counters
+	var firstErr error
+	for w := 0; w < nw; w++ {
+		total.Add(slots[w].C)
+		if slots[w].Err != nil && firstErr == nil {
+			firstErr = slots[w].Err
+		}
+	}
 	return total, firstErr
 }
 
-func runRange(fn func(start, end int) Counters, start, end int) (c Counters, err error) {
+func runRange(fn func(w, start, end int) (Counters, error), w, start, end int) (c Counters, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("sim: kernel panicked on range [%d,%d): %v", start, end, r)
 		}
 	}()
-	c = fn(start, end)
-	return c, nil
+	return fn(w, start, end)
 }
 
 // OnEachGPU runs fn concurrently on every GPU of the machine (one

@@ -214,6 +214,7 @@ func (t *xlate) buildKernel(st *cc.ForStmt) (*ir.Kernel, error) {
 			break
 		}
 	}
+	k.Spec = ir.BuildKernelSpec(st.Body, loopVar, t.prog)
 	return k, nil
 }
 
