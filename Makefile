@@ -2,24 +2,34 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-quick bench-baseline eval eval-json examples clean check fuzz-smoke accvet
+.PHONY: all build vet test test-short cover bench bench-quick bench-baseline eval eval-json examples clean check fuzz-smoke accvet trace-check
 
 all: build vet test
 
 # check is the pre-PR gate: vet, the plain test suite, the race
 # detector over the suite (the runtime launches kernels concurrently
 # across simulated GPUs; -short skips the full-scale app inputs, which
-# take ~10x longer under the detector), the accvet directive checks
-# over the shipped examples and the audited random-program corpus, and
-# a short fuzz smoke over the frontend fuzzer, the audited
-# random-program fuzzer, the vet-vs-auditor cross-check fuzzer and the
-# specialized-vs-interpreted differential fuzzer.
+# take ~10x longer under the detector), the trace golden/invariance
+# gate, the accvet directive checks over the shipped examples and the
+# audited random-program corpus, and a short fuzz smoke over the
+# frontend fuzzer, the audited random-program fuzzer, the
+# vet-vs-auditor cross-check fuzzer, the specialized-vs-interpreted
+# differential fuzzer and the trace well-formedness fuzzer.
 check: vet
 	$(GO) test ./...
 	$(GO) test -race -short -timeout 1200s ./...
+	$(MAKE) trace-check
 	$(MAKE) bench-quick
 	$(MAKE) accvet
 	$(MAKE) fuzz-smoke
+
+# trace-check pins the observability layer: the committed golden
+# Chrome traces (regenerate with -update-trace-goldens), the
+# metrics-vs-report-vs-vet cross-check, and the report/byte invariance
+# of tracing across option matrices and GOMAXPROCS=1.
+trace-check:
+	$(GO) test -run 'TestTraceGolden|TestTraceMetricsCrossCheck' ./internal/core
+	$(GO) test -run 'TestTraceReportInvariance|TestTraceGOMAXPROCS1ByteStability|TestTraceByteStabilityStress|TestTraceStructureSeedCorpus' ./internal/rt
 
 # accvet runs the directive-verification pass the way CI consumes it:
 # accc -vet must accept every known-good shipped program, and the
@@ -35,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzAuditedRandomPrograms -fuzztime=5s -run='^$$' ./internal/rt
 	$(GO) test -fuzz=FuzzVetCrossCheck -fuzztime=5s -run='^$$' ./internal/rt
 	$(GO) test -fuzz=FuzzSpecializedVsInterp -fuzztime=5s -run='^$$' ./internal/rt
+	$(GO) test -fuzz=FuzzTraceWellFormed -fuzztime=5s -run='^$$' ./internal/rt
 
 build:
 	$(GO) build ./...
@@ -56,13 +67,14 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-quick is the host-performance regression gate: the steady-state
-# allocation-budget assertions (loader paths and specialized launches)
+# allocation-budget assertions (loader paths, specialized launches, and
+# the tracing-disabled launch path, which must add zero allocations)
 # plus one iteration of each wall-clock gate benchmark
 # (legacy-vs-optimized loader, replicated-write diff, plan resolution,
 # and the Phase-B interpreter-vs-specialized pairs). Cheap enough to
 # run in every `make check`.
 bench-quick:
-	$(GO) test -run 'TestSteadyStateAllocBudget|TestSpecLaunchSteadyStateAllocBudget|TestPhaseBSpeedupGate' \
+	$(GO) test -run 'TestSteadyStateAllocBudget|TestSpecLaunchSteadyStateAllocBudget|TestTraceDisabledAllocBudget|TestPhaseBSpeedupGate' \
 		-bench 'BenchmarkIteratedStencilLoader|BenchmarkReplicatedWriteDiff|BenchmarkLaunchPlanResolve|BenchmarkPhaseBSaxpy|BenchmarkPhaseBStencil' \
 		-benchtime=1x -benchmem ./internal/rt
 

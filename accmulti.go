@@ -23,10 +23,13 @@
 package accmulti
 
 import (
+	"io"
+
 	"accmulti/internal/core"
 	"accmulti/internal/ir"
 	"accmulti/internal/rt"
 	"accmulti/internal/sim"
+	"accmulti/internal/trace"
 )
 
 // Compile parses, analyzes and translates OpenACC C source into an
@@ -85,7 +88,20 @@ type (
 	Mode = rt.Mode
 	// Report is the execution accounting (Fig. 7/8/9 inputs).
 	Report = rt.Report
+	// Tracer collects deterministic structured spans and aggregate
+	// metrics when installed via Config.Trace; export with
+	// trace.WriteChrome and Metrics().WriteJSON.
+	Tracer = trace.Tracer
 )
+
+// NewTracer returns an empty tracer for Config.Trace.
+func NewTracer() *Tracer { return trace.New() }
+
+// WriteChromeTrace renders a tracer's spans as Chrome trace-event JSON
+// (viewable in about://tracing); the output is byte-identical across
+// runs of the same program. Dump the aggregate metrics with
+// t.Metrics().WriteJSON.
+func WriteChromeTrace(w io.Writer, t *Tracer) error { return trace.WriteChrome(w, t) }
 
 // Runtime modes, matching the comparison bars of the paper's Figure 7.
 const (

@@ -18,30 +18,40 @@
 //
 //	accbench -cpuprofile cpu.out fig7
 //	go tool pprof cpu.out
+//
+// -trace and -metrics collect the deterministic runtime trace across
+// every measured configuration (one Chrome trace process per
+// app/machine/mode point) and the aggregate metrics registry:
+//
+//	accbench -trace eval.trace.json -metrics eval.metrics.json fig7
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"accmulti/internal/bench"
+	"accmulti/internal/trace"
 )
 
 func main() {
 	var (
-		scale      = flag.Float64("scale", 1.0, "multiplier on the per-app default bench scales")
-		appScale   = flag.String("appscale", "", "per-app input fractions, e.g. MD=1.0,BFS=0.05")
-		appsFlag   = flag.String("apps", "", "comma-separated subset of MD,KMEANS,BFS")
-		verify     = flag.Bool("verify", false, "verify every run against the Go references")
-		noSpec     = flag.Bool("no-specialize", false, "disable the specialized kernel executors (Phase B fast path)")
-		seed       = flag.Int64("seed", 0, "input generator seed (0 = default)")
-		jsonOut    = flag.Bool("json", false, "emit the selected sections as JSON instead of text")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+		scale       = flag.Float64("scale", 1.0, "multiplier on the per-app default bench scales")
+		appScale    = flag.String("appscale", "", "per-app input fractions, e.g. MD=1.0,BFS=0.05")
+		appsFlag    = flag.String("apps", "", "comma-separated subset of MD,KMEANS,BFS")
+		verify      = flag.Bool("verify", false, "verify every run against the Go references")
+		noSpec      = flag.Bool("no-specialize", false, "disable the specialized kernel executors (Phase B fast path)")
+		seed        = flag.Int64("seed", 0, "input generator seed (0 = default)")
+		jsonOut     = flag.Bool("json", false, "emit the selected sections as JSON instead of text")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+		traceFile   = flag.String("trace", "", "write a Chrome trace-event JSON file covering every measured run")
+		metricsFile = flag.String("metrics", "", "write the aggregate metrics registry as JSON")
 	)
 	flag.Parse()
 
@@ -70,6 +80,25 @@ func main() {
 	}
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Verify: *verify, NoSpecialize: *noSpec}
+	if *traceFile != "" || *metricsFile != "" {
+		cfg.Trace = trace.New()
+		defer func() {
+			if *traceFile != "" {
+				if err := writeFileWith(*traceFile, func(w io.Writer) error {
+					return trace.WriteChrome(w, cfg.Trace)
+				}); err != nil {
+					fatal(err)
+				}
+			}
+			if *metricsFile != "" {
+				if err := writeFileWith(*metricsFile, func(w io.Writer) error {
+					return cfg.Trace.Metrics().WriteJSON(w)
+				}); err != nil {
+					fatal(err)
+				}
+			}
+		}()
+	}
 	if *appsFlag != "" {
 		cfg.Apps = strings.Split(*appsFlag, ",")
 	}
@@ -176,6 +205,19 @@ func main() {
 	if wallclock != nil {
 		bench.RenderWallClock(os.Stdout, wallclock)
 	}
+}
+
+// writeFileWith streams fn's output into path.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

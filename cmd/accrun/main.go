@@ -7,7 +7,15 @@
 //
 //	accrun [-machine desktop|super] [-gpus n] [-mode proposal|openmp|baseline|cuda]
 //	       [-vet] [-audit] [-faults seed=7,oomgpu=1,oomalloc=5,...]
+//	       [-trace out.trace.json] [-metrics out.metrics.json] [-narrate]
 //	       [-set n=1000 -set a=2.5 ...] [-print arr] file.c
+//
+// -trace writes a deterministic Chrome trace-event file (open it in a
+// Chromium browser's about://tracing, or drop it on ui.perfetto.dev):
+// one lane per GPU plus host and comms lanes, stamped with the
+// simulated clock. -metrics dumps the aggregate counters and
+// histograms as JSON. -narrate prints the legacy one-line-per-event
+// commentary to stderr.
 //
 // -vet runs the accvet directive checks first, printing diagnostics to
 // stderr and refusing to execute a program with verification errors.
@@ -29,6 +37,7 @@ import (
 	"accmulti/internal/ir"
 	"accmulti/internal/rt"
 	"accmulti/internal/sim"
+	"accmulti/internal/trace"
 )
 
 type setFlags []string
@@ -41,7 +50,9 @@ func main() {
 	machine := flag.String("machine", "desktop", "platform: desktop or super")
 	gpus := flag.Int("gpus", 0, "override GPU count (0 = platform default)")
 	mode := flag.String("mode", "proposal", "proposal, openmp, baseline or cuda")
-	trace := flag.Bool("trace", false, "print one line per runtime event (loader, kernels, comm)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (about://tracing)")
+	metricsFile := flag.String("metrics", "", "write the aggregate metrics registry as JSON")
+	narrate := flag.Bool("narrate", false, "print one line per runtime event (loader, kernels, comm)")
 	kernels := flag.Bool("kernels", false, "print a per-kernel statistics table after the run")
 	printArr := flag.String("print", "", "print this array's first elements after the run")
 	vet := flag.Bool("vet", false, "run the accvet directive checks before executing; abort on errors")
@@ -94,8 +105,12 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	if *trace {
+	if *narrate {
 		opts.Trace = os.Stderr
+	}
+	var tracer *trace.Tracer
+	if *traceFile != "" || *metricsFile != "" {
+		tracer = trace.New()
 	}
 	opts.DisableDegradation = *noDegrade
 	opts.DisableSpecialize = *noSpec
@@ -140,9 +155,26 @@ func main() {
 	res, err := prog.Run(b, core.Config{
 		Machine: spec, Options: opts,
 		Audit: *auditRun, AuditTolerance: *auditTol, Faults: plan,
+		Trace: tracer,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *traceFile != "" {
+		if err := writeFileWith(*traceFile, func(w io.Writer) error {
+			return trace.WriteChrome(w, tracer)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d spans -> %s\n", len(tracer.Spans()), *traceFile)
+	}
+	if *metricsFile != "" {
+		if err := writeFileWith(*metricsFile, func(w io.Writer) error {
+			return tracer.Metrics().WriteJSON(w)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: -> %s\n", *metricsFile)
 	}
 	fmt.Printf("machine: %s (%d GPUs), mode %s\n", spec.Name, spec.NumGPUs, opts.Mode)
 	fmt.Println(res.Report)
@@ -192,6 +224,19 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// writeFileWith streams fn's output into path.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -49,15 +52,61 @@ func TestAccrunModesAndMachines(t *testing.T) {
 	}
 }
 
-func TestAccrunTrace(t *testing.T) {
+func TestAccrunNarrate(t *testing.T) {
 	bin := buildTool(t)
-	out, err := exec.Command(bin, "-trace", "-set", "n=1000", "-set", "k=4",
+	out, err := exec.Command(bin, "-narrate", "-set", "n=1000", "-set", "k=4",
 		"../../examples/testdata/histogram.c").CombinedOutput()
 	if err != nil {
-		t.Fatalf("accrun -trace: %v\n%s", err, out)
+		t.Fatalf("accrun -narrate: %v\n%s", err, out)
 	}
 	if !strings.Contains(string(out), "loader: kernel") {
-		t.Errorf("trace output missing:\n%s", out)
+		t.Errorf("narration output missing:\n%s", out)
+	}
+}
+
+func TestAccrunTraceAndMetricsFiles(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "out.trace.json")
+	metricsFile := filepath.Join(dir, "out.metrics.json")
+	run := func(tf string) []byte {
+		out, err := exec.Command(bin, "-gpus", "2", "-trace", tf, "-metrics", metricsFile,
+			"-set", "n=1000", "-set", "k=4",
+			"../../examples/testdata/histogram.c").CombinedOutput()
+		if err != nil {
+			t.Fatalf("accrun -trace FILE: %v\n%s", err, out)
+		}
+		data, err := os.ReadFile(tf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	data := run(traceFile)
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace file has no events")
+	}
+	mdata, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mets map[string]json.RawMessage
+	if err := json.Unmarshal(mdata, &mets); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if _, ok := mets["counters"]; !ok {
+		t.Errorf("metrics file lacks counters:\n%s", mdata)
+	}
+	// Determinism at the tool level: a second run writes identical bytes.
+	traceFile2 := filepath.Join(dir, "out2.trace.json")
+	if data2 := run(traceFile2); !bytes.Equal(data, data2) {
+		t.Error("trace files differ across identical runs")
 	}
 }
 

@@ -2,7 +2,7 @@
  * windows force an inter-GPU boundary exchange after every launch;
  * the analyzer predicts the exchange the runtime will perform.
  *   go run ./cmd/accc -vet examples/vet/stencil_exchange.c
- *   go run ./cmd/accrun -gpus 4 -set n=1024 -trace examples/vet/stencil_exchange.c
+ *   go run ./cmd/accrun -gpus 4 -set n=1024 -trace out.json examples/vet/stencil_exchange.c
  */
 int n;
 int t;

@@ -15,6 +15,7 @@ import (
 	"accmulti/internal/core"
 	"accmulti/internal/rt"
 	"accmulti/internal/sim"
+	"accmulti/internal/trace"
 )
 
 // Config controls one evaluation sweep.
@@ -36,6 +37,11 @@ type Config struct {
 	// Phase-B direct-slice fast path) in every measured configuration,
 	// isolating the other host optimizations.
 	NoSpecialize bool
+	// Trace, when non-nil, collects structured spans and metrics for
+	// every measured run. Each configuration becomes its own trace
+	// process ("app/machine/mode(gpus)"), so one Chrome trace file
+	// holds the whole sweep side by side.
+	Trace *trace.Tracer
 }
 
 // Default per-app benchmark scales: fractions of the paper's input
@@ -198,7 +204,10 @@ func runOnce(cfg Config, app *apps.App, prog *core.Program, spec sim.MachineSpec
 	if err != nil {
 		return nil, err
 	}
-	res, err := prog.Run(in.Bindings, core.Config{Machine: spec, Options: opts})
+	if cfg.Trace != nil {
+		cfg.Trace.BeginProcess(fmt.Sprintf("%s/%s/%s(%d)", app.Name, spec.Name, opts.Mode, spec.NumGPUs))
+	}
+	res, err := prog.Run(in.Bindings, core.Config{Machine: spec, Options: opts, Trace: cfg.Trace})
 	if err != nil {
 		return nil, err
 	}

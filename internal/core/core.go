@@ -14,6 +14,7 @@ import (
 	"accmulti/internal/ir"
 	"accmulti/internal/rt"
 	"accmulti/internal/sim"
+	"accmulti/internal/trace"
 	"accmulti/internal/translator"
 )
 
@@ -61,6 +62,12 @@ type Config struct {
 	// Faults arms deterministic fault injection on the machine before
 	// the run (see sim.ParseFaultPlan for the accrun -faults syntax).
 	Faults *sim.FaultPlan
+	// Trace, when non-nil, collects structured spans and aggregate
+	// metrics for the run (see internal/trace): export them afterwards
+	// with trace.WriteChrome / Metrics().WriteJSON. Equivalent to
+	// setting Options.Tracer directly; a tracer may be shared across
+	// several runs to collect them into one file.
+	Trace *trace.Tracer
 }
 
 // Result carries everything a run produced.
@@ -89,6 +96,9 @@ func (p *Program) Run(b *ir.Bindings, cfg Config) (*Result, error) {
 	mach.InjectFaults(cfg.Faults)
 	if cfg.Audit && cfg.Options.Auditor == nil {
 		cfg.Options.Auditor = audit.New(audit.Options{Tolerance: cfg.AuditTolerance})
+	}
+	if cfg.Trace != nil && cfg.Options.Tracer == nil {
+		cfg.Options.Tracer = cfg.Trace
 	}
 	runtime := rt.New(mach, cfg.Options)
 	if err := runtime.Run(inst); err != nil {

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+	"accmulti/internal/trace"
+)
+
+// Golden Chrome traces for three representative programs. Each .trace.json
+// under examples/ is exactly what -trace writes for the pinned binding, so
+// any change to the loader, the comm manager, the launch path or the cost
+// model that moves a single span must regenerate the golden and explain the
+// move in the diff:
+//
+//	go test ./internal/core -run TestTraceGolden -update-trace-goldens
+var updateTraceGoldens = flag.Bool("update-trace-goldens", false,
+	"rewrite the examples/*.trace.json golden files")
+
+// embeddedSource extracts the backquoted `const source` program from an
+// example's main.go, so the goldens track the shipped examples verbatim.
+func embeddedSource(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marker = "const source = `"
+	s := string(data)
+	i := strings.Index(s, marker)
+	if i < 0 {
+		t.Fatalf("%s: no embedded source", path)
+	}
+	rest := s[i+len(marker):]
+	j := strings.Index(rest, "`")
+	if j < 0 {
+		t.Fatalf("%s: unterminated embedded source", path)
+	}
+	return rest[:j]
+}
+
+// traceCases pin one program per subsystem flavor: the 4-GPU megaelement
+// stencil (halo exchanges, the acceptance-criteria trace), kmeans
+// (reductiontoarray hierarchies), and the vet showcase exchange program.
+func traceCases(t *testing.T) []struct {
+	name   string
+	golden string
+	run    func(t *testing.T, tr *trace.Tracer) *Result
+} {
+	exDir := filepath.Join("..", "..", "examples")
+	stencilSrc := embeddedSource(t, filepath.Join(exDir, "stencil1d", "main.go"))
+	kmeansSrc := embeddedSource(t, filepath.Join(exDir, "kmeans", "main.go"))
+	exchangeFile := filepath.Join(exDir, "vet", "stencil_exchange.c")
+
+	return []struct {
+		name   string
+		golden string
+		run    func(t *testing.T, tr *trace.Tracer) *Result
+	}{
+		{
+			name:   "stencil1d",
+			golden: filepath.Join(exDir, "stencil1d", "stencil1d.trace.json"),
+			run: func(t *testing.T, tr *trace.Tracer) *Result {
+				const n, steps = 1 << 20, 3
+				prog, err := Compile(stencilSrc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a := &ir.HostArray{F32: make([]float32, n)}
+				a.F32[n/2] = 1000
+				bind := ir.NewBindings().
+					SetScalar("n", n).SetScalar("steps", steps).SetArray("a", a)
+				res, err := prog.Run(bind, Config{Machine: sim.Desktop().WithGPUs(4), Trace: tr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			},
+		},
+		{
+			name:   "kmeans",
+			golden: filepath.Join(exDir, "kmeans", "kmeans.trace.json"),
+			run: func(t *testing.T, tr *trace.Tracer) *Result {
+				const n, nf, k, iters = 2000, 4, 3, 2
+				prog, err := Compile(kmeansSrc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				feat := &ir.HostArray{F32: make([]float32, n*nf)}
+				for i := range feat.F32 {
+					// Deterministic pseudo-data; no RNG so the binding is a constant.
+					feat.F32[i] = float32((i*2654435761)%1000) / 250
+				}
+				clusters := &ir.HostArray{F32: make([]float32, k*nf)}
+				copy(clusters.F32, feat.F32[:k*nf])
+				member := &ir.HostArray{I32: make([]int32, n)}
+				bind := ir.NewBindings().
+					SetScalar("n", n).SetScalar("nf", nf).SetScalar("k", k).SetScalar("iters", iters).
+					SetArray("feat", feat).SetArray("clusters", clusters).SetArray("member", member)
+				res, err := prog.Run(bind, Config{Machine: sim.Desktop(), Trace: tr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			},
+		},
+		{
+			name:   "stencil_exchange",
+			golden: filepath.Join(exDir, "vet", "stencil_exchange.trace.json"),
+			run: func(t *testing.T, tr *trace.Tracer) *Result {
+				res, err := runExchange(exchangeFile, 4, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			},
+		},
+	}
+}
+
+// runExchange runs examples/vet/stencil_exchange.c at n=256 on the given
+// GPU count; shared with the metrics cross-check below.
+func runExchange(path string, gpus int, tr *trace.Tracer) (*Result, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := Compile(string(src))
+	if err != nil {
+		return nil, err
+	}
+	const n = 256
+	a := &ir.HostArray{F32: make([]float32, n)}
+	b := &ir.HostArray{F32: make([]float32, n)}
+	for i := 0; i < n; i++ {
+		a.F32[i] = float32(i % 17)
+	}
+	bind := ir.NewBindings().SetScalar("n", n).SetArray("a", a).SetArray("b", b)
+	return prog.Run(bind, Config{Machine: sim.Desktop().WithGPUs(gpus), Trace: tr})
+}
+
+func chromeTrace(t *testing.T, tr *trace.Tracer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTraceGolden(t *testing.T) {
+	for _, tc := range traceCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := trace.New()
+			tc.run(t, tr)
+			got := chromeTrace(t, tr)
+
+			// Determinism first: a second run must reproduce the bytes.
+			tr2 := trace.New()
+			tc.run(t, tr2)
+			if !bytes.Equal(got, chromeTrace(t, tr2)) {
+				t.Fatal("trace bytes differ across two identical runs; golden comparison would be meaningless")
+			}
+			if err := trace.CheckWellFormed(tr.Spans()); err != nil {
+				t.Fatal(err)
+			}
+
+			if *updateTraceGoldens {
+				if err := os.WriteFile(tc.golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes, %d spans)", tc.golden, len(got), len(tr.Spans()))
+				return
+			}
+
+			want, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-trace-goldens to create): %v", err)
+			}
+			if bytes.Equal(got, want) {
+				return
+			}
+			// Bytes moved: report the first divergent span, not a wall of JSON.
+			wantSpans, perr := trace.ParseChrome(want)
+			if perr != nil {
+				t.Fatalf("golden unparsable: %v", perr)
+			}
+			gotSpans, perr := trace.ParseChrome(got)
+			if perr != nil {
+				t.Fatalf("generated trace unparsable: %v", perr)
+			}
+			if diff := trace.DiffSpans(gotSpans, wantSpans); diff != "" {
+				t.Fatalf("trace diverged from golden %s:\n%s", tc.golden, diff)
+			}
+			t.Fatalf("trace bytes diverged from golden %s with identical span structure (header or metadata change?)", tc.golden)
+		})
+	}
+}
+
+// TestTraceMetricsCrossCheck ties the three observability layers
+// together on the vet showcase program: the metrics registry must agree
+// with the Report's transfer accounting, the spec counters must agree
+// with the runtime's own, and the halo-exchange spans must realize
+// exactly the exchanges the static analyzer predicts via ACCV007.
+func TestTraceMetricsCrossCheck(t *testing.T) {
+	const gpus = 4
+	path := filepath.Join("..", "..", "examples", "vet", "stencil_exchange.c")
+	tr := trace.New()
+	res, err := runExchange(path, gpus, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Metrics()
+
+	// Metrics vs Report transfer totals.
+	if got, want := m.Counter("bytes.h2d"), res.Report.BytesH2D; got != want {
+		t.Errorf("bytes.h2d metric = %d, Report.BytesH2D = %d", got, want)
+	}
+	if got, want := m.Counter("bytes.d2h"), res.Report.BytesD2H; got != want {
+		t.Errorf("bytes.d2h metric = %d, Report.BytesD2H = %d", got, want)
+	}
+	if got, want := m.Counter("bytes.p2p"), res.Report.BytesP2P; got != want {
+		t.Errorf("bytes.p2p metric = %d, Report.BytesP2P = %d", got, want)
+	}
+
+	// Spec counters vs the runtime's own bookkeeping.
+	if got, want := m.Counter("spec.hits"), res.Runtime.SpecHits(); got != want {
+		t.Errorf("spec.hits metric = %d, Runtime.SpecHits() = %d", got, want)
+	}
+	if got, want := m.Counter("spec.fallbacks"), res.Runtime.SpecFallbacks(); got != want {
+		t.Errorf("spec.fallbacks metric = %d, Runtime.SpecFallbacks() = %d", got, want)
+	}
+
+	// Halo spans vs the ACCV007 predictions. The vetter predicts an
+	// exchange for exactly the arrays written distributed and re-read
+	// with a halo footprint; the trace must show halo-exchange spans for
+	// exactly those arrays and no others.
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vet, err := prog.Vet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameRe := regexp.MustCompile(`array "([^"]+)"`)
+	predicted := map[string]bool{}
+	for _, d := range vet.Diags.ByCode("ACCV007") {
+		mm := nameRe.FindStringSubmatch(d.Message)
+		if mm == nil {
+			t.Fatalf("ACCV007 message without array name: %s", d.Message)
+		}
+		predicted[mm[1]] = true
+	}
+	if len(predicted) != 2 {
+		t.Fatalf("expected ACCV007 for both stencil arrays, got %v", predicted)
+	}
+	haloCount := map[string]int{}
+	for _, s := range tr.Spans() {
+		if s.Kind == trace.KindHalo {
+			haloCount[s.Name]++
+		}
+	}
+	for name := range haloCount {
+		if !predicted[name] {
+			t.Errorf("halo-exchange spans for %q, but no ACCV007 prediction", name)
+		}
+	}
+	// The program iterates 10 times with two sweeps. Array "a" (written
+	// by the second sweep, halo-read by the first) exchanges after each
+	// of its 10 writer launches; "b" (written first, halo-read second)
+	// has no resident halo windows yet on iteration 0, so it exchanges
+	// only 9 times. Each exchange round moves both boundary elements of
+	// every adjacent GPU pair: 2*(gpus-1) spans.
+	perRound := 2 * (gpus - 1)
+	if got, want := haloCount["a"], 10*perRound; got != want {
+		t.Errorf(`halo spans for "a" = %d, ACCV007 predicts %d (10 rounds x %d)`, got, want, perRound)
+	}
+	if got, want := haloCount["b"], 9*perRound; got != want {
+		t.Errorf(`halo spans for "b" = %d, ACCV007 predicts %d (9 rounds x %d)`, got, want, perRound)
+	}
+}

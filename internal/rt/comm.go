@@ -62,7 +62,8 @@ func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partia
 			acc := getRedSlot(env, red)
 			for g := range gpus {
 				acc = mergeRed(red, acc, partials[g][ri])
-				tiny = append(tiny, sim.Transfer{Kind: sim.DeviceToHost, Bytes: 8, Src: g, Dst: -1})
+				tiny = append(tiny, sim.Transfer{Kind: sim.DeviceToHost, Bytes: 8, Src: g, Dst: -1,
+					Label: red.Decl.Name, Lo: 0, Hi: -1, Tag: sim.TagScalar})
 			}
 			setRedSlot(env, red, acc)
 		}
@@ -195,7 +196,8 @@ func (r *Runtime) scanDirty(st *arrayState, gpus []*sim.Device, g int, d *srcDif
 		payload := src.localLen()*st.elemSize + src.localLen() // data + dirty bits
 		for g2 := range gpus {
 			if g2 != g {
-				d.transfers = append(d.transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: payload, Src: g, Dst: g2})
+				d.transfers = append(d.transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: payload, Src: g, Dst: g2,
+					Label: st.decl.Name, Lo: src.lo, Hi: src.hi, Tag: sim.TagDirty})
 			}
 		}
 		return
@@ -215,7 +217,8 @@ func (r *Runtime) scanDirty(st *arrayState, gpus []*sim.Device, g int, d *srcDif
 		chunkBytes := (hi - lo) * st.elemSize
 		for g2 := range gpus {
 			if g2 != g {
-				d.transfers = append(d.transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: chunkBytes, Src: g, Dst: g2})
+				d.transfers = append(d.transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: chunkBytes, Src: g, Dst: g2,
+					Label: st.decl.Name, Lo: src.lo + lo, Hi: src.lo + hi - 1, Tag: sim.TagDirty})
 			}
 		}
 	}
@@ -273,11 +276,13 @@ func (r *Runtime) deliverMisses(st *arrayState, gpus []*sim.Device) []sim.Transf
 		}
 		for g2, b := range bytesTo {
 			if b > 0 {
-				transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: b, Src: g, Dst: g2})
+				transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: b, Src: g, Dst: g2,
+					Label: st.decl.Name, Lo: 0, Hi: -1, Tag: sim.TagMiss})
 			}
 		}
 		if hostBytes > 0 {
-			transfers = append(transfers, sim.Transfer{Kind: sim.DeviceToHost, Bytes: hostBytes, Src: g, Dst: -1})
+			transfers = append(transfers, sim.Transfer{Kind: sim.DeviceToHost, Bytes: hostBytes, Src: g, Dst: -1,
+				Label: st.decl.Name, Lo: 0, Hi: -1, Tag: sim.TagMiss})
 		}
 		// Drain the system buffers for the next superstep.
 		for w := range src.miss {
@@ -330,7 +335,8 @@ func (r *Runtime) syncOverlaps(st *arrayState, gpus []*sim.Device) []sim.Transfe
 				bytes += (seg[1] - seg[0] + 1) * st.elemSize
 			}
 			if bytes > 0 {
-				transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: bytes, Src: g, Dst: g2})
+				transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: bytes, Src: g, Dst: g2,
+					Label: st.decl.Name, Lo: lo, Hi: hi, Tag: sim.TagHalo})
 			}
 		}
 	}
@@ -430,8 +436,10 @@ func (r *Runtime) mergeReduction(st *arrayState, use *ir.ArrayUse, gpus []*sim.D
 	laneBytes := n * st.elemSize
 	for g := 1; g < len(gpus); g++ {
 		transfers = append(transfers,
-			sim.Transfer{Kind: sim.PeerToPeer, Bytes: laneBytes, Src: g, Dst: 0},
-			sim.Transfer{Kind: sim.PeerToPeer, Bytes: laneBytes, Src: 0, Dst: g},
+			sim.Transfer{Kind: sim.PeerToPeer, Bytes: laneBytes, Src: g, Dst: 0,
+				Label: st.decl.Name, Lo: 0, Hi: n - 1, Tag: sim.TagReduce},
+			sim.Transfer{Kind: sim.PeerToPeer, Bytes: laneBytes, Src: 0, Dst: g,
+				Label: st.decl.Name, Lo: 0, Hi: n - 1, Tag: sim.TagReduce},
 		)
 	}
 	return transfers

@@ -118,7 +118,8 @@ func legacySyncReplicated(st *arrayState, ngpus int, disableTwoLevel bool) []sim
 						dst.storeF(p, src.loadF(p))
 					}
 				}
-				transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: payload, Src: g, Dst: g2})
+				transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: payload, Src: g, Dst: g2,
+					Label: st.decl.Name, Lo: src.lo, Hi: src.hi, Tag: sim.TagDirty})
 			}
 			continue
 		}
@@ -142,7 +143,8 @@ func legacySyncReplicated(st *arrayState, ngpus int, disableTwoLevel bool) []sim
 						dst.storeF(p, src.loadF(p))
 					}
 				}
-				transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: chunkBytes, Src: g, Dst: g2})
+				transfers = append(transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: chunkBytes, Src: g, Dst: g2,
+					Label: st.decl.Name, Lo: src.lo + lo, Hi: src.lo + hi - 1, Tag: sim.TagDirty})
 			}
 		}
 	}
@@ -463,8 +465,8 @@ func TestPrepareLoadDefersContent(t *testing.T) {
 
 func perfKernel(id int, decl *cc.VarDecl, upper *int64) *ir.Kernel {
 	return &ir.Kernel{
-		ID:   id,
-		Name: "k",
+		ID:    id,
+		Name:  "k",
 		Lower: func(*ir.Env) int64 { return 0 },
 		Upper: func(*ir.Env) int64 { return *upper },
 		Arrays: []*ir.ArrayUse{

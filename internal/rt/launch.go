@@ -9,6 +9,7 @@ import (
 	"accmulti/internal/cc"
 	"accmulti/internal/ir"
 	"accmulti/internal/sim"
+	"accmulti/internal/trace"
 )
 
 // span is a half-open iteration range [lo, hi) assigned to one GPU.
@@ -213,43 +214,83 @@ loading:
 	// specialized executor, when one applies, is resolved on the host
 	// strand (its cache is unsynchronized); each GPU goroutine then
 	// decides independently whether its chunk can take the fast path.
+	//
+	// Results land in per-GPU slots (each goroutine writes only its
+	// own index) and merge on the host strand in GPU order after the
+	// barrier, so the surfaced error, the report fields and the
+	// committed kernel spans do not depend on goroutine interleaving.
 	ex := r.specExecutor(k)
 	eff := r.kernelEfficiency(k)
-	var (
-		mu        sync.Mutex
-		maxKernel time.Duration
-		total     sim.Counters
-		firstErr  error
-		wg        sync.WaitGroup
-	)
+	r.launchScratch(len(gpus))
+	tracer := r.opts.Tracer
+	if tracer != nil {
+		tracer.EnsureLanes(len(gpus))
+	}
+	t0 := r.rep.Total()
+	var wg sync.WaitGroup
 	// Per-GPU scalar reduction partials.
 	partials := make([][]float64, len(gpus))
 	for g, dev := range gpus {
 		wg.Add(1)
 		go func(g int, dev *sim.Device) {
 			defer wg.Done()
-			counters, redVals, err := r.runOnGPU(k, env, g, dev, parts[g], needs[g], ex)
+			counters, redVals, handled, err := r.runOnGPU(k, env, g, dev, parts[g], needs[g], ex)
 			cost := dev.Spec.KernelCost(counters, eff)
 			if r.opts.Mode == ModeBaseline && counters.ReduceOps > 0 {
 				// Without the reductiontoarray extension the compiler
 				// serializes dynamic array reductions (paper §III-B).
 				cost += time.Duration(float64(counters.ReduceOps) / (baselineSerialGOPS * 1e9) * float64(time.Second))
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("rt: kernel %s on GPU%d: %w", k.Name, g, err)
-			}
-			if cost > maxKernel {
-				maxKernel = cost
-			}
-			total.Add(counters)
+			r.gpuCost[g] = cost
+			r.gpuCtrs[g] = counters
+			r.gpuErrs[g] = err
+			r.gpuSpec[g] = handled
 			partials[g] = redVals
+			if tracer != nil && err == nil && parts[g].count() > 0 {
+				kind := trace.KindKernel
+				if handled {
+					kind = trace.KindSpecKernel
+				}
+				tracer.LaneEmit(g, trace.Span{Kind: kind, Lane: g,
+					Begin: t0, End: t0 + cost, Name: k.Name, Lo: parts[g].lo, Hi: parts[g].hi - 1})
+				for ui, use := range k.Arrays {
+					if nd := needs[g][ui]; nd.wantDirty {
+						// The dirty bits settle as the kernel retires:
+						// an instant at the kernel span's end, nested
+						// inside it.
+						tracer.LaneEmit(g, trace.Span{Kind: trace.KindDirtyMark, Lane: g,
+							Begin: t0 + cost, End: t0 + cost, Name: use.Decl.Name, Lo: nd.lo, Hi: nd.hi})
+					}
+				}
+			}
 		}(g, dev)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	if tracer != nil {
+		tracer.FlushLanes()
+	}
+	var maxKernel time.Duration
+	var total sim.Counters
+	for g := range gpus {
+		if err := r.gpuErrs[g]; err != nil {
+			return fmt.Errorf("rt: kernel %s on GPU%d: %w", k.Name, g, err)
+		}
+		if r.gpuCost[g] > maxKernel {
+			maxKernel = r.gpuCost[g]
+		}
+		total.Add(r.gpuCtrs[g])
+		if ex != nil {
+			if r.gpuSpec[g] {
+				if tracer != nil {
+					tracer.Metrics().Inc("spec.hits", 1)
+				}
+			} else if parts[g].count() > 0 {
+				ex.fallbacks++
+				if tracer != nil {
+					tracer.Metrics().Inc("spec.fallbacks", 1)
+				}
+			}
+		}
 	}
 	r.rep.KernelTime += maxKernel
 	r.rep.Counters.Add(total)
@@ -302,19 +343,20 @@ func (r *Runtime) kernelEfficiency(k *ir.Kernel) float64 {
 }
 
 // runOnGPU executes one GPU's share of the iteration space and returns
-// the work counters and the GPU's scalar-reduction partials. The
-// specialized executor handles the chunk when its per-GPU conditions
-// hold; otherwise the instrumented interpreter runs.
-func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, dev *sim.Device, p span, nds []need, ex *specExec) (sim.Counters, []float64, error) {
+// the work counters, the GPU's scalar-reduction partials and whether
+// the specialized executor handled the chunk. The specialized executor
+// handles the chunk when its per-GPU conditions hold; otherwise the
+// instrumented interpreter runs.
+func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, dev *sim.Device, p span, nds []need, ex *specExec) (sim.Counters, []float64, bool, error) {
 	redVals := identityPartials(k)
 	n := p.count()
 	if n == 0 {
-		return sim.Counters{}, redVals, nil
+		return sim.Counters{}, redVals, false, nil
 	}
 	if ex != nil {
 		counters, handled, err := ex.run(r, k, env, g, dev, p, nds, redVals)
 		if handled {
-			return counters, redVals, err
+			return counters, redVals, true, err
 		}
 	}
 	views := r.buildViews(k, env, g, nds)
@@ -359,7 +401,7 @@ func (r *Runtime) runOnGPU(k *ir.Kernel, env *ir.Env, g int, dev *sim.Device, p 
 			dv.c.mergeChunkLanes()
 		}
 	}
-	return counters, redVals, err
+	return counters, redVals, false, err
 }
 
 // buildViews produces the kernel's view table for one GPU: host views

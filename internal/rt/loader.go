@@ -8,6 +8,7 @@ import (
 	"accmulti/internal/cc"
 	"accmulti/internal/ir"
 	"accmulti/internal/sim"
+	"accmulti/internal/trace"
 )
 
 // This file is the data loader (paper §IV-C): it guarantees OpenACC
@@ -158,6 +159,7 @@ func (r *Runtime) account(transfers []sim.Transfer, bucket *time.Duration) error
 			attempt++
 		}
 	}
+	begin := r.rep.Total()
 	*bucket += r.mach.Spec.TransferTime(transfers)
 	for _, t := range transfers {
 		switch t.Kind {
@@ -169,7 +171,57 @@ func (r *Runtime) account(transfers []sim.Transfer, bucket *time.Duration) error
 			r.rep.BytesP2P += t.Bytes
 		}
 	}
+	if tr := r.opts.Tracer; tr != nil {
+		r.emitTransferSpans(tr, transfers, begin, r.rep.Total())
+	}
 	return nil
+}
+
+// Fixed metric-key tables: indexing by enum instead of concatenating
+// strings keeps the traced hot path free of per-transfer allocations.
+var (
+	bytesKindKeys = [...]string{
+		sim.HostToDevice: "bytes.h2d",
+		sim.DeviceToHost: "bytes.d2h",
+		sim.PeerToPeer:   "bytes.p2p",
+	}
+	bytesPolicyKeys = [...]string{
+		sim.TagData:   "bytes.policy.data",
+		sim.TagDirty:  "bytes.policy.dirty",
+		sim.TagHalo:   "bytes.policy.halo",
+		sim.TagMiss:   "bytes.policy.miss",
+		sim.TagReduce: "bytes.policy.reduce",
+		sim.TagScalar: "bytes.policy.scalar",
+	}
+)
+
+// emitTransferSpans renders one priced batch as spans: the whole batch
+// occupies the virtual-time window the pricing advanced, and every
+// transfer in it becomes one span over that window — H2D on the
+// destination GPU's lane, gathers on the source GPU's lane, GPU-GPU
+// traffic on the comms lane (kind halo-exchange or d2d by tag).
+func (r *Runtime) emitTransferSpans(tr *trace.Tracer, transfers []sim.Transfer, begin, end time.Duration) {
+	m := tr.Metrics()
+	for _, t := range transfers {
+		s := trace.Span{Begin: begin, End: end, Name: t.Label,
+			Bytes: t.Bytes, Lo: t.Lo, Hi: t.Hi, Src: t.Src, Dst: t.Dst}
+		switch t.Kind {
+		case sim.HostToDevice:
+			s.Kind, s.Lane = trace.KindH2D, t.Dst
+		case sim.DeviceToHost:
+			s.Kind, s.Lane = trace.KindGather, t.Src
+		default:
+			s.Lane = trace.LaneComms
+			if t.Tag == sim.TagHalo {
+				s.Kind = trace.KindHalo
+			} else {
+				s.Kind = trace.KindD2D
+			}
+		}
+		tr.Emit(s)
+		m.Inc(bytesKindKeys[t.Kind], t.Bytes)
+		m.Inc(bytesPolicyKeys[t.Tag], t.Bytes)
+	}
 }
 
 // gatherToHost copies the canonical device content back to the host
@@ -211,6 +263,7 @@ func (r *Runtime) gatherToHost(st *arrayState) ([]sim.Transfer, error) {
 		}
 		transfers = append(transfers, sim.Transfer{
 			Kind: sim.DeviceToHost, Bytes: c.localLen() * st.elemSize, Src: c.g, Dst: -1,
+			Label: st.decl.Name, Lo: c.lo, Hi: c.hi, Tag: sim.TagData,
 		})
 		if r.isReplicated(c) {
 			break // replicas are consistent; one gather is enough
@@ -409,16 +462,29 @@ func (r *Runtime) prepareLoad(st *arrayState, c *gpuCopy, nd need, transfers []s
 			transfers = append(transfers, tr...)
 		}
 	}
+	if tr := r.opts.Tracer; tr != nil {
+		if reload {
+			tr.Metrics().Inc("loader.reloads", 1)
+		} else if fresh {
+			tr.Metrics().Inc("loader.reload_skips", 1)
+		}
+	}
 	if reload {
 		r.tracef("loader: reload %s gpu%d [%d,%d] content=%v (covered=%v fresh=%v devNewer=%v)",
 			st.decl.Name, c.g, nd.lo, nd.hi, nd.contentIn, covered, fresh, st.deviceNewer)
 		if err := c.realloc(nd); err != nil {
 			return transfers, job, err
 		}
+		if tr := r.opts.Tracer; tr != nil {
+			now := r.rep.Total()
+			tr.Emit(trace.Span{Kind: trace.KindAlloc, Lane: c.g, Begin: now, End: now,
+				Name: st.decl.Name, Bytes: (nd.hi - nd.lo + 1) * st.elemSize, Lo: nd.lo, Hi: nd.hi})
+		}
 		if nd.contentIn {
 			job = copyJob{st: st, c: c, lo: nd.lo, hi: nd.hi}
 			transfers = append(transfers, sim.Transfer{
 				Kind: sim.HostToDevice, Bytes: (nd.hi - nd.lo + 1) * st.elemSize, Src: -1, Dst: c.g,
+				Label: st.decl.Name, Lo: nd.lo, Hi: nd.hi, Tag: sim.TagData,
 			})
 		}
 		c.valid = true
@@ -478,6 +544,18 @@ func (c *gpuCopy) realloc(nd need) error {
 	return nil
 }
 
+// emitSysAlloc records a system-buffer allocation span (dirty bits,
+// miss buffers, reduction lanes). Only runs when the structure is
+// actually (re)allocated, so the string concatenation is off the
+// steady-state path.
+func (r *Runtime) emitSysAlloc(name, class string, g int, bytes int64) {
+	if tr := r.opts.Tracer; tr != nil {
+		now := r.rep.Total()
+		tr.Emit(trace.Span{Kind: trace.KindAlloc, Lane: g, Begin: now, End: now,
+			Name: name + "." + class, Bytes: bytes, Lo: 0, Hi: -1})
+	}
+}
+
 // ensureAuxiliaries allocates the runtime-system structures the launch
 // needs: dirty-bit arrays, miss buffers, reduction lanes. These charge
 // MemSystem, feeding the paper's Figure 9 System bars.
@@ -507,6 +585,7 @@ func (r *Runtime) ensureAuxiliaries(st *arrayState, c *gpuCopy, nd need) error {
 			c.chunkDirty = data[local:]
 			c.chunkElems = chunkElems
 			c.chunkLanes = nil
+			r.emitSysAlloc(st.decl.Name, "dirty", c.g, local+nChunks)
 		}
 		if len(c.chunkLanes) != c.dev.Spec.Workers {
 			c.chunkLanes = make([][]uint8, c.dev.Spec.Workers)
@@ -528,6 +607,7 @@ func (r *Runtime) ensureAuxiliaries(st *arrayState, c *gpuCopy, nd need) error {
 		if err != nil {
 			return err
 		}
+		r.emitSysAlloc(st.decl.Name, "missbuf", c.g, records*missRecordBytes)
 	}
 	if nd.wantMiss {
 		c.miss = make([][]missRec, c.dev.Spec.Workers)
@@ -540,6 +620,7 @@ func (r *Runtime) ensureAuxiliaries(st *arrayState, c *gpuCopy, nd need) error {
 			if err != nil {
 				return err
 			}
+			r.emitSysAlloc(st.decl.Name, "lanes", c.g, st.n*8)
 		}
 		workers := c.dev.Spec.Workers
 		if st.decl.Type == cc.TInt {

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"accmulti/internal/ir"
+	"accmulti/internal/trace"
 )
 
 // Launch-plan cache (host-side performance layer). Iterative apps (MD,
@@ -86,6 +87,7 @@ func (r *Runtime) resolvePlan(k *ir.Kernel, env *ir.Env, ngpus int, lower, upper
 		pl.lower == lower && pl.upper == upper && pl.epoch == r.hostEpoch {
 		r.scalarScratch = r.planScalars(k, env, r.scalarScratch[:0])
 		if scalarsEqual(r.scalarScratch, pl.scalars) {
+			r.planEvent(k, "hit")
 			return pl.parts, pl.needs
 		}
 	}
@@ -95,7 +97,25 @@ func (r *Runtime) resolvePlan(k *ir.Kernel, env *ir.Env, ngpus int, lower, upper
 		scalars: r.planScalars(k, env, nil),
 		parts:   parts, needs: needs,
 	}
+	r.planEvent(k, "miss")
 	return parts, needs
+}
+
+// planEvent records one plan-cache consultation as an instant span on
+// the host lane plus a hit/miss counter.
+func (r *Runtime) planEvent(k *ir.Kernel, outcome string) {
+	tr := r.opts.Tracer
+	if tr == nil {
+		return
+	}
+	if outcome == "hit" {
+		tr.Metrics().Inc("plan.hits", 1)
+	} else {
+		tr.Metrics().Inc("plan.misses", 1)
+	}
+	now := r.rep.Total()
+	tr.Emit(trace.Span{Kind: trace.KindPlanCache, Lane: trace.LaneHost,
+		Begin: now, End: now, Name: k.Name, Lo: 0, Hi: -1, Detail: outcome})
 }
 
 // computePlan builds the partition and needs from scratch — the exact

@@ -25,6 +25,7 @@ import (
 	"accmulti/internal/cc"
 	"accmulti/internal/ir"
 	"accmulti/internal/sim"
+	"accmulti/internal/trace"
 )
 
 // Mode selects the execution strategy.
@@ -100,6 +101,13 @@ type Options struct {
 	// (region entries, loads, launches, communication), stamped with
 	// the simulated clock.
 	Trace io.Writer
+	// Tracer, when non-nil, receives structured spans and metrics for
+	// every runtime operation (see internal/trace). All stamps come
+	// from the simulated clock, so the span stream is bit-identical
+	// across runs and host-parallelism settings; the report and the
+	// final arrays are bit-identical with the tracer on or off. When
+	// nil (the default), no emission path allocates.
+	Tracer *trace.Tracer
 	// Auditor, when non-nil, receives consistency-audit events (see
 	// AuditSink); internal/audit provides the shadow-oracle
 	// implementation. Ignored in ModeCPU.
@@ -217,6 +225,16 @@ type Runtime struct {
 	diffs         []srcDiff      // per-source dirty-run diffs
 	diffLists     [][]span       // runsDisjoint input scratch
 	diffIdx       []int          // runsDisjoint merge cursors
+
+	// Phase B per-GPU result slots, indexed by GPU. Each launch
+	// goroutine writes only its own slot; the host strand merges them
+	// in GPU order after the barrier, which makes the merged report
+	// fields, the surfaced error and the committed span order
+	// deterministic no matter how the goroutines interleave.
+	gpuCost []time.Duration
+	gpuCtrs []sim.Counters
+	gpuErrs []error
+	gpuSpec []bool
 }
 
 type fpKey struct {
@@ -237,6 +255,9 @@ func (r *Runtime) bumpHost(st *arrayState) {
 
 // New creates a runtime for the machine.
 func New(mach *sim.Machine, opts Options) *Runtime {
+	if opts.Tracer != nil {
+		opts.Tracer.EnsureLanes(mach.NumGPUs())
+	}
 	return &Runtime{
 		mach:        mach,
 		opts:        opts.withDefaults(),
@@ -257,10 +278,34 @@ func (r *Runtime) Machine() *sim.Machine { return r.mach }
 func (r *Runtime) Report() *Report { return r.rep }
 
 // addEvent records one fault-handling action in the report and the
-// trace stream.
+// trace stream. Host strand only: Events and spans commit in
+// occurrence order.
 func (r *Runtime) addEvent(kind, detail string) {
-	r.rep.Events = append(r.rep.Events, Event{Time: r.rep.Total(), Kind: kind, Detail: detail})
+	now := r.rep.Total()
+	r.rep.Events = append(r.rep.Events, Event{Time: now, Kind: kind, Detail: detail})
+	if t := r.opts.Tracer; t != nil {
+		t.Metrics().Inc("events."+kind, 1)
+		if kind != "halo-exchange" {
+			// Fault-handling actions become degrade spans; halo
+			// exchanges already appear as halo-exchange transfer spans.
+			t.Emit(trace.Span{Kind: trace.KindDegrade, Lane: trace.LaneHost,
+				Begin: now, End: now, Name: kind, Lo: 0, Hi: -1, Detail: detail})
+		}
+	}
 	r.tracef("%s: %s", kind, detail)
+}
+
+// launchScratch sizes and clears the Phase B per-GPU result slots.
+func (r *Runtime) launchScratch(n int) {
+	for len(r.gpuCost) < n {
+		r.gpuCost = append(r.gpuCost, 0)
+		r.gpuCtrs = append(r.gpuCtrs, sim.Counters{})
+		r.gpuErrs = append(r.gpuErrs, nil)
+		r.gpuSpec = append(r.gpuSpec, false)
+	}
+	for g := 0; g < n; g++ {
+		r.gpuCost[g], r.gpuCtrs[g], r.gpuErrs[g], r.gpuSpec[g] = 0, sim.Counters{}, nil, false
+	}
 }
 
 // Run binds nothing new; it executes an already bound instance with

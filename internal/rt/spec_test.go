@@ -349,7 +349,7 @@ func phaseBTime(t *testing.T, src string, scalars map[string]float64, opts Optio
 	for run := 0; run < 3; run++ {
 		start := time.Now()
 		for g, dev := range r.mach.GPUs() {
-			if _, _, err := r.runOnGPU(k, env, g, dev, parts[g], needs[g], ex); err != nil {
+			if _, _, _, err := r.runOnGPU(k, env, g, dev, parts[g], needs[g], ex); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -402,7 +402,7 @@ func benchPhaseB(b *testing.B, src string, scalars map[string]float64, opts Opti
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for g, dev := range r.mach.GPUs() {
-			if _, _, err := r.runOnGPU(k, env, g, dev, parts[g], needs[g], ex); err != nil {
+			if _, _, _, err := r.runOnGPU(k, env, g, dev, parts[g], needs[g], ex); err != nil {
 				b.Fatal(err)
 			}
 		}

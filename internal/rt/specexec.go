@@ -46,6 +46,29 @@ type specExec struct {
 	// hits counts per-GPU chunks the fast path handled (tests assert
 	// eligible kernels actually specialize). Atomic: GPU goroutines.
 	hits int64
+	// fallbacks counts non-empty per-GPU chunks that bounced to the
+	// interpreter. Host strand only (bumped at the launch barrier).
+	fallbacks int64
+}
+
+// SpecHits returns how many per-GPU chunks the specialized executors
+// handled across the run.
+func (r *Runtime) SpecHits() int64 {
+	var n int64
+	for _, ex := range r.specExecs {
+		n += atomic.LoadInt64(&ex.hits)
+	}
+	return n
+}
+
+// SpecFallbacks returns how many non-empty per-GPU chunks of eligible
+// kernels fell back to the interpreter.
+func (r *Runtime) SpecFallbacks() int64 {
+	var n int64
+	for _, ex := range r.specExecs {
+		n += ex.fallbacks
+	}
+	return n
 }
 
 // specGPU is one GPU's executor scratch, reused across launches so the

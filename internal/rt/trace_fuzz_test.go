@@ -1,0 +1,98 @@
+package rt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+	"accmulti/internal/trace"
+)
+
+// checkTraceStructure enforces the structural invariants every trace
+// must satisfy, independent of the traced program:
+//   - spans nest per lane, with non-negative times and durations
+//     (trace.CheckWellFormed);
+//   - every dirty-mark instant on a GPU lane lies inside a kernel or
+//     spec-kernel span on that same lane;
+//   - degrade spans appear only when a fault plan is armed.
+func checkTraceStructure(t *testing.T, spans []trace.Span, faulted bool, src string) {
+	t.Helper()
+	if err := trace.CheckWellFormed(spans); err != nil {
+		t.Fatalf("trace not well-formed: %v\n%s", err, src)
+	}
+	type laneKey struct{ proc, lane int }
+	kernels := make(map[laneKey][]trace.Span)
+	for _, s := range spans {
+		if s.Kind == trace.KindKernel || s.Kind == trace.KindSpecKernel {
+			k := laneKey{s.Proc, s.Lane}
+			kernels[k] = append(kernels[k], s)
+		}
+	}
+	for _, s := range spans {
+		switch s.Kind {
+		case trace.KindDirtyMark:
+			if s.Lane < 0 {
+				t.Fatalf("dirty-mark span on non-GPU lane %d\n%s", s.Lane, src)
+			}
+			enclosed := false
+			for _, k := range kernels[laneKey{s.Proc, s.Lane}] {
+				if k.Begin <= s.Begin && s.End <= k.End {
+					enclosed = true
+					break
+				}
+			}
+			if !enclosed {
+				t.Fatalf("dirty-mark %s@[%v,%v] on lane %d not enclosed by any kernel span\n%s",
+					s.Name, s.Begin, s.End, s.Lane, src)
+			}
+		case trace.KindDegrade:
+			if !faulted {
+				t.Fatalf("degrade span %q emitted without a fault plan\n%s", s.Name, src)
+			}
+		}
+	}
+}
+
+// FuzzTraceWellFormed lets the fuzzer explore generator seeds and
+// fault plans; every resulting trace — including from runs that end in
+// a hard failure — must satisfy the structural invariants.
+func FuzzTraceWellFormed(f *testing.F) {
+	for _, seed := range []int64{0, 7, 42, 12345, 99999} {
+		f.Add(seed, false)
+		f.Add(seed, true)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, faulted bool) {
+		p := genRandProg(rand.New(rand.NewSource(seed)))
+		var plan *sim.FaultPlan
+		if faulted {
+			plan = &sim.FaultPlan{Seed: seed + 1, TransferFailRate: 0.05}
+		}
+		tr := trace.New()
+		_, runErr := p.runFull(t, sim.SupercomputerNode(), rt.Options{Tracer: tr}, plan)
+		if runErr != nil && !faulted {
+			t.Fatalf("clean run failed: %v\n%s", runErr, p.src)
+		}
+		checkTraceStructure(t, tr.Spans(), faulted, p.src)
+	})
+}
+
+// TestTraceStructureSeedCorpus runs the fuzz invariants over the fixed
+// seed corpus so make test exercises them without the fuzzer.
+func TestTraceStructureSeedCorpus(t *testing.T) {
+	for _, seed := range []int64{0, 7, 42, 12345, 99999} {
+		for _, faulted := range []bool{false, true} {
+			p := genRandProg(rand.New(rand.NewSource(seed)))
+			var plan *sim.FaultPlan
+			if faulted {
+				plan = &sim.FaultPlan{Seed: seed + 1, TransferFailRate: 0.05}
+			}
+			tr := trace.New()
+			_, runErr := p.runFull(t, sim.SupercomputerNode(), rt.Options{Tracer: tr}, plan)
+			if runErr != nil && !faulted {
+				t.Fatalf("seed %d: clean run failed: %v\n%s", seed, runErr, p.src)
+			}
+			checkTraceStructure(t, tr.Spans(), faulted, p.src)
+		}
+	}
+}

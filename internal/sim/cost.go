@@ -28,6 +28,45 @@ func (k TransferKind) String() string {
 	}
 }
 
+// TransferTag classifies *why* a transfer happens — which placement
+// or coherence policy produced it. It is pure metadata for the trace
+// and metrics layer: the cost model ignores it entirely.
+type TransferTag int
+
+const (
+	// TagData is a content load or gather of array data.
+	TagData TransferTag = iota
+	// TagDirty is a dirty-chunk push between replicated copies.
+	TagDirty
+	// TagHalo is a halo-overlap push of a distributed written array.
+	TagHalo
+	// TagMiss is miss-record routing for indirect accesses.
+	TagMiss
+	// TagReduce is reduction-tree traffic (lanes and merged results).
+	TagReduce
+	// TagScalar is a tiny scalar/reduction-result transfer.
+	TagScalar
+)
+
+func (t TransferTag) String() string {
+	switch t {
+	case TagData:
+		return "data"
+	case TagDirty:
+		return "dirty"
+	case TagHalo:
+		return "halo"
+	case TagMiss:
+		return "miss"
+	case TagReduce:
+		return "reduce"
+	case TagScalar:
+		return "scalar"
+	default:
+		return "?"
+	}
+}
+
 // Transfer is one priced bus operation.
 type Transfer struct {
 	// Kind is the transfer direction.
@@ -37,6 +76,15 @@ type Transfer struct {
 	// Src and Dst are GPU indices for PeerToPeer; for host transfers
 	// the GPU index is the relevant endpoint and the other is -1.
 	Src, Dst int
+
+	// The remaining fields are trace metadata; TransferTime and the
+	// fault injector never read them. Label names the array (or
+	// reduction variable) moved; Lo..Hi is the inclusive logical
+	// element range when meaningful (Hi < Lo otherwise); Tag records
+	// the policy that generated the transfer.
+	Label  string
+	Lo, Hi int64
+	Tag    TransferTag
 }
 
 // KernelCost prices one kernel execution on this device using a

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace-event output. The format is the "JSON Object Format"
+// understood by about://tracing and ui.perfetto.dev: an object with a
+// traceEvents array of "M" (metadata) and "X" (complete) events.
+// Every byte of the output is a pure function of the span stream — no
+// maps are iterated unsorted, timestamps are printed with a fixed
+// format — so equal traces serialize identically and the files can be
+// committed as goldens.
+//
+// Lane → Chrome thread id mapping: host = 0, comms = 1, GPU g = 2+g,
+// so the viewer shows host and comms rows above one row per GPU.
+
+const (
+	tidHost  = 0
+	tidComms = 1
+	tidGPU0  = 2
+)
+
+func laneTID(lane int) int {
+	switch lane {
+	case LaneHost:
+		return tidHost
+	case LaneComms:
+		return tidComms
+	default:
+		return tidGPU0 + lane
+	}
+}
+
+func tidLane(tid int) int {
+	switch tid {
+	case tidHost:
+		return LaneHost
+	case tidComms:
+		return LaneComms
+	default:
+		return tid - tidGPU0
+	}
+}
+
+func laneName(lane int) string {
+	switch lane {
+	case LaneHost:
+		return "host"
+	case LaneComms:
+		return "comms"
+	default:
+		return fmt.Sprintf("gpu %d", lane)
+	}
+}
+
+func quote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// usec renders a nanosecond stamp as Chrome's microsecond field with
+// fixed millinanosecond precision ("12.345"), keeping full fidelity
+// and byte stability.
+func usec(d time.Duration) string {
+	ns := int64(d)
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// WriteChrome renders the tracer's committed spans as Chrome
+// trace-event JSON.
+func WriteChrome(w io.Writer, t *Tracer) error {
+	bw := &errWriter{w: w}
+	bw.printf("{\"traceEvents\": [\n")
+	first := true
+	event := func(format string, args ...any) {
+		if !first {
+			bw.printf(",\n")
+		}
+		first = false
+		bw.printf(format, args...)
+	}
+
+	// Metadata: process names, then thread names for every (proc,
+	// lane) pair that actually carries spans, in deterministic order.
+	type procLane struct{ proc, tid int }
+	seen := make(map[procLane]bool)
+	var pls []procLane
+	for _, s := range t.spans {
+		pl := procLane{s.Proc, laneTID(s.Lane)}
+		if !seen[pl] {
+			seen[pl] = true
+			pls = append(pls, pl)
+		}
+	}
+	sort.Slice(pls, func(i, j int) bool {
+		if pls[i].proc != pls[j].proc {
+			return pls[i].proc < pls[j].proc
+		}
+		return pls[i].tid < pls[j].tid
+	})
+	lastProc := -1
+	for _, pl := range pls {
+		if pl.proc != lastProc {
+			lastProc = pl.proc
+			name := t.procs[pl.proc]
+			if name == "" {
+				name = "accmulti"
+			}
+			event("  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": 0, \"args\": {\"name\": %s}}",
+				pl.proc, quote(name))
+		}
+		event("  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": %d, \"args\": {\"name\": %s}}",
+			pl.proc, pl.tid, quote(laneName(tidLane(pl.tid))))
+	}
+
+	for _, s := range t.spans {
+		name := s.Name
+		if name == "" {
+			name = s.Kind.String()
+		}
+		event("  {\"name\": %s, \"cat\": %s, \"ph\": \"X\", \"pid\": %d, \"tid\": %d, \"ts\": %s, \"dur\": %s, "+
+			"\"args\": {\"kind\": %s, \"bytes\": %d, \"lo\": %d, \"hi\": %d, \"src\": %d, \"dst\": %d, "+
+			"\"begin_ns\": %d, \"end_ns\": %d, \"detail\": %s}}",
+			quote(name), quote(s.Kind.String()), s.Proc, laneTID(s.Lane), usec(s.Begin), usec(s.End-s.Begin),
+			quote(s.Kind.String()), s.Bytes, s.Lo, s.Hi, s.Src, s.Dst,
+			int64(s.Begin), int64(s.End), quote(s.Detail))
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+type chromeEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Args struct {
+		Kind    string `json:"kind"`
+		Bytes   int64  `json:"bytes"`
+		Lo      int64  `json:"lo"`
+		Hi      int64  `json:"hi"`
+		Src     int    `json:"src"`
+		Dst     int    `json:"dst"`
+		BeginNS int64  `json:"begin_ns"`
+		EndNS   int64  `json:"end_ns"`
+		Detail  string `json:"detail"`
+	} `json:"args"`
+}
+
+// ParseChrome reconstructs the span stream from WriteChrome output
+// (metadata events are skipped). Used for structural golden diffs.
+func ParseChrome(data []byte) ([]Span, error) {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace: parse chrome JSON: %w", err)
+	}
+	var spans []Span
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		kind, ok := KindFromString(ev.Args.Kind)
+		if !ok {
+			return nil, fmt.Errorf("trace: event %d: unknown kind %q", i, ev.Args.Kind)
+		}
+		name := ev.Name
+		if name == kind.String() {
+			name = "" // WriteChrome substituted the kind for an empty name
+		}
+		spans = append(spans, Span{
+			Kind:  kind,
+			Lane:  tidLane(ev.Tid),
+			Proc:  ev.Pid,
+			Begin: time.Duration(ev.Args.BeginNS),
+			End:   time.Duration(ev.Args.EndNS),
+			Name:  name, Bytes: ev.Args.Bytes,
+			Lo: ev.Args.Lo, Hi: ev.Args.Hi,
+			Src: ev.Args.Src, Dst: ev.Args.Dst,
+			Detail: ev.Args.Detail,
+		})
+	}
+	return spans, nil
+}
+
+func (s Span) describe() string {
+	return fmt.Sprintf("%s %q lane=%d proc=%d [%v..%v] bytes=%d range=[%d..%d] %d->%d detail=%q",
+		s.Kind, s.Name, s.Lane, s.Proc, s.Begin, s.End, s.Bytes, s.Lo, s.Hi, s.Src, s.Dst, s.Detail)
+}
+
+// DiffSpans compares two span streams structurally and returns a
+// description of the first divergence ("" when identical).
+func DiffSpans(got, want []Span) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			return fmt.Sprintf("span %d diverges:\n  got:  %s\n  want: %s", i, got[i].describe(), want[i].describe())
+		}
+	}
+	if len(got) != len(want) {
+		var extra Span
+		side := "got"
+		if len(got) > len(want) {
+			extra = got[n]
+		} else {
+			extra = want[n]
+			side = "want"
+		}
+		return fmt.Sprintf("span count differs: got %d, want %d; first extra (%s): %s",
+			len(got), len(want), side, extra.describe())
+	}
+	return ""
+}
+
+// CheckWellFormed validates the structural invariants of a span
+// stream: non-negative stamps and durations, and strict nesting per
+// (process, lane) — a span either nests inside the one on top of its
+// lane's stack (closed-interval containment, so an instant sitting on
+// its parent's end stamp still nests) or begins at/after its end.
+func CheckWellFormed(spans []Span) error {
+	type key struct{ proc, lane int }
+	stacks := make(map[key][]Span)
+	for i, s := range spans {
+		if s.Begin < 0 || s.End < s.Begin {
+			return fmt.Errorf("span %d has bad stamps: %s", i, s.describe())
+		}
+		k := key{s.Proc, s.Lane}
+		stack := stacks[k]
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.Begin <= s.Begin && s.End <= top.End {
+				break // nests inside top
+			}
+			if s.Begin >= top.End {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			return fmt.Errorf("span %d overlaps its lane predecessor without nesting:\n  span: %s\n  top:  %s",
+				i, s.describe(), top.describe())
+		}
+		stacks[k] = append(stack, s)
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleTracer() *Tracer {
+	t := New()
+	t.EnsureLanes(2)
+	t.Emit(Span{Kind: KindPlanCache, Lane: LaneHost, Begin: 0, End: 0, Name: "k0", Detail: "miss"})
+	t.Emit(Span{Kind: KindH2D, Lane: 0, Begin: 0, End: 10 * time.Microsecond, Name: "a", Bytes: 4096, Lo: 0, Hi: 1023, Src: -1, Dst: 0})
+	t.Emit(Span{Kind: KindH2D, Lane: 1, Begin: 0, End: 10 * time.Microsecond, Name: "a", Bytes: 4096, Lo: 1024, Hi: 2047, Src: -1, Dst: 1})
+	t.LaneEmit(1, Span{Kind: KindKernel, Lane: 1, Begin: 10 * time.Microsecond, End: 30 * time.Microsecond, Name: "k0"})
+	t.LaneEmit(0, Span{Kind: KindSpecKernel, Lane: 0, Begin: 10 * time.Microsecond, End: 25 * time.Microsecond, Name: "k0"})
+	t.LaneEmit(0, Span{Kind: KindDirtyMark, Lane: 0, Begin: 25 * time.Microsecond, End: 25 * time.Microsecond, Name: "a"})
+	t.FlushLanes()
+	t.Emit(Span{Kind: KindHalo, Lane: LaneComms, Begin: 30 * time.Microsecond, End: 31 * time.Microsecond, Name: "a", Bytes: 8, Lo: 1023, Hi: 1024, Src: 0, Dst: 1})
+	t.Emit(Span{Kind: KindGather, Lane: 0, Begin: 31 * time.Microsecond, End: 40 * time.Microsecond, Name: "a", Bytes: 8192, Lo: 0, Hi: 2047, Src: 0, Dst: -1})
+	return t
+}
+
+// FlushLanes must commit lane buffers in lane order regardless of
+// emission interleaving, so lane 0's spans precede lane 1's.
+func TestFlushLanesOrder(t *testing.T) {
+	tr := sampleTracer()
+	spans := tr.Spans()
+	var kernels []Span
+	for _, s := range spans {
+		if s.Kind == KindKernel || s.Kind == KindSpecKernel || s.Kind == KindDirtyMark {
+			kernels = append(kernels, s)
+		}
+	}
+	if len(kernels) != 3 {
+		t.Fatalf("got %d kernel-ish spans, want 3", len(kernels))
+	}
+	if kernels[0].Lane != 0 || kernels[1].Lane != 0 || kernels[2].Lane != 1 {
+		t.Errorf("lane flush order wrong: lanes %d,%d,%d want 0,0,1",
+			kernels[0].Lane, kernels[1].Lane, kernels[2].Lane)
+	}
+	if kernels[0].Kind != KindSpecKernel || kernels[1].Kind != KindDirtyMark {
+		t.Errorf("within-lane emission order not preserved: %v, %v", kernels[0].Kind, kernels[1].Kind)
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	var buf1, buf2 bytes.Buffer
+	if err := WriteChrome(&buf1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&buf2, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteChrome is not byte-stable across calls")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf1.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("output lacks traceEvents")
+	}
+	got, err := ParseChrome(buf1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffSpans(got, tr.Spans()); d != "" {
+		t.Fatalf("round trip diverges:\n%s", d)
+	}
+}
+
+func TestDiffSpansReportsFirstDivergence(t *testing.T) {
+	a := sampleTracer().Spans()
+	b := append([]Span(nil), a...)
+	b[2].Bytes = 1
+	d := DiffSpans(a, b)
+	if !strings.Contains(d, "span 2 diverges") {
+		t.Errorf("diff = %q, want first divergence at span 2", d)
+	}
+	if d := DiffSpans(a, a[:len(a)-1]); !strings.Contains(d, "span count differs") {
+		t.Errorf("diff = %q, want count mismatch", d)
+	}
+	if d := DiffSpans(a, a); d != "" {
+		t.Errorf("diff of identical streams = %q, want empty", d)
+	}
+}
+
+func TestCheckWellFormed(t *testing.T) {
+	if err := CheckWellFormed(sampleTracer().Spans()); err != nil {
+		t.Errorf("sample trace not well-formed: %v", err)
+	}
+	bad := []Span{{Kind: KindKernel, Lane: 0, Begin: 10, End: 5}}
+	if err := CheckWellFormed(bad); err == nil {
+		t.Error("negative duration not rejected")
+	}
+	overlap := []Span{
+		{Kind: KindKernel, Lane: 0, Begin: 0, End: 10},
+		{Kind: KindKernel, Lane: 0, Begin: 5, End: 15},
+	}
+	if err := CheckWellFormed(overlap); err == nil {
+		t.Error("non-nesting overlap not rejected")
+	}
+	// Same window on different lanes is fine.
+	parallel := []Span{
+		{Kind: KindKernel, Lane: 0, Begin: 0, End: 10},
+		{Kind: KindKernel, Lane: 1, Begin: 0, End: 10},
+	}
+	if err := CheckWellFormed(parallel); err != nil {
+		t.Errorf("parallel lanes rejected: %v", err)
+	}
+	// An instant on its parent's end stamp nests (dirty-mark case).
+	instant := []Span{
+		{Kind: KindKernel, Lane: 0, Begin: 0, End: 10},
+		{Kind: KindDirtyMark, Lane: 0, Begin: 10, End: 10},
+	}
+	if err := CheckWellFormed(instant); err != nil {
+		t.Errorf("end-stamp instant rejected: %v", err)
+	}
+}
+
+func TestMetricsJSONDeterministic(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("b.second", 2)
+	m.Inc("a.first", 1)
+	m.Observe("sizes", BytesBuckets, 100)
+	m.Observe("sizes", BytesBuckets, 1<<20)
+	m.Observe("sizes", BytesBuckets, 1<<30) // overflow bucket
+
+	var buf1, buf2 bytes.Buffer
+	if err := m.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteJSON is not byte-stable")
+	}
+	var doc struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Bounds []int64 `json:"bounds"`
+			Counts []int64 `json:"counts"`
+			Sum    int64   `json:"sum"`
+			N      int64   `json:"n"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf1.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics output not valid JSON: %v", err)
+	}
+	if doc.Counters["a.first"] != 1 || doc.Counters["b.second"] != 2 {
+		t.Errorf("counters wrong: %v", doc.Counters)
+	}
+	h := doc.Histograms["sizes"]
+	if h.N != 3 || h.Counts[len(h.Counts)-1] != 1 {
+		t.Errorf("histogram wrong: %+v", h)
+	}
+	if strings.Index(buf1.String(), "a.first") > strings.Index(buf1.String(), "b.second") {
+		t.Error("counters not sorted by name")
+	}
+}
+
+func TestBeginProcessGroupsSpans(t *testing.T) {
+	tr := New()
+	tr.Emit(Span{Kind: KindAlloc, Lane: LaneHost})
+	p := tr.BeginProcess("bench/saxpy")
+	tr.Emit(Span{Kind: KindAlloc, Lane: LaneHost})
+	spans := tr.Spans()
+	if spans[0].Proc != 0 || spans[1].Proc != p {
+		t.Errorf("procs = %d,%d want 0,%d", spans[0].Proc, spans[1].Proc, p)
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"bench/saxpy"`) {
+		t.Error("process name metadata missing")
+	}
+}
+
+// TestLaneFlushOrderUnderConcurrency is the regression test for the
+// event-interleaving bug: spans emitted by per-GPU goroutines used to
+// commit in scheduler order. With goroutine-private lane buffers and
+// an ordered FlushLanes, the committed stream must be bit-identical no
+// matter how the goroutines interleave. Run under -race it also pins
+// the one-writer-per-lane discipline.
+func TestLaneFlushOrderUnderConcurrency(t *testing.T) {
+	const lanes, rounds, perLane = 6, 40, 8
+	var want []Span
+	for rep := 0; rep < rounds; rep++ {
+		tr := New()
+		tr.EnsureLanes(lanes)
+		for step := 0; step < 3; step++ {
+			var wg sync.WaitGroup
+			for g := 0; g < lanes; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					// Jitter the schedule so interleavings differ run to run.
+					if g%2 == rep%2 {
+						runtime.Gosched()
+					}
+					for i := 0; i < perLane; i++ {
+						tr.LaneEmit(g, Span{
+							Kind:  KindKernel,
+							Begin: time.Duration(step) * time.Millisecond,
+							End:   time.Duration(step)*time.Millisecond + time.Duration(i),
+							Name:  "k",
+							Lo:    int64(g),
+							Hi:    int64(i),
+						})
+					}
+				}(g)
+			}
+			wg.Wait()
+			tr.FlushLanes()
+		}
+		got := tr.Spans()
+		if rep == 0 {
+			want = append([]Span(nil), got...)
+			continue
+		}
+		if diff := DiffSpans(got, want); diff != "" {
+			t.Fatalf("rep %d: committed order diverged: %s", rep, diff)
+		}
+	}
+	// Sanity: lanes commit in lane order within each flush window.
+	for i := 1; i < lanes*perLane; i++ {
+		if want[i].Lo < want[i-1].Lo {
+			t.Fatalf("span %d: lane %d committed after lane %d", i, want[i].Lo, want[i-1].Lo)
+		}
+	}
+}
