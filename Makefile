@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-quick bench-baseline eval eval-json examples clean check fuzz-smoke accvet trace-check
+.PHONY: all build vet test test-short cover bench bench-quick bench-baseline bench-pr6 eval eval-json examples clean check fuzz-smoke accvet trace-check
 
 all: build vet test
 
@@ -14,7 +14,8 @@ all: build vet test
 # audited random-program corpus, and a short fuzz smoke over the
 # frontend fuzzer, the audited random-program fuzzer, the
 # vet-vs-auditor cross-check fuzzer, the specialized-vs-interpreted
-# differential fuzzer and the trace well-formedness fuzzer.
+# differential fuzzer, the trace well-formedness fuzzer and the
+# async-vs-sync schedule-equivalence fuzzer.
 check: vet
 	$(GO) test ./...
 	$(GO) test -race -short -timeout 1200s ./...
@@ -25,11 +26,12 @@ check: vet
 
 # trace-check pins the observability layer: the committed golden
 # Chrome traces (regenerate with -update-trace-goldens), the
-# metrics-vs-report-vs-vet cross-check, and the report/byte invariance
-# of tracing across option matrices and GOMAXPROCS=1.
+# metrics-vs-report-vet cross-check, the structural overlap gates on
+# the pipelined schedule, and the report/byte invariance of tracing
+# across option matrices, GOMAXPROCS=1, and repeated async runs.
 trace-check:
-	$(GO) test -run 'TestTraceGolden|TestTraceMetricsCrossCheck' ./internal/core
-	$(GO) test -run 'TestTraceReportInvariance|TestTraceGOMAXPROCS1ByteStability|TestTraceByteStabilityStress|TestTraceStructureSeedCorpus' ./internal/rt
+	$(GO) test -run 'TestTraceGolden|TestTraceMetricsCrossCheck|TestAsyncOverlapObserved' ./internal/core
+	$(GO) test -run 'TestTraceReportInvariance|TestTraceGOMAXPROCS1ByteStability|TestTraceByteStabilityStress|TestTraceStructureSeedCorpus|TestAsyncByteStabilityStress' ./internal/rt
 
 # accvet runs the directive-verification pass the way CI consumes it:
 # accc -vet must accept every known-good shipped program, and the
@@ -46,6 +48,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzVetCrossCheck -fuzztime=5s -run='^$$' ./internal/rt
 	$(GO) test -fuzz=FuzzSpecializedVsInterp -fuzztime=5s -run='^$$' ./internal/rt
 	$(GO) test -fuzz=FuzzTraceWellFormed -fuzztime=5s -run='^$$' ./internal/rt
+	$(GO) test -fuzz=FuzzAsyncVsSyncSchedule -fuzztime=5s -run='^$$' ./internal/rt
 
 build:
 	$(GO) build ./...
@@ -68,13 +71,15 @@ bench:
 
 # bench-quick is the host-performance regression gate: the steady-state
 # allocation-budget assertions (loader paths, specialized launches, and
-# the tracing-disabled launch path, which must add zero allocations)
-# plus one iteration of each wall-clock gate benchmark
-# (legacy-vs-optimized loader, replicated-write diff, plan resolution,
-# and the Phase-B interpreter-vs-specialized pairs). Cheap enough to
-# run in every `make check`.
+# the tracing-disabled launch path, which must add zero allocations),
+# the pipelined-scheduler speedup gate (>=1.2x on the halo-bound
+# stencil, with report equivalence modulo time), plus one iteration of
+# each wall-clock gate benchmark (legacy-vs-optimized loader,
+# replicated-write diff, plan resolution, and the Phase-B
+# interpreter-vs-specialized pairs). Cheap enough to run in every
+# `make check`.
 bench-quick:
-	$(GO) test -run 'TestSteadyStateAllocBudget|TestSpecLaunchSteadyStateAllocBudget|TestTraceDisabledAllocBudget|TestPhaseBSpeedupGate' \
+	$(GO) test -run 'TestSteadyStateAllocBudget|TestSpecLaunchSteadyStateAllocBudget|TestTraceDisabledAllocBudget|TestPhaseBSpeedupGate|TestAsyncSpeedupGate' \
 		-bench 'BenchmarkIteratedStencilLoader|BenchmarkReplicatedWriteDiff|BenchmarkLaunchPlanResolve|BenchmarkPhaseBSaxpy|BenchmarkPhaseBStencil' \
 		-benchtime=1x -benchmem ./internal/rt
 
@@ -86,13 +91,21 @@ bench-quick:
 bench-baseline:
 	$(GO) run ./cmd/accbench -json -verify wallclock > BENCH_PR4.json
 
+# bench-pr6 regenerates the committed sync-vs-async study
+# (BENCH_PR6.json): simulated makespans of the five shipped example
+# apps under the bulk-synchronous and pipelined schedules, with the
+# report-equivalence bit asserted per app.
+bench-pr6:
+	$(GO) run ./cmd/accbench -json async > BENCH_PR6.json
+
 # Regenerate the paper's evaluation (Tables I-II, Figs 7-9, ablations,
-# cluster study) with result verification.
+# cluster study) with result verification. -no-async keeps the
+# reported times on the paper's bulk-synchronous schedule.
 eval:
-	$(GO) run ./cmd/accbench -verify all
+	$(GO) run ./cmd/accbench -no-async -verify all
 
 eval-json:
-	$(GO) run ./cmd/accbench -json all
+	$(GO) run ./cmd/accbench -no-async -json all
 
 examples:
 	$(GO) run ./examples/quickstart

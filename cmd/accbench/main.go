@@ -5,9 +5,13 @@
 //
 //	accbench [-scale f] [-apps MD,KMEANS,BFS] [-verify] [-seed n] [targets...]
 //
-// Targets: table1 table2 fig7 fig8 fig9 ablations cluster wallclock all
-// (default: all; wallclock is opt-in — it measures real elapsed host
-// time, not simulated time, so it only runs when asked for).
+// Targets: table1 table2 fig7 fig8 fig9 ablations cluster wallclock
+// async all (default: all; wallclock is opt-in — it measures real
+// elapsed host time, not simulated time, so it only runs when asked
+// for). The Proposal configurations run under the pipelined scheduler
+// unless -no-async asks for the paper's bulk-synchronous schedule;
+// the async target compares the two over the shipped example apps
+// (the BENCH_PR6.json study).
 // -scale multiplies the per-app default benchmark scales (fractions of
 // the paper's input sizes chosen so the functional simulation finishes
 // in minutes); -scale with appname=frac pairs in -appscale pins exact
@@ -46,6 +50,7 @@ func main() {
 		appsFlag    = flag.String("apps", "", "comma-separated subset of MD,KMEANS,BFS")
 		verify      = flag.Bool("verify", false, "verify every run against the Go references")
 		noSpec      = flag.Bool("no-specialize", false, "disable the specialized kernel executors (Phase B fast path)")
+		noAsync     = flag.Bool("no-async", false, "run the Proposal configurations bulk-synchronously (the paper's schedule)")
 		seed        = flag.Int64("seed", 0, "input generator seed (0 = default)")
 		jsonOut     = flag.Bool("json", false, "emit the selected sections as JSON instead of text")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
@@ -79,7 +84,7 @@ func main() {
 		}()
 	}
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Verify: *verify, NoSpecialize: *noSpec}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Verify: *verify, NoSpecialize: *noSpec, Async: !*noAsync}
 	if *traceFile != "" || *metricsFile != "" {
 		cfg.Trace = trace.New()
 		defer func() {
@@ -133,6 +138,7 @@ func main() {
 		ablations []bench.AblationRow
 		cluster   []bench.ClusterRow
 		wallclock []bench.WallClockRow
+		asyncRows []bench.AsyncRow
 		err       error
 	)
 	if all || want["table2"] {
@@ -160,9 +166,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	if all || want["async"] {
+		if asyncRows, err = bench.AsyncStudy(cfg); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *jsonOut {
-		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster, wallclock); err != nil {
+		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster, wallclock, asyncRows); err != nil {
 			fatal(err)
 		}
 		return
@@ -204,6 +215,10 @@ func main() {
 	}
 	if wallclock != nil {
 		bench.RenderWallClock(os.Stdout, wallclock)
+		fmt.Println()
+	}
+	if asyncRows != nil {
+		bench.RenderAsync(os.Stdout, asyncRows)
 	}
 }
 

@@ -6,9 +6,14 @@
 // Usage:
 //
 //	accrun [-machine desktop|super] [-gpus n] [-mode proposal|openmp|baseline|cuda]
-//	       [-vet] [-audit] [-faults seed=7,oomgpu=1,oomalloc=5,...]
+//	       [-vet] [-audit] [-faults seed=7,oomgpu=1,oomalloc=5,...] [-no-async]
 //	       [-trace out.trace.json] [-metrics out.metrics.json] [-narrate]
 //	       [-set n=1000 -set a=2.5 ...] [-print arr] file.c
+//
+// Runs execute under the asynchronous pipelined scheduler by default:
+// results and transfer accounting are bit-identical to the
+// bulk-synchronous schedule, but the reported total is the overlapped
+// makespan. -no-async restores the strict phase-by-phase timeline.
 //
 // -trace writes a deterministic Chrome trace-event file (open it in a
 // Chromium browser's about://tracing, or drop it on ui.perfetto.dev):
@@ -61,6 +66,7 @@ func main() {
 	faults := flag.String("faults", "", "deterministic fault plan, e.g. seed=7,oomgpu=1,oomalloc=5,shrink=0.5,transfail=0.01")
 	noDegrade := flag.Bool("no-degrade", false, "make injected faults fatal instead of degrading gracefully")
 	noSpec := flag.Bool("no-specialize", false, "disable the specialized kernel executors (Phase B fast path)")
+	noAsync := flag.Bool("no-async", false, "disable the pipelined scheduler: report strictly bulk-synchronous phase times")
 	flag.Var(&sets, "set", "bind a scalar parameter, name=value (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -114,6 +120,10 @@ func main() {
 	}
 	opts.DisableDegradation = *noDegrade
 	opts.DisableSpecialize = *noSpec
+	// The CLI defaults to the pipelined schedule: same results and
+	// accounting, overlapped makespan. -no-async restores the pure
+	// bulk-synchronous timeline.
+	opts.Async = !*noAsync
 	plan, err := sim.ParseFaultPlan(*faults)
 	if err != nil {
 		fatal(err)

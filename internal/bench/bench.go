@@ -37,6 +37,12 @@ type Config struct {
 	// Phase-B direct-slice fast path) in every measured configuration,
 	// isolating the other host optimizations.
 	NoSpecialize bool
+	// Async runs the Proposal (multi-GPU) configurations under the
+	// pipelined scheduler, so their simulated totals are overlapped
+	// makespans instead of bulk-synchronous phase sums. Results and
+	// transfer accounting are identical either way; the paper's
+	// figures were measured synchronously (accbench -no-async).
+	Async bool
 	// Trace, when non-nil, collects structured spans and metrics for
 	// every measured run. Each configuration becomes its own trace
 	// process ("app/machine/mode(gpus)"), so one Chrome trace file
@@ -199,6 +205,9 @@ func runMachine(cfg Config, app *apps.App, prog *core.Program, mach sim.MachineS
 func runOnce(cfg Config, app *apps.App, prog *core.Program, spec sim.MachineSpec, opts rt.Options, scale float64) (*rt.Report, error) {
 	if cfg.NoSpecialize {
 		opts.DisableSpecialize = true
+	}
+	if cfg.Async && opts.Mode == rt.ModeMultiGPU {
+		opts.Async = true
 	}
 	in, err := app.Generate(scale, cfg.Seed)
 	if err != nil {

@@ -239,7 +239,7 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := WriteJSON(&sb, res, nil, nil, nil, nil); err != nil {
+	if err := WriteJSON(&sb, res, nil, nil, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	var doc JSONDocument
@@ -256,7 +256,46 @@ func TestWriteJSON(t *testing.T) {
 	}
 	// Nil sections serialize fine.
 	sb.Reset()
-	if err := WriteJSON(&sb, nil, nil, nil, nil, nil); err != nil {
+	if err := WriteJSON(&sb, nil, nil, nil, nil, nil, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAsyncStudyShapes pins the BENCH_PR6 study: every example app
+// must satisfy the equivalence contract, the overlapped makespan must
+// never exceed the synchronous total, and the halo-carrying stencil
+// must show a real win.
+func TestAsyncStudyShapes(t *testing.T) {
+	rows, err := AsyncStudy(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want the 5 example apps", len(rows))
+	}
+	byApp := map[string]AsyncRow{}
+	for _, r := range rows {
+		byApp[r.App] = r
+		if !r.Equivalent {
+			t.Errorf("%s: async report diverged from sync modulo time", r.App)
+		}
+		// The overlapped makespan must not lose ground. One exception,
+		// allowed a 0.1% tolerance: the async timeline serializes a
+		// reduction merge's collect -> broadcast round-trip honestly,
+		// while the synchronous estimate prices both directions as a
+		// single concurrent batch (kmeans pays a fraction of a
+		// microsecond for that honesty).
+		if r.AsyncUS > r.SyncUS*1.001 {
+			t.Errorf("%s: overlapped makespan %.1fus exceeds the synchronous total %.1fus",
+				r.App, r.AsyncUS, r.SyncUS)
+		}
+	}
+	if st := byApp["stencil1d"]; st.Speedup < 1.01 {
+		t.Errorf("stencil1d: pipelining recovered nothing (speedup %.3fx)", st.Speedup)
+	}
+	var sb strings.Builder
+	RenderAsync(&sb, rows)
+	if !strings.Contains(sb.String(), "stencil1d") {
+		t.Error("async render missing rows")
 	}
 }

@@ -46,12 +46,13 @@ type JSONDocument struct {
 	Ablations []AblationRow      `json:",omitempty"`
 	Cluster   []ClusterRow       `json:",omitempty"`
 	WallClock []WallClockRow     `json:",omitempty"`
+	Async     []AsyncRow         `json:",omitempty"`
 	Headline  map[string]float64 `json:",omitempty"`
 }
 
 // WriteJSON serializes an evaluation bundle. Any section may be nil.
-func WriteJSON(w io.Writer, res *Results, table2 []Table2Row, abl []AblationRow, cluster []ClusterRow, wall []WallClockRow) error {
-	doc := JSONDocument{Table2: table2, Ablations: abl, Cluster: cluster, WallClock: wall}
+func WriteJSON(w io.Writer, res *Results, table2 []Table2Row, abl []AblationRow, cluster []ClusterRow, wall []WallClockRow, async []AsyncRow) error {
+	doc := JSONDocument{Table2: table2, Ablations: abl, Cluster: cluster, WallClock: wall, Async: async}
 	if res != nil {
 		doc.Config = res.Config
 		doc.Headline = res.Headline()

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"accmulti/internal/ir"
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+	"accmulti/internal/trace"
+)
+
+// Structural overlap gates for the pipelined scheduler: beyond the
+// byte-pinned golden, these assert that the async trace actually shows
+// the overlap the scheduler exists to create — communication spans
+// running concurrently with kernel spans in simulated time. Under the
+// synchronous schedule every one of these pairs is disjoint by
+// construction (Phase A / Phase B / Phase C barriers).
+
+// spansOverlap reports strict overlap: each span starts before the
+// other ends. Instants (Begin == End) never overlap anything.
+func spansOverlap(a, b trace.Span) bool {
+	return a.Begin < b.End && b.Begin < a.End && a.Begin < a.End && b.Begin < b.End
+}
+
+// countOverlaps counts pairs of one commKind span and one kernel span
+// (either executor) that strictly overlap.
+func countOverlaps(spans []trace.Span, commKind trace.Kind) int {
+	n := 0
+	for _, c := range spans {
+		if c.Kind != commKind {
+			continue
+		}
+		for _, k := range spans {
+			if (k.Kind == trace.KindKernel || k.Kind == trace.KindSpecKernel) && spansOverlap(c, k) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// overlapSrc is the communication-bound two-sweep program used for the
+// H2D-overlap assertion: sweep 1 is a stencil on a_ writing b_ with
+// exact-partition locality, and sweep 2 is pointwise in b_ (so b_
+// never needs redistribution — no gathers, no halo pushes between the
+// sweeps) while scaling by a coefficient table c_ that sweep 1 never
+// touches. Sweep 2's Phase A is then exactly one fresh load — c_ —
+// with an empty bus queue ahead of it, so the scheduler ships it the
+// moment sweep 1's kernels start computing.
+const overlapSrc = `
+int n;
+float a_[n], b_[n], c_[n];
+
+void main() {
+    int i;
+    #pragma acc data copy(a_, b_) copyin(c_)
+    {
+        #pragma acc localaccess(a_) stride(1, 1, 1)
+        #pragma acc localaccess(b_) stride(1)
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            if (i > 0 && i < n - 1) {
+                b_[i] = 0.25 * a_[i - 1] + 0.5 * a_[i] + 0.25 * a_[i + 1];
+            } else {
+                b_[i] = a_[i];
+            }
+        }
+        #pragma acc localaccess(b_) stride(1)
+        #pragma acc localaccess(a_) stride(1)
+        #pragma acc localaccess(c_) stride(1)
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            a_[i] = c_[i] * b_[i];
+        }
+    }
+}
+`
+
+// TestAsyncOverlapObserved asserts the pipelining is visible in trace
+// time on the communication-bound stencil examples: at least one H2D
+// span overlaps a kernel span (a later kernel's load running under an
+// earlier kernel), and at least one halo push overlaps a kernel span
+// (boundary exchange departing before the producing sweep retires).
+func TestAsyncOverlapObserved(t *testing.T) {
+	// Part 1: the shipped stencil1d example (the golden's binding).
+	// All its H2D happens in the very first batch, so the overlap the
+	// async schedule creates there is halo-vs-kernel.
+	stencilSrc := embeddedSource(t, filepath.Join("..", "..", "examples", "stencil1d", "main.go"))
+	const n, steps = 1 << 20, 3
+	prog, err := Compile(stencilSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &ir.HostArray{F32: make([]float32, n)}
+	a.F32[n/2] = 1000
+	bind := ir.NewBindings().
+		SetScalar("n", n).SetScalar("steps", steps).SetArray("a", a)
+	tr := trace.New()
+	if _, err := prog.Run(bind, Config{
+		Machine: sim.Desktop().WithGPUs(4), Trace: tr,
+		Options: rt.Options{Async: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := countOverlaps(tr.Spans(), trace.KindHalo); got == 0 {
+		t.Error("async stencil1d: no halo span overlaps a kernel span")
+	}
+
+	// Part 2: the coefficient-table variant, where sweep 2's fresh
+	// copyin must load while sweep 1 computes.
+	prog2, err := Compile(overlapSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n2 = 1 << 20
+	av := &ir.HostArray{F32: make([]float32, n2)}
+	cv := &ir.HostArray{F32: make([]float32, n2)}
+	for i := range av.F32 {
+		av.F32[i] = float32(i%97) * 0.25
+		cv.F32[i] = 1 + float32(i%5)*0.125
+	}
+	bind2 := ir.NewBindings().SetScalar("n", n2).SetArray("a_", av).SetArray("c_", cv)
+	tr2 := trace.New()
+	if _, err := prog2.Run(bind2, Config{
+		Machine: sim.Desktop().WithGPUs(4), Trace: tr2,
+		Options: rt.Options{Async: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := countOverlaps(tr2.Spans(), trace.KindH2D); got == 0 {
+		t.Error("async coefficient stencil: no H2D span overlaps a kernel span")
+	}
+
+	// Control: the synchronous schedule of the same program has no
+	// comm/kernel overlap at all — the phases are barriers.
+	trSync := trace.New()
+	bind3 := ir.NewBindings().SetScalar("n", n2).SetArray("a_", av).SetArray("c_", cv)
+	if _, err := prog2.Run(bind3, Config{
+		Machine: sim.Desktop().WithGPUs(4), Trace: trSync,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []trace.Kind{trace.KindH2D, trace.KindHalo, trace.KindGather} {
+		if got := countOverlaps(trSync.Spans(), kind); got != 0 {
+			t.Errorf("sync schedule shows %d %v/kernel overlaps; phases should be barriers", got, kind)
+		}
+	}
+}

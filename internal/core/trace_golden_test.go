@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"accmulti/internal/ir"
+	"accmulti/internal/rt"
 	"accmulti/internal/sim"
 	"accmulti/internal/trace"
 )
@@ -78,6 +79,34 @@ func traceCases(t *testing.T) []struct {
 				bind := ir.NewBindings().
 					SetScalar("n", n).SetScalar("steps", steps).SetArray("a", a)
 				res, err := prog.Run(bind, Config{Machine: sim.Desktop().WithGPUs(4), Trace: tr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			},
+		},
+		{
+			// The same stencil binding under the pipelined scheduler:
+			// the golden pins the overlapped schedule itself — halo
+			// pushes departing at graded-write fractions of the
+			// producing kernel, consuming kernels starting as soon as
+			// their ghost cells land, GPUs running skewed.
+			name:   "stencil1d-async",
+			golden: filepath.Join(exDir, "stencil1d", "stencil1d.async.trace.json"),
+			run: func(t *testing.T, tr *trace.Tracer) *Result {
+				const n, steps = 1 << 20, 3
+				prog, err := Compile(stencilSrc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a := &ir.HostArray{F32: make([]float32, n)}
+				a.F32[n/2] = 1000
+				bind := ir.NewBindings().
+					SetScalar("n", n).SetScalar("steps", steps).SetArray("a", a)
+				res, err := prog.Run(bind, Config{
+					Machine: sim.Desktop().WithGPUs(4), Trace: tr,
+					Options: rt.Options{Async: true},
+				})
 				if err != nil {
 					t.Fatal(err)
 				}

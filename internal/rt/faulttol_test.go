@@ -3,6 +3,7 @@ package rt_test
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -206,6 +207,53 @@ func TestFaultPlanEquivalence(t *testing.T) {
 	}
 	if retries == 0 {
 		t.Error("the transfer-failure injection never triggered a retry across the corpus")
+	}
+}
+
+// TestFaultPlanAsyncEquivalence proves the degradation ladder fires
+// identically under the pipelined scheduler: with the same seeded
+// fault plan as TestFaultPlanEquivalence, an async run must degrade to
+// the same bit-identical results as the sync run, with the same event
+// log (kinds, details, order), the same retry and fallback counts, and
+// the same bucket accounting — only the time stamps may move. The
+// scheduler surfaces each failed attempt as a bus-time penalty but the
+// error itself still travels the synchronous retry/fallback path.
+func TestFaultPlanAsyncEquivalence(t *testing.T) {
+	plan := &sim.FaultPlan{Seed: 7, OOMGPU: 1, OOMAlloc: 2, TransferFailRate: 0.2, TransferFailCap: 2}
+	var fallbacks, retries int
+	for _, seed := range []int64{11, 22, 33} {
+		p := genRandProg(rand.New(rand.NewSource(seed)))
+		refOut, refOut2, refHist, refTotal := p.run(t, sim.Desktop(), rt.Options{Mode: rt.ModeCPU})
+
+		sync, err := p.runFull(t, sim.Desktop(), rt.Options{}, plan)
+		if err != nil {
+			t.Fatalf("seed %d: faulted sync run must degrade, not fail: %v\n%s", seed, err, p.src)
+		}
+		async, err := p.runFull(t, sim.Desktop(), rt.Options{Async: true, Auditor: audit.New(audit.Options{})}, plan)
+		if err != nil {
+			t.Fatalf("seed %d: faulted async run must degrade, not fail: %v\n%s", seed, err, p.src)
+		}
+		compareI32(t, p.src, "faulted-async", "out_", async.out, refOut)
+		compareI32(t, p.src, "faulted-async", "out2_", async.out2, refOut2)
+		compareI32(t, p.src, "faulted-async", "hist_", async.hist, refHist)
+		if async.total != refTotal {
+			t.Fatalf("seed %d: total = %g, want %g", seed, async.total, refTotal)
+		}
+		// The whole degradation story modulo time: same events in the
+		// same order, same retries, fallbacks, buckets and volumes.
+		if got, want := reportModuloTime(async.rep), reportModuloTime(sync.rep); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: faulted async report diverges from sync modulo time:\nasync: %+v\nsync:  %+v\n%s",
+				seed, got, want, p.src)
+		}
+		fallbacks += async.rep.Fallbacks
+		retries += async.rep.TransferRetries
+		assertDevicesEmpty(t, async.mach, fmt.Sprintf("async seed %d", seed))
+	}
+	if fallbacks == 0 {
+		t.Error("the OOM injection never triggered a fallback under async")
+	}
+	if retries == 0 {
+		t.Error("the transfer-failure injection never triggered a retry under async")
 	}
 }
 

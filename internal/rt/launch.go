@@ -246,7 +246,9 @@ loading:
 			r.gpuErrs[g] = err
 			r.gpuSpec[g] = handled
 			partials[g] = redVals
-			if tracer != nil && err == nil && parts[g].count() > 0 {
+			// Under the async scheduler the kernel spans are emitted by
+			// sched.kernels with their overlapped begin times instead.
+			if tracer != nil && r.sched == nil && err == nil && parts[g].count() > 0 {
 				kind := trace.KindKernel
 				if handled {
 					kind = trace.KindSpecKernel
@@ -298,6 +300,12 @@ loading:
 	ks.Launches++
 	ks.Time += maxKernel
 	ks.Counters.Add(total)
+	if r.sched != nil {
+		// Schedule the launch's kernel nodes on their engine timelines
+		// (and emit their overlapped spans) now that every GPU's cost
+		// is known and error-free.
+		r.sched.kernels(k, len(gpus), parts, needs)
+	}
 	r.tracef("kernels: %s over [%d,%d) on %d GPU(s): %v (%d flops, %d bytes)",
 		k.Name, lower, upper, len(gpus), maxKernel, total.Flops, total.BytesRead+total.BytesWritten)
 

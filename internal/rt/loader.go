@@ -142,13 +142,19 @@ func (r *Runtime) account(transfers []sim.Transfer, bucket *time.Duration) error
 	if len(transfers) == 0 {
 		return nil
 	}
+	var penalty time.Duration
 	for _, t := range transfers {
 		attempt := 1
 		for r.mach.TransferAttemptFails() {
 			// The failed attempt occupied the bus; the retry then
 			// waits out its backoff window.
-			*bucket += r.mach.Spec.TransferTime([]sim.Transfer{t}) + transferBackoffBase<<(attempt-1)
+			d := r.mach.Spec.TransferTime([]sim.Transfer{t}) + transferBackoffBase<<(attempt-1)
+			*bucket += d
+			penalty += d
 			if r.opts.DisableDegradation || attempt >= maxTransferAttempts {
+				if r.sched != nil {
+					r.sched.penalize(penalty)
+				}
 				r.addEvent("transfer-giveup", fmt.Sprintf("%s %dB src=%d dst=%d after %d attempt(s)",
 					t.Kind, t.Bytes, t.Src, t.Dst, attempt))
 				return &TransferError{Kind: t.Kind, Bytes: t.Bytes, Src: t.Src, Dst: t.Dst, Attempts: attempt}
@@ -171,7 +177,13 @@ func (r *Runtime) account(transfers []sim.Transfer, bucket *time.Duration) error
 			r.rep.BytesP2P += t.Bytes
 		}
 	}
-	if tr := r.opts.Tracer; tr != nil {
+	if r.sched != nil {
+		// The async scheduler owns the batch's timing (and its span
+		// emission): it splits the batch into ready-time sub-batches on
+		// the bus timeline. The bucket increment above is untouched —
+		// buckets keep their synchronous values under async.
+		r.sched.batch(transfers, penalty)
+	} else if tr := r.opts.Tracer; tr != nil {
 		r.emitTransferSpans(tr, transfers, begin, r.rep.Total())
 	}
 	return nil
@@ -301,6 +313,13 @@ type need struct {
 	// overlapping (halo) regions. Empty when the array is not a
 	// written distributed array.
 	coreLo, coreHi int64
+	// wLo..wHi is the kernel's write envelope on this GPU's copy
+	// (empty when hi < lo), consumed by the async scheduler's hazard
+	// tracking. wGraded marks envelopes with a proven ascending
+	// literal-affine write order, whose completion the scheduler may
+	// interpolate across the kernel span.
+	wLo, wHi int64
+	wGraded  bool
 }
 
 // distributed reports whether this array use places as partitions (vs
@@ -351,6 +370,39 @@ func (r *Runtime) computeNeed(k *ir.Kernel, use *ir.ArrayUse, host *ir.Env, p sp
 			}
 		} else {
 			nd.wantDirty = ngpus > 1
+		}
+	}
+	// The write envelope feeds the async scheduler's hazard tracking:
+	// the exact core when the write pattern matches the stride, the
+	// literal-affine envelope of the partition for replicated writes,
+	// the whole resident range otherwise. Reductions conservatively
+	// write the whole array (the merged delta lands on every copy).
+	nd.wLo, nd.wHi = 0, -1
+	switch {
+	case use.Reduced:
+		nd.wLo, nd.wHi = 0, st.n-1
+	case use.Written && distributed:
+		nd.wLo, nd.wHi = nd.lo, nd.hi
+		if use.Local.HasStride && use.WriteCoef > 0 && p.count() > 0 {
+			if s := use.Local.Stride(host); s == use.WriteCoef {
+				// The exact-core branch above proved the ascending
+				// affine order; the scheduler may grade completion.
+				nd.wLo, nd.wHi = nd.coreLo, nd.coreHi
+				nd.wGraded = true
+			}
+		}
+	case use.Written:
+		nd.wLo, nd.wHi = nd.lo, nd.hi
+		if use.WriteCoef > 0 && p.count() > 0 {
+			nd.wLo = use.WriteCoef*p.lo + use.WriteOffLo
+			nd.wHi = use.WriteCoef*(p.hi-1) + use.WriteOffHi
+			if nd.wLo < nd.lo {
+				nd.wLo = nd.lo
+			}
+			if nd.wHi > nd.hi {
+				nd.wHi = nd.hi
+			}
+			nd.wGraded = true
 		}
 	}
 	// Content must flow in when the kernel reads the array, or when a
@@ -477,7 +529,7 @@ func (r *Runtime) prepareLoad(st *arrayState, c *gpuCopy, nd need, transfers []s
 		}
 		if tr := r.opts.Tracer; tr != nil {
 			now := r.rep.Total()
-			tr.Emit(trace.Span{Kind: trace.KindAlloc, Lane: c.g, Begin: now, End: now,
+			tr.Emit(trace.Span{Kind: trace.KindAlloc, Lane: r.allocLane(c.g), Begin: now, End: now,
 				Name: st.decl.Name, Bytes: (nd.hi - nd.lo + 1) * st.elemSize, Lo: nd.lo, Hi: nd.hi})
 		}
 		if nd.contentIn {
@@ -551,7 +603,7 @@ func (c *gpuCopy) realloc(nd need) error {
 func (r *Runtime) emitSysAlloc(name, class string, g int, bytes int64) {
 	if tr := r.opts.Tracer; tr != nil {
 		now := r.rep.Total()
-		tr.Emit(trace.Span{Kind: trace.KindAlloc, Lane: g, Begin: now, End: now,
+		tr.Emit(trace.Span{Kind: trace.KindAlloc, Lane: r.allocLane(g), Begin: now, End: now,
 			Name: name + "." + class, Bytes: bytes, Lo: 0, Hi: -1})
 	}
 }

@@ -97,6 +97,15 @@ type Options struct {
 	// of equally, when a kernel carries a bounds-form localaccess
 	// array (an extension: the paper divides tasks equally, §IV-B2).
 	BalanceLoad bool
+	// Async arms the pipelined scheduler (see sched.go): runtime steps
+	// issue concurrently in virtual time when their read/write
+	// footprints prove independence, and Report.Total() becomes the
+	// overlapped makespan (AsyncTime) instead of the phase-bucket sum.
+	// Functional execution, phase buckets, transfer volumes, events,
+	// fault handling and final arrays are bit-identical to the
+	// synchronous schedule; only time stamps differ. Ignored in
+	// ModeCPU, which performs no transfers to overlap.
+	Async bool
 	// Trace, when non-nil, receives one line per runtime event
 	// (region entries, loads, launches, communication), stamped with
 	// the simulated clock.
@@ -213,6 +222,10 @@ type Runtime struct {
 	// scalarScratch is reused for plan-cache validation fingerprints.
 	scalarScratch []int64
 
+	// sched is the async pipelined scheduler; nil when Options.Async
+	// is off (the default) or in ModeCPU.
+	sched *asyncSched
+
 	// Per-launch scratch, reused to keep the steady-state hot path
 	// allocation-free. Launches never nest and the runtime's host
 	// strand is single-threaded, so plain fields suffice.
@@ -258,7 +271,7 @@ func New(mach *sim.Machine, opts Options) *Runtime {
 	if opts.Tracer != nil {
 		opts.Tracer.EnsureLanes(mach.NumGPUs())
 	}
-	return &Runtime{
+	r := &Runtime{
 		mach:        mach,
 		opts:        opts.withDefaults(),
 		rep:         NewReport(),
@@ -269,6 +282,11 @@ func New(mach *sim.Machine, opts Options) *Runtime {
 		planCache:   map[planKey]*launchPlan{},
 		specExecs:   map[int]*specExec{},
 	}
+	if r.opts.Async && r.opts.Mode != ModeCPU {
+		r.sched = newAsyncSched(r)
+		r.rep.Async = true
+	}
+	return r
 }
 
 // Machine returns the simulated machine.
@@ -367,6 +385,13 @@ type Report struct {
 	// (transfer retries, placement fallbacks, GPU-count reductions) and
 	// inter-GPU halo exchanges — in occurrence order.
 	Events []Event
+	// Async records whether the pipelined scheduler was armed.
+	// AsyncTime is then the overlapped-schedule makespan, which
+	// Total() reports instead of the phase-bucket sum. The buckets
+	// themselves keep their synchronous values, so an async report
+	// equals its synchronous twin in everything but time.
+	Async     bool
+	AsyncTime time.Duration
 }
 
 // Event is one recorded runtime action.
@@ -403,8 +428,13 @@ func (rep *Report) kernelStats(name string) *KernelStats {
 	return ks
 }
 
-// Total is the simulated wall time of the parallel regions.
+// Total is the simulated wall time of the parallel regions: the
+// phase-bucket sum under the synchronous schedule, the overlapped
+// makespan when the async scheduler ran.
 func (rep *Report) Total() time.Duration {
+	if rep.Async {
+		return rep.AsyncTime
+	}
 	return rep.KernelTime + rep.CPUGPUTime + rep.GPUGPUTime
 }
 

@@ -1,0 +1,603 @@
+package rt
+
+import (
+	"time"
+
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+	"accmulti/internal/trace"
+)
+
+// This file is the asynchronous pipelined scheduler (ROADMAP: "JACC
+// direction"). The runtime's functional execution stays exactly the
+// bulk-synchronous BSP cycle — every load, kernel, diff, halo push and
+// gather still *happens* in program order on the host strand, so the
+// computed arrays, the fault-oracle consumption order, the events and
+// the phase buckets are bit-identical to a -no-async run by
+// construction. What changes is *when the simulated clock says each
+// step ran*: every runtime step becomes a node with read/write
+// footprints derived from the translator's array configuration
+// information (the product of translator.AnalyzeProgram: localaccess
+// footprints, literal-affine write envelopes, reduction roles), edges
+// are added only on proven interference, and independent nodes issue
+// concurrently — kernels on their GPU's engine timeline, transfers on
+// the bus timeline priced by the existing sim.BusSpec batch model.
+// Report.AsyncTime is the resulting makespan, and Report.Total()
+// returns it when the scheduler is armed, which is how the overlap
+// shows up in reported simulated time.
+//
+// Interference rules (DESIGN.md §13 documents the model):
+//
+//   - Every transfer derives a (reads, writes) footprint over
+//     locations (array × host-mirror) and (array × GPU g) from its
+//     sim.Transfer metadata: H2D reads host and writes the destination
+//     copy's range; gathers read the source copy and write the host
+//     mirror; dirty/halo/miss/reduce traffic reads the source copy and
+//     writes the destination copy (halo pushes write the overlap minus
+//     the receiver's core, exactly what commSync stores).
+//   - A kernel node on GPU g reads its resident ranges and writes its
+//     write envelope: the exact core for distributed arrays whose
+//     envelope is uniform literal-affine, the replica-wide clamp of
+//     the envelope for replicated arrays, the whole range otherwise.
+//   - Writes with a proven ascending literal-affine order (WriteCoef >
+//     0) complete *gradually*: the envelope is split into writeGrades
+//     slices whose completion times interpolate the kernel span, so a
+//     halo push of the first boundary elements may depart long before
+//     the kernel retires. This is what pipelines the halo exchange.
+//   - Host code between launches is invisible to the scheduler, so
+//     every device-to-host delivery raises a conservative host
+//     barrier; host-to-device loads and kernel launches (which read
+//     host scalars) never start before it.
+//
+// Scheduling is deterministic: it runs on the host strand only, in
+// program order, with no map iteration, so the async span stream and
+// AsyncTime are as goldenable as the synchronous ones.
+
+// Async tuning constants.
+const (
+	// writeGrades is how many linear completion slices a proven-order
+	// affine kernel write envelope is split into.
+	writeGrades = 8
+	// maxHazIvls bounds each per-location hazard interval list; beyond
+	// it the list compacts to one conservative covering interval.
+	maxHazIvls = 24
+	// hazFullLo/hazFullHi is the conservative "whole array" range used
+	// when a transfer's logical range is unknown (miss records,
+	// reductions, scalars).
+	hazFullLo = int64(-1) << 62
+	hazFullHi = int64(1)<<62 - 1
+)
+
+// ivl is one hazard interval: logical range [lo, hi] settles at end.
+type ivl struct {
+	lo, hi int64
+	end    time.Duration
+}
+
+// hazSide is a bounded interval list for one access direction.
+type hazSide struct {
+	ivls []ivl
+}
+
+// settled returns when every recorded access overlapping [lo, hi]
+// has completed.
+func (h *hazSide) settled(lo, hi int64) time.Duration {
+	var t time.Duration
+	for _, iv := range h.ivls {
+		if iv.lo <= hi && iv.hi >= lo && iv.end > t {
+			t = iv.end
+		}
+	}
+	return t
+}
+
+// add records an access; over the cap the list compacts to a single
+// conservative covering interval (correctness never depends on the
+// list staying precise, only on it staying covering).
+func (h *hazSide) add(lo, hi int64, end time.Duration) {
+	h.ivls = append(h.ivls, ivl{lo: lo, hi: hi, end: end})
+	if len(h.ivls) <= maxHazIvls {
+		return
+	}
+	cover := h.ivls[0]
+	for _, iv := range h.ivls[1:] {
+		if iv.lo < cover.lo {
+			cover.lo = iv.lo
+		}
+		if iv.hi > cover.hi {
+			cover.hi = iv.hi
+		}
+		if iv.end > cover.end {
+			cover.end = iv.end
+		}
+	}
+	h.ivls = append(h.ivls[:0], cover)
+}
+
+// hazClock tracks reads and writes of one array at one location.
+type hazClock struct {
+	writes, reads hazSide
+}
+
+// readReady is the earliest time a read of [lo, hi] may issue (RAW).
+func (h *hazClock) readReady(lo, hi int64) time.Duration {
+	return h.writes.settled(lo, hi)
+}
+
+// writeReady is the earliest time a write of [lo, hi] may issue
+// (WAW and WAR).
+func (h *hazClock) writeReady(lo, hi int64) time.Duration {
+	t := h.writes.settled(lo, hi)
+	if rt := h.reads.settled(lo, hi); rt > t {
+		t = rt
+	}
+	return t
+}
+
+// arrHazard is the hazard state of one array: the host mirror plus one
+// clock per GPU copy, and each copy's current core range (needed to
+// subtract the receiver's core from a halo push's write footprint,
+// mirroring what syncOverlaps actually stores).
+type arrHazard struct {
+	host hazClock
+	dev  []hazClock
+	core [][2]int64
+}
+
+// asyncSched is the virtual-time overlay scheduler. All state advances
+// on the host strand in program order.
+type asyncSched struct {
+	r *Runtime
+	// gpuFree is each GPU compute engine's next free time.
+	gpuFree []time.Duration
+	// busFree is the transfer engine's next free time. Sub-batches
+	// serialize on it so concurrent-transfer pricing stays exactly the
+	// aggregate-bandwidth batch model of sim.BusSpec.TransferTime.
+	busFree time.Duration
+	// hostBarrier rises to the completion of every device-to-host
+	// delivery: host code may read it, so later H2D loads and kernel
+	// launches (host scalars) conservatively wait for it.
+	hostBarrier time.Duration
+	hazards     map[string]*arrHazard
+
+	// Scratch, reused across batches.
+	pendIdx   []int
+	pendReady []time.Duration
+	subBatch  []sim.Transfer
+	fpA, fpB  []hazFootprint
+}
+
+func newAsyncSched(r *Runtime) *asyncSched {
+	return &asyncSched{
+		r:       r,
+		gpuFree: make([]time.Duration, r.mach.NumGPUs()),
+		hazards: map[string]*arrHazard{},
+	}
+}
+
+// bump advances the makespan.
+func (s *asyncSched) bump(t time.Duration) {
+	if t > s.r.rep.AsyncTime {
+		s.r.rep.AsyncTime = t
+	}
+}
+
+// penalize occupies the bus with fault-retry time (failed attempts and
+// backoff windows priced by account's retry loop).
+func (s *asyncSched) penalize(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.busFree += d
+	s.bump(s.busFree)
+}
+
+func (s *asyncSched) haz(label string) *arrHazard {
+	h, ok := s.hazards[label]
+	if !ok {
+		n := s.r.mach.NumGPUs()
+		h = &arrHazard{dev: make([]hazClock, n), core: make([][2]int64, n)}
+		for g := range h.core {
+			h.core[g] = [2]int64{0, -1}
+		}
+		s.hazards[label] = h
+	}
+	return h
+}
+
+// hazRange normalizes a transfer's logical range: an unknown range
+// (Hi < Lo) conservatively covers the whole array.
+func hazRange(t sim.Transfer) (int64, int64) {
+	if t.Hi < t.Lo {
+		return hazFullLo, hazFullHi
+	}
+	return t.Lo, t.Hi
+}
+
+// hazFootprint is one location-range a transfer touches.
+type hazFootprint struct {
+	host   bool
+	g      int
+	lo, hi int64
+	write  bool
+}
+
+// xferFootprints derives the read/write footprint of one transfer from
+// its metadata. The scalar-reduction delivery carries no array range;
+// its ordering constraint (after the producing kernel) is handled in
+// xferReady directly.
+func (s *asyncSched) xferFootprints(t sim.Transfer, buf []hazFootprint) []hazFootprint {
+	buf = buf[:0]
+	lo, hi := hazRange(t)
+	switch t.Kind {
+	case sim.HostToDevice:
+		buf = append(buf,
+			hazFootprint{host: true, lo: lo, hi: hi},
+			hazFootprint{g: t.Dst, lo: lo, hi: hi, write: true})
+	case sim.DeviceToHost:
+		if t.Tag == sim.TagScalar {
+			return buf
+		}
+		buf = append(buf,
+			hazFootprint{g: t.Src, lo: lo, hi: hi},
+			hazFootprint{host: true, lo: lo, hi: hi, write: true})
+	default: // PeerToPeer
+		buf = append(buf, hazFootprint{g: t.Src, lo: lo, hi: hi})
+		if t.Tag == sim.TagHalo {
+			core := s.haz(t.Label).core[t.Dst]
+			for _, seg := range subtractRange(lo, hi, core[0], core[1]) {
+				buf = append(buf, hazFootprint{g: t.Dst, lo: seg[0], hi: seg[1], write: true})
+			}
+		} else {
+			buf = append(buf, hazFootprint{g: t.Dst, lo: lo, hi: hi, write: true})
+		}
+	}
+	return buf
+}
+
+// xferReady is the earliest time one transfer may issue given the
+// current hazard state (bus availability is applied by the caller).
+func (s *asyncSched) xferReady(t sim.Transfer) time.Duration {
+	if t.Kind == sim.DeviceToHost && t.Tag == sim.TagScalar {
+		// The scalar partial rides the kernel-completion path of its
+		// producing GPU.
+		return s.gpuFree[t.Src]
+	}
+	h := s.haz(t.Label)
+	var ready time.Duration
+	if t.Kind == sim.HostToDevice {
+		// Host content may have been produced by invisible host code.
+		ready = s.hostBarrier
+	}
+	s.fpA = s.xferFootprints(t, s.fpA)
+	for _, fp := range s.fpA {
+		clock := &h.host
+		if !fp.host {
+			clock = &h.dev[fp.g]
+		}
+		var at time.Duration
+		if fp.write {
+			at = clock.writeReady(fp.lo, fp.hi)
+		} else {
+			at = clock.readReady(fp.lo, fp.hi)
+		}
+		if at > ready {
+			ready = at
+		}
+	}
+	return ready
+}
+
+// xferApply records one scheduled transfer's accesses at its end time.
+func (s *asyncSched) xferApply(t sim.Transfer, end time.Duration) {
+	if t.Kind == sim.DeviceToHost {
+		// Host code may read anything a D2H delivered (gathered
+		// arrays, miss records landing on the mirror, scalar results).
+		if end > s.hostBarrier {
+			s.hostBarrier = end
+		}
+		if t.Tag == sim.TagScalar {
+			return
+		}
+	}
+	h := s.haz(t.Label)
+	s.fpA = s.xferFootprints(t, s.fpA)
+	for _, fp := range s.fpA {
+		clock := &h.host
+		if !fp.host {
+			clock = &h.dev[fp.g]
+		}
+		if fp.write {
+			clock.writes.add(fp.lo, fp.hi, end)
+		} else {
+			clock.reads.add(fp.lo, fp.hi, end)
+		}
+	}
+}
+
+// xferConflict reports whether b must wait for a (both pending in the
+// same batch, a earlier in program order). Only same-array flows can
+// couple inside one batch: no host code runs mid-batch.
+func (s *asyncSched) xferConflict(a, b sim.Transfer) bool {
+	if a.Label != b.Label {
+		return false
+	}
+	if a.Kind == sim.DeviceToHost && b.Kind == sim.DeviceToHost {
+		// Concurrent gathers of one array read distinct GPU copies, and
+		// where their host-write ranges overlap (resident halos) the
+		// copies are coherent — the communication step of the superstep
+		// that produced them has completed — so either write order
+		// stores the same bytes. Not a hazard.
+		return false
+	}
+	s.fpA = s.xferFootprints(a, s.fpA)
+	s.fpB = s.xferFootprints(b, s.fpB)
+	for _, x := range s.fpA {
+		for _, y := range s.fpB {
+			if !x.write && !y.write {
+				continue
+			}
+			if x.host != y.host || (!x.host && x.g != y.g) {
+				continue
+			}
+			if x.lo <= y.hi && x.hi >= y.lo {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// batch schedules one priced transfer batch. The batch splits into
+// ready-time sub-batches: transfers whose hazards have settled issue
+// together (priced as one concurrent batch by the machine's
+// aggregate-bandwidth model — never cheaper than the synchronous
+// pricing of the same set), later-ready transfers wait for the bus to
+// free and form the next sub-batch. Intra-batch dependencies (a gather
+// feeding a reload of the same array) defer the dependent transfer to
+// a later sub-batch. penalty is the bus time the fault-retry loop
+// already priced for this batch.
+func (s *asyncSched) batch(transfers []sim.Transfer, penalty time.Duration) {
+	s.penalize(penalty)
+	if len(transfers) == 0 {
+		return
+	}
+	tr := s.r.opts.Tracer
+
+	pend := s.pendIdx[:0]
+	for i := range transfers {
+		pend = append(pend, i)
+	}
+	ready := s.pendReady[:0]
+	for range transfers {
+		ready = append(ready, 0)
+	}
+	const never = time.Duration(1<<63 - 1)
+
+	for len(pend) > 0 {
+		// Compute readiness; defer transfers conflicting with an
+		// earlier still-pending one.
+		minReady := never
+		for pi, i := range pend {
+			rdy := s.xferReady(transfers[i])
+			for _, j := range pend[:pi] {
+				if s.xferConflict(transfers[j], transfers[i]) {
+					rdy = never
+					break
+				}
+			}
+			ready[pi] = rdy
+			if rdy < minReady {
+				minReady = rdy
+			}
+		}
+		t0 := s.busFree
+		if minReady > t0 {
+			t0 = minReady
+		}
+		// Everything ready by the issue time shares the sub-batch.
+		sub := s.subBatch[:0]
+		n := 0
+		for pi, i := range pend {
+			if ready[pi] <= t0 {
+				sub = append(sub, transfers[i])
+			} else {
+				pend[n] = i
+				ready[n] = ready[pi]
+				n++
+			}
+		}
+		rest := pend[:n]
+
+		// Absorb stragglers whose wait costs less than the bus time their
+		// joining saves: the machine prices a concurrent batch with an
+		// aggregate-bandwidth discount, so splitting a gather because one
+		// source kernel retired a few microseconds later can make the
+		// overlapped schedule *slower* than the synchronous one. Waiting
+		// is worth it exactly when the straggler's lateness is below the
+		// discount; halo pushes staggered by graded kernel writes stay
+		// split (their lateness is a kernel fraction, far above it).
+		for len(rest) > 0 {
+			best := -1
+			for k := range rest {
+				if ready[k] == never {
+					continue
+				}
+				if best < 0 || ready[k] < ready[best] {
+					best = k
+				}
+			}
+			if best < 0 {
+				break
+			}
+			if r := ready[best]; r > t0 {
+				one := transfers[rest[best] : rest[best]+1]
+				joined := append(sub, one[0])
+				saved := s.r.mach.Spec.TransferTime(sub) + s.r.mach.Spec.TransferTime(one) -
+					s.r.mach.Spec.TransferTime(joined)
+				if r-t0 > saved {
+					break
+				}
+				t0 = r
+			}
+			sub = append(sub, transfers[rest[best]])
+			copy(rest[best:], rest[best+1:])
+			copy(ready[best:], ready[best+1:])
+			rest = rest[:len(rest)-1]
+		}
+		end := t0 + s.r.mach.Spec.TransferTime(sub)
+		for _, t := range sub {
+			s.xferApply(t, end)
+		}
+		if tr != nil {
+			s.emitAsyncTransferSpans(tr, sub, t0, end)
+		}
+		s.subBatch = sub
+		s.busFree = end
+		s.bump(end)
+		pend = rest
+	}
+	s.pendIdx = pend[:0]
+	s.pendReady = ready[:0]
+}
+
+// emitAsyncTransferSpans renders one sub-batch as spans over its
+// scheduled window. Unlike the synchronous layout (H2D and gathers on
+// GPU lanes), every transfer span lands on the comms lane: transfers
+// overlap kernels under the async schedule, and the per-lane nesting
+// invariant of trace.CheckWellFormed must keep holding. The bus
+// timeline is monotone, so the comms lane stays well-formed; the
+// metric increments are identical to the synchronous path.
+func (s *asyncSched) emitAsyncTransferSpans(tr *trace.Tracer, transfers []sim.Transfer, begin, end time.Duration) {
+	m := tr.Metrics()
+	for _, t := range transfers {
+		sp := trace.Span{Begin: begin, End: end, Lane: trace.LaneComms, Name: t.Label,
+			Bytes: t.Bytes, Lo: t.Lo, Hi: t.Hi, Src: t.Src, Dst: t.Dst}
+		switch t.Kind {
+		case sim.HostToDevice:
+			sp.Kind = trace.KindH2D
+		case sim.DeviceToHost:
+			sp.Kind = trace.KindGather
+		default:
+			if t.Tag == sim.TagHalo {
+				sp.Kind = trace.KindHalo
+			} else {
+				sp.Kind = trace.KindD2D
+			}
+		}
+		tr.Emit(sp)
+		m.Inc(bytesKindKeys[t.Kind], t.Bytes)
+		m.Inc(bytesPolicyKeys[t.Tag], t.Bytes)
+	}
+}
+
+// kernels schedules one launch's per-GPU kernel nodes. The kernels of
+// one launch are mutually independent under the BSP contract (each GPU
+// writes only its own core or its own replica's envelope), so all
+// readiness is computed against the pre-launch hazard state and all
+// updates apply afterwards — exactly the concurrency the synchronous
+// runtime grants them. Called on the host strand after the Phase B
+// barrier, when the per-GPU costs are merged and error-free.
+func (s *asyncSched) kernels(k *ir.Kernel, ngpus int, parts []span, needs [][]need) {
+	r := s.r
+	begins := make([]time.Duration, ngpus)
+	for g := 0; g < ngpus; g++ {
+		if parts[g].count() == 0 {
+			continue
+		}
+		// Kernel launches read host scalars host code may have derived
+		// from gathered results.
+		rdy := s.gpuFree[g]
+		if s.hostBarrier > rdy {
+			rdy = s.hostBarrier
+		}
+		for ui, use := range k.Arrays {
+			nd := needs[g][ui]
+			if nd.hi < nd.lo {
+				continue
+			}
+			h := s.haz(use.Decl.Name)
+			if use.Read || use.Reduced {
+				if at := h.dev[g].readReady(nd.lo, nd.hi); at > rdy {
+					rdy = at
+				}
+			}
+			if nd.wHi >= nd.wLo {
+				if at := h.dev[g].writeReady(nd.wLo, nd.wHi); at > rdy {
+					rdy = at
+				}
+			}
+		}
+		begins[g] = rdy
+	}
+	for g := 0; g < ngpus; g++ {
+		if parts[g].count() == 0 {
+			continue
+		}
+		begin := begins[g]
+		cost := r.gpuCost[g]
+		end := begin + cost
+		s.gpuFree[g] = end
+		s.bump(end)
+		for ui, use := range k.Arrays {
+			nd := needs[g][ui]
+			if nd.hi < nd.lo {
+				continue
+			}
+			h := s.haz(use.Decl.Name)
+			if use.Read || use.Reduced {
+				// Write-only arrays record no read: their halo regions
+				// are untouched by this kernel, and a false read there
+				// would stall inbound halo pushes on the kernel's end.
+				h.dev[g].reads.add(nd.lo, nd.hi, end)
+			}
+			if nd.wHi >= nd.wLo {
+				if nd.wGraded && cost > 0 {
+					// Proven ascending write order: slice the envelope
+					// into linear completion grades so dependents on
+					// early elements start before the kernel retires.
+					width := nd.wHi - nd.wLo + 1
+					grades := int64(writeGrades)
+					if width < grades {
+						grades = width
+					}
+					for j := int64(0); j < grades; j++ {
+						lo := nd.wLo + width*j/grades
+						hi := nd.wLo + width*(j+1)/grades - 1
+						at := begin + time.Duration(int64(cost)*(j+1)/grades)
+						h.dev[g].writes.add(lo, hi, at)
+					}
+				} else {
+					h.dev[g].writes.add(nd.wLo, nd.wHi, end)
+				}
+			}
+			h.core[g] = [2]int64{nd.coreLo, nd.coreHi}
+		}
+		if tr := r.opts.Tracer; tr != nil && r.gpuErrs[g] == nil {
+			kind := trace.KindKernel
+			if r.gpuSpec[g] {
+				kind = trace.KindSpecKernel
+			}
+			tr.Emit(trace.Span{Kind: kind, Lane: g,
+				Begin: begin, End: end, Name: k.Name, Lo: parts[g].lo, Hi: parts[g].hi - 1})
+			for ui, use := range k.Arrays {
+				if nd := needs[g][ui]; nd.wantDirty {
+					tr.Emit(trace.Span{Kind: trace.KindDirtyMark, Lane: g,
+						Begin: end, End: end, Name: use.Decl.Name, Lo: nd.lo, Hi: nd.hi})
+				}
+			}
+		}
+	}
+}
+
+// allocLane routes allocation instants: synchronously they sit on the
+// owning GPU's lane, but under the async scheduler the GPU lanes carry
+// overlapped kernel spans that may end after the host-clock stamp of a
+// later allocation, so the instants (stamped with the monotone
+// frontier) move to the host lane to keep every lane well-formed.
+func (r *Runtime) allocLane(g int) int {
+	if r.sched != nil {
+		return trace.LaneHost
+	}
+	return g
+}
