@@ -2,11 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench bench-quick bench-baseline bench-pr6 eval eval-json examples clean check fuzz-smoke accvet trace-check
+.PHONY: all build vet lint test test-short cover bench bench-quick bench-baseline bench-pr6 eval eval-json examples clean check fuzz-smoke accvet trace-check
+
+# Optional linters: used when present on PATH, skipped (with a pinned
+# install hint) when absent — `make lint` must work in a hermetic
+# checkout with only the Go toolchain.
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
 all: build vet test
 
-# check is the pre-PR gate: vet, the plain test suite, the race
+# check is the pre-PR gate: lint (go vet plus the optional linters when
+# installed), the plain test suite, the race
 # detector over the suite (the runtime launches kernels concurrently
 # across simulated GPUs; -short skips the full-scale app inputs, which
 # take ~10x longer under the detector), the trace golden/invariance
@@ -14,9 +21,10 @@ all: build vet test
 # audited random-program corpus, and a short fuzz smoke over the
 # frontend fuzzer, the audited random-program fuzzer, the
 # vet-vs-auditor cross-check fuzzer, the specialized-vs-interpreted
-# differential fuzzer, the trace well-formedness fuzzer and the
-# async-vs-sync schedule-equivalence fuzzer.
-check: vet
+# differential fuzzer, the trace well-formedness fuzzer, the
+# async-vs-sync schedule-equivalence fuzzer and the static-vs-dynamic
+# dependence cross-check fuzzer.
+check: lint
 	$(GO) test ./...
 	$(GO) test -race -short -timeout 1200s ./...
 	$(MAKE) trace-check
@@ -49,12 +57,28 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzSpecializedVsInterp -fuzztime=5s -run='^$$' ./internal/rt
 	$(GO) test -fuzz=FuzzTraceWellFormed -fuzztime=5s -run='^$$' ./internal/rt
 	$(GO) test -fuzz=FuzzAsyncVsSyncSchedule -fuzztime=5s -run='^$$' ./internal/rt
+	$(GO) test -fuzz=FuzzDepCrossCheck -fuzztime=5s -run='^$$' ./internal/rt
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint is the static-analysis gate: go vet always runs; staticcheck and
+# govulncheck run only when their binaries are already installed (no
+# network fetches from the build).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	accc [-stats] [-vet] file.c
+//	accc [-stats] [-vet [-json]] file.c
 //	accc -            # read from stdin
 //
 // With -vet the accvet pass (internal/analysis) verifies every
 // localaccess clause against the inferred access footprint and prints
 // its diagnostics instead of the generated code; the exit status is 1
-// when any diagnostic is an error.
+// when any diagnostic is an error. -json renders the diagnostics as a
+// byte-deterministic JSON array instead of the text format.
 package main
 
 import (
@@ -27,9 +28,10 @@ import (
 func main() {
 	stats := flag.Bool("stats", false, "print program statistics instead of generated code")
 	vet := flag.Bool("vet", false, "verify directives against inferred footprints; exit 1 on errors")
+	jsonOut := flag.Bool("json", false, "with -vet: print diagnostics as a JSON array")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: accc [-stats] [-vet] file.c (use - for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: accc [-stats] [-vet [-json]] file.c (use - for stdin)")
 		os.Exit(2)
 	}
 
@@ -58,7 +60,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "accc:", err)
 			os.Exit(1)
 		}
-		fmt.Print(res.Diags.Format(display))
+		if *jsonOut {
+			if err := res.Diags.WriteJSON(os.Stdout, display); err != nil {
+				fmt.Fprintln(os.Stderr, "accc:", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Print(res.Diags.Format(display))
+		}
 		if res.Diags.HasErrors() {
 			os.Exit(1)
 		}

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -66,5 +69,58 @@ func TestAcccStdinAndErrors(t *testing.T) {
 	}
 	if _, err := exec.Command(bin).CombinedOutput(); err == nil {
 		t.Error("no arguments should exit nonzero")
+	}
+}
+
+// TestAcccVetJSONGolden pins the -vet -json rendering byte for byte:
+// the output must be deterministic (sorted diagnostics, stable field
+// order) so machine consumers can diff it.
+func TestAcccVetJSONGolden(t *testing.T) {
+	bin := buildTool(t)
+	src := filepath.Join("..", "..", "examples", "vet", "indirect_scatter.c")
+	golden, err := os.ReadFile(filepath.Join("..", "..", "examples", "vet", "indirect_scatter.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []byte
+	for run := 0; run < 3; run++ {
+		cmd := exec.Command(bin, "-vet", "-json", src)
+		out, err := cmd.Output()
+		exitErr, ok := err.(*exec.ExitError)
+		if !ok || exitErr.ExitCode() != 1 {
+			t.Fatalf("run %d: want exit 1 (the example has an error diagnostic), got %v", run, err)
+		}
+		if prev != nil && !bytes.Equal(out, prev) {
+			t.Fatalf("run %d: -json output not byte-deterministic", run)
+		}
+		prev = out
+	}
+	if !bytes.Equal(prev, golden) {
+		t.Errorf("-json output changed.\n--- got ---\n%s--- want ---\n%s", prev, golden)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(prev, &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(parsed) != 3 {
+		t.Fatalf("want 3 diagnostics, got %d", len(parsed))
+	}
+	for _, d := range parsed {
+		for _, key := range []string{"file", "line", "col", "severity", "code", "message"} {
+			if _, ok := d[key]; !ok {
+				t.Errorf("diagnostic missing %q: %v", key, d)
+			}
+		}
+	}
+
+	// A clean program renders as the empty array.
+	cmd := exec.Command(bin, "-vet", "-json", "-")
+	cmd.Stdin = strings.NewReader("int n;\nvoid main() { n = 1; }")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("clean program: %v", err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Errorf("clean program should print [], got %q", out)
 	}
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	accrun [-machine desktop|super] [-gpus n] [-mode proposal|openmp|baseline|cuda]
-//	       [-vet] [-audit] [-faults seed=7,oomgpu=1,oomalloc=5,...] [-no-async]
+//	       [-vet [-json]] [-audit] [-faults seed=7,oomgpu=1,oomalloc=5,...] [-no-async]
 //	       [-trace out.trace.json] [-metrics out.metrics.json] [-narrate]
 //	       [-set n=1000 -set a=2.5 ...] [-print arr] file.c
 //
@@ -23,7 +23,8 @@
 // commentary to stderr.
 //
 // -vet runs the accvet directive checks first, printing diagnostics to
-// stderr and refusing to execute a program with verification errors.
+// stderr and refusing to execute a program with verification errors;
+// -json switches the diagnostic rendering to a JSON array.
 package main
 
 import (
@@ -61,6 +62,7 @@ func main() {
 	kernels := flag.Bool("kernels", false, "print a per-kernel statistics table after the run")
 	printArr := flag.String("print", "", "print this array's first elements after the run")
 	vet := flag.Bool("vet", false, "run the accvet directive checks before executing; abort on errors")
+	vetJSON := flag.Bool("json", false, "with -vet: print diagnostics as a JSON array")
 	auditRun := flag.Bool("audit", false, "verify every device copy against a sequential shadow oracle")
 	auditTol := flag.Float64("audit-tol", 0, "relative tolerance for float reductions under -audit (0 = default)")
 	faults := flag.String("faults", "", "deterministic fault plan, e.g. seed=7,oomgpu=1,oomalloc=5,shrink=0.5,transfail=0.01")
@@ -157,7 +159,13 @@ func main() {
 		} else {
 			display = filepath.Base(display)
 		}
-		fmt.Fprint(os.Stderr, vres.Diags.Format(display))
+		if *vetJSON {
+			if err := vres.Diags.WriteJSON(os.Stderr, display); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Fprint(os.Stderr, vres.Diags.Format(display))
+		}
 		if vres.Diags.HasErrors() {
 			fatal(fmt.Errorf("vet found %d error(s); not running", vres.Diags.Count(diag.Error)))
 		}

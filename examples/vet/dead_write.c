@@ -1,0 +1,20 @@
+/* WASTEFUL (ACCV010): b is created on the device and written by the
+ * kernel, but nothing ever reads the written elements back; the
+ * device write and its merge traffic are dead.
+ *   go run ./cmd/accc -vet examples/vet/dead_write.c
+ */
+int n;
+float a[n], b[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(a) create(b)
+    {
+        #pragma acc localaccess(a) stride(1)
+        #pragma acc localaccess(b) stride(1)
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            b[i] = a[i] * 2.0;
+        }
+    }
+}

@@ -1,0 +1,21 @@
+/* BROKEN (ACCV009): the scatter out[idx[i]] = ... cannot be proven
+ * race free: two iterations may hit the same element, and the
+ * multi-GPU merge would keep an arbitrary GPU's value. Make it a
+ * reductiontoarray, or assert `independent` if idx is known to be a
+ * permutation.
+ *   go run ./cmd/accc -vet examples/vet/indirect_scatter.c
+ */
+int n;
+float out[n], val[n];
+int idx[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(val, idx) copy(out)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out[idx[i]] = val[i] + 1.0;
+        }
+    }
+}

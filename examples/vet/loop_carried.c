@@ -1,0 +1,18 @@
+/* BROKEN (ACCV008): each iteration overwrites a[i] using a[i - 1]
+ * from the previous iteration, a loop-carried dependence; block
+ * distribution would read stale neighbour values at GPU boundaries.
+ *   go run ./cmd/accc -vet examples/vet/loop_carried.c
+ */
+int n;
+float a[n];
+
+void main() {
+    int i;
+    #pragma acc data copy(a)
+    {
+        #pragma acc parallel loop
+        for (i = 1; i < n; i++) {
+            a[i] = a[i - 1] * 0.5;
+        }
+    }
+}

@@ -1,0 +1,21 @@
+/* WASTEFUL (ACCV011): the update host(a) gathers a although no
+ * kernel has written it since the region loaded it; the transfer
+ * re-copies clean data.
+ *   go run ./cmd/accc -vet examples/vet/redundant_update.c
+ */
+int n;
+float a[n], b[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(a) copy(b)
+    {
+        #pragma acc localaccess(a) stride(1)
+        #pragma acc localaccess(b) stride(1)
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            b[i] = a[i] + 1.0;
+        }
+        #pragma acc update host(a)
+    }
+}

@@ -1,0 +1,23 @@
+/* IMPROVABLE (ACCV012): both kernels touch a and b with the common
+ * stride 1 and write only their own block, so the arrays could
+ * distribute across the GPUs instead of replicating; the advisor
+ * prints the exact localaccess to paste onto each loop.
+ *   go run ./cmd/accc -vet examples/vet/replicated_affine.c
+ */
+int n;
+float a[n], b[n];
+
+void main() {
+    int i;
+    #pragma acc data copy(a, b)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            a[i] = i * 0.5;
+        }
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            b[i] = a[i] * 2.0;
+        }
+    }
+}

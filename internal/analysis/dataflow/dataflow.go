@@ -1,0 +1,1145 @@
+// Package dataflow is the whole-program, per-array dataflow pass of
+// accvet. Where the base pass (internal/analysis) checks each parallel
+// loop's directives against its own footprint, this pass reasons
+// across statements: it proves loop-carried dependences inside single
+// kernels (ACCV008, races.go), flags unprovable scatter writes
+// (ACCV009), and runs kernel-to-kernel liveness/reaching-definitions
+// and transfer-cleanliness analyses over the translated program
+// (ACCV010 dead device writes, ACCV011 redundant transfers, ACCV012
+// distributability advisor).
+//
+// The pass consumes the same footprints the runtime's placement and
+// the PR-6 pipelined scheduler consume (translator.AnalyzeProgram) and
+// reuses the scheduler's hazard-interval representation
+// (rt.IntervalSet) for its footprint envelopes, so the static
+// dependences it derives and the dependences the scheduler serializes
+// at run time come from one model; the cross-check tests in
+// internal/rt pin the two against each other.
+//
+// Abstract domain: per array and per residence plane (host mirror,
+// device copies collectively) the analyses track either whole-array
+// facts or bounded sets of congruence classes coef*i + off over an
+// iteration domain [lo, hi) whose bounds are linear in one scalar.
+// Joins are unions (may-analysis); class sets overflow to the
+// conservative whole-array element, so every verdict that triggers a
+// diagnostic is proven, never guessed:
+//
+//	ACCV010 fires only when no live class intersects any written class,
+//	ACCV011 fires only when no device/host write could have happened
+//	since the last synchronization on any path, and
+//	ACCV008/ACCV009/ACCV012 come from races.go's per-loop proofs.
+package dataflow
+
+import (
+	"fmt"
+
+	"accmulti/internal/acc"
+	"accmulti/internal/cc"
+	"accmulti/internal/diag"
+	"accmulti/internal/translator"
+)
+
+// Dep is one statically derived cross-kernel device dependence: the
+// loop at WriterLine produces elements of Array that the loop at
+// ReaderLine consumes through the same device allocation (WriterLine
+// == ReaderLine for a kernel iterated in-place by a host loop).
+type Dep struct {
+	Array                  string
+	WriterLine, ReaderLine int
+}
+
+// Result is the outcome of the dataflow pass.
+type Result struct {
+	// Diags are the findings (unsorted; the caller merges and sorts).
+	Diags diag.List
+	// Distributable names the arrays ACCV012 proposed a localaccess
+	// for; the base pass suppresses its per-loop ACCV004 hints on them.
+	Distributable map[string]bool
+	// Deps are the cross-kernel dependences, sorted by (array, writer,
+	// reader). The scheduler cross-check pins every runtime-serialized
+	// kernel-to-kernel dependence against this list.
+	Deps []Dep
+}
+
+// Analyze runs the dataflow pass over an analyzed program.
+func Analyze(pa *translator.ProgramAccess) *Result {
+	a := &analyzer{
+		pa:       pa,
+		res:      &Result{Distributable: map[string]bool{}},
+		reported: map[repKey]bool{},
+		raced:    map[string]bool{},
+	}
+	for _, loop := range pa.Loops {
+		a.checkLoopRaces(loop)
+	}
+	t := a.buildTree()
+	if t != nil {
+		a.cleanliness(t)
+		a.liveness(t)
+	}
+	a.advise()
+	a.deps()
+	return a.res
+}
+
+type repKey struct {
+	code      string
+	line, col int
+	symbol    string
+}
+
+type analyzer struct {
+	pa  *translator.ProgramAccess
+	res *Result
+	// reported dedupes diagnostics across the repeated passes the
+	// host-loop fixpoints make over one body.
+	reported map[repKey]bool
+	// raced names arrays with an ACCV008/ACCV009 finding; the
+	// distributability advisor must not propose spreading them.
+	raced map[string]bool
+	// loopPaths maps each kernel to the ids of its enclosing host-side
+	// loops, for dependence direction through back edges.
+	loopPaths map[*translator.LoopAccess][]int
+}
+
+func (a *analyzer) add(sev diag.Severity, code string, line, col int, symbol, fixit, format string, args ...any) {
+	key := repKey{code: code, line: line, col: col, symbol: symbol}
+	if a.reported[key] {
+		return
+	}
+	a.reported[key] = true
+	a.res.Diags.Add(diag.Diagnostic{
+		Severity: sev,
+		Code:     code,
+		Line:     line,
+		Col:      col,
+		Message:  fmt.Sprintf(format, args...),
+		FixIt:    fixit,
+		Symbol:   symbol,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Program tree
+//
+// The analyses run over a small structured IR of main's body: kernels,
+// host statements that touch arrays, update directives, data regions,
+// host-side loops and branches. It mirrors the statement walk of
+// translator.AnalyzeProgram, so the nth data Block matches
+// pa.Regions[n] and parallel ForStmts match pa.Loops by their AST
+// node.
+
+type nodeKind int
+
+const (
+	nSeq nodeKind = iota
+	nKernel
+	nRegion
+	nHostLoop
+	nBranch
+	nHost
+	nUpdate
+)
+
+type node struct {
+	kind nodeKind
+	line int
+	// kids is the ordered body: all children for nSeq/nRegion/nHostLoop,
+	// the then branch for nBranch (elseKids holds the else branch).
+	kids     []*node
+	elseKids []*node
+	loop     *translator.LoopAccess // nKernel
+	region   *translator.RegionInfo // nRegion
+	// reads/writes are the arrays a host statement touches (whole-array
+	// conservative).
+	reads, writes []*cc.VarDecl
+	// upHost/upDev are the arrays of an update directive's host/self
+	// and device clauses.
+	upHost, upDev []*cc.VarDecl
+	// loopID identifies an nHostLoop for common-ancestor queries.
+	loopID int
+}
+
+type treeBuilder struct {
+	a         *analyzer
+	regionIdx int
+	loops     map[*cc.ForStmt]*translator.LoopAccess
+	loopStack []int
+	nextLoop  int
+	failed    bool
+}
+
+func (a *analyzer) buildTree() *node {
+	b := &treeBuilder{a: a, loops: map[*cc.ForStmt]*translator.LoopAccess{}}
+	a.loopPaths = map[*translator.LoopAccess][]int{}
+	for _, loop := range a.pa.Loops {
+		b.loops[loop.For] = loop
+	}
+	kids := b.walk(a.pa.Prog.Main.Body)
+	if b.failed {
+		return nil
+	}
+	return &node{kind: nSeq, kids: kids}
+}
+
+func (b *treeBuilder) walk(s cc.Stmt) []*node {
+	if b.failed || s == nil {
+		return nil
+	}
+	switch st := s.(type) {
+	case *cc.Block:
+		var kids []*node
+		inner := st.Stmts
+		if st.Data != nil {
+			if b.regionIdx >= len(b.a.pa.Regions) || b.a.pa.Regions[b.regionIdx].Line != st.Data.Line {
+				b.failed = true // region walk diverged from AnalyzeProgram
+				return nil
+			}
+			region := b.a.pa.Regions[b.regionIdx]
+			b.regionIdx++
+			r := &node{kind: nRegion, region: region, line: region.Line}
+			for _, sub := range inner {
+				r.kids = append(r.kids, b.walk(sub)...)
+			}
+			return []*node{r}
+		}
+		for _, sub := range inner {
+			kids = append(kids, b.walk(sub)...)
+		}
+		return kids
+	case *cc.ForStmt:
+		if st.Parallel != nil {
+			loop := b.loops[st]
+			if loop == nil {
+				b.failed = true
+				return nil
+			}
+			b.a.loopPaths[loop] = append([]int(nil), b.loopStack...)
+			return []*node{{kind: nKernel, loop: loop, line: st.Line}}
+		}
+		id := b.nextLoop
+		b.nextLoop++
+		var out []*node
+		if h := b.hostAssign(st.Init); h != nil {
+			out = append(out, h)
+		}
+		if h := b.hostExpr(st.Line, st.Cond); h != nil {
+			out = append(out, h)
+		}
+		ln := &node{kind: nHostLoop, line: st.Line, loopID: id}
+		if h := b.hostExpr(st.Line, st.Cond); h != nil {
+			ln.kids = append(ln.kids, h)
+		}
+		b.loopStack = append(b.loopStack, id)
+		ln.kids = append(ln.kids, b.walk(st.Body)...)
+		b.loopStack = b.loopStack[:len(b.loopStack)-1]
+		if h := b.hostAssign(st.Post); h != nil {
+			ln.kids = append(ln.kids, h)
+		}
+		return append(out, ln)
+	case *cc.WhileStmt:
+		id := b.nextLoop
+		b.nextLoop++
+		var out []*node
+		if h := b.hostExpr(st.Line, st.Cond); h != nil {
+			out = append(out, h)
+		}
+		ln := &node{kind: nHostLoop, line: st.Line, loopID: id}
+		if h := b.hostExpr(st.Line, st.Cond); h != nil {
+			ln.kids = append(ln.kids, h)
+		}
+		b.loopStack = append(b.loopStack, id)
+		ln.kids = append(ln.kids, b.walk(st.Body)...)
+		b.loopStack = b.loopStack[:len(b.loopStack)-1]
+		return append(out, ln)
+	case *cc.IfStmt:
+		var out []*node
+		if h := b.hostExpr(st.Line, st.Cond); h != nil {
+			out = append(out, h)
+		}
+		br := &node{kind: nBranch, line: st.Line}
+		br.kids = b.walk(st.Then)
+		if st.Else != nil {
+			br.elseKids = b.walk(st.Else)
+		}
+		return append(out, br)
+	case *cc.AssignStmt:
+		if h := b.hostAssign(st); h != nil {
+			return []*node{h}
+		}
+		return nil
+	case *cc.UpdateStmt:
+		return []*node{b.update(st)}
+	}
+	return nil
+}
+
+// hostAssign summarizes one host assignment's array accesses
+// (whole-array conservative).
+func (b *treeBuilder) hostAssign(st *cc.AssignStmt) *node {
+	if st == nil {
+		return nil
+	}
+	n := &node{kind: nHost, line: st.Line}
+	add := func(list *[]*cc.VarDecl, d *cc.VarDecl) {
+		for _, x := range *list {
+			if x == d {
+				return
+			}
+		}
+		*list = append(*list, d)
+	}
+	exprArrays(st.RHS, func(d *cc.VarDecl) { add(&n.reads, d) })
+	if ix, ok := st.LHS.(*cc.IndexExpr); ok {
+		exprArrays(ix.Index, func(d *cc.VarDecl) { add(&n.reads, d) })
+		if st.Op != "=" {
+			add(&n.reads, ix.Array) // compound assignment reads the element
+		}
+		add(&n.writes, ix.Array)
+	}
+	if len(n.reads) == 0 && len(n.writes) == 0 {
+		return nil
+	}
+	return n
+}
+
+// hostExpr summarizes the array reads of one host expression.
+func (b *treeBuilder) hostExpr(line int, e cc.Expr) *node {
+	if e == nil {
+		return nil
+	}
+	n := &node{kind: nHost, line: line}
+	exprArrays(e, func(d *cc.VarDecl) {
+		for _, x := range n.reads {
+			if x == d {
+				return
+			}
+		}
+		n.reads = append(n.reads, d)
+	})
+	if len(n.reads) == 0 {
+		return nil
+	}
+	return n
+}
+
+func (b *treeBuilder) update(st *cc.UpdateStmt) *node {
+	n := &node{kind: nUpdate, line: st.Line}
+	for _, c := range st.Directive.Clauses {
+		var dst *[]*cc.VarDecl
+		switch c.Name {
+		case "host", "self":
+			dst = &n.upHost
+		case "device":
+			dst = &n.upDev
+		default:
+			continue
+		}
+		for _, name := range c.Args {
+			if d := b.a.pa.Prog.Scope[name]; d != nil && d.IsArray {
+				*dst = append(*dst, d)
+			}
+		}
+	}
+	return n
+}
+
+// exprArrays calls fn for every array an expression loads from.
+func exprArrays(e cc.Expr, fn func(*cc.VarDecl)) {
+	switch x := e.(type) {
+	case *cc.IndexExpr:
+		fn(x.Array)
+		exprArrays(x.Index, fn)
+	case *cc.BinaryExpr:
+		exprArrays(x.X, fn)
+		exprArrays(x.Y, fn)
+	case *cc.UnaryExpr:
+		exprArrays(x.X, fn)
+	case *cc.CondExpr:
+		exprArrays(x.Cond, fn)
+		exprArrays(x.Then, fn)
+		exprArrays(x.Else, fn)
+	case *cc.CallExpr:
+		for _, arg := range x.Args {
+			exprArrays(arg, fn)
+		}
+	case *cc.CastExpr:
+		exprArrays(x.X, fn)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Regions and domains
+
+// argClass returns the data class a region declares for an array.
+func argClass(r *translator.RegionInfo, d *cc.VarDecl) (acc.DataClass, bool) {
+	for _, arg := range r.Args {
+		if arg.Decl == d {
+			return arg.Class, true
+		}
+	}
+	return 0, false
+}
+
+// regionManages reports whether a region or any enclosing region names
+// the array in a data clause, i.e. the array has a structured device
+// residence there (as opposed to the per-launch automatic management of
+// unlisted arrays, whose writes are gathered eagerly).
+func regionManages(r *translator.RegionInfo, d *cc.VarDecl) bool {
+	for ; r != nil; r = r.Parent {
+		if _, ok := argClass(r, d); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerRegion resolves which region's allocation a kernel under region
+// r uses for the array: present chains up to the enclosing allocation.
+func ownerRegion(r *translator.RegionInfo, d *cc.VarDecl) *translator.RegionInfo {
+	for ; r != nil; r = r.Parent {
+		if class, ok := argClass(r, d); ok && class != acc.ClassPresent {
+			return r
+		}
+	}
+	return nil
+}
+
+// bnd is one linear bound scale*sym + off (sym nil for literals).
+type bnd struct {
+	ok    bool
+	sym   *cc.VarDecl
+	scale int64
+	off   int64
+}
+
+func sameAxis(a, b bnd) bool {
+	return a.ok && b.ok && a.sym == b.sym && (a.sym == nil || a.scale == b.scale)
+}
+
+// parseBnd parses a loop-bound expression into linear form over at
+// most one scalar.
+func parseBnd(e cc.Expr) bnd {
+	switch x := e.(type) {
+	case *cc.NumLit:
+		if x.IsFloat {
+			return bnd{}
+		}
+		return bnd{ok: true, off: x.I}
+	case *cc.Ident:
+		if x.Decl == nil || x.Decl.IsArray {
+			return bnd{}
+		}
+		return bnd{ok: true, sym: x.Decl, scale: 1}
+	case *cc.UnaryExpr:
+		if x.Op != "-" {
+			return bnd{}
+		}
+		b := parseBnd(x.X)
+		if !b.ok {
+			return bnd{}
+		}
+		return bnd{ok: true, sym: b.sym, scale: -b.scale, off: -b.off}
+	case *cc.BinaryExpr:
+		a, c := parseBnd(x.X), parseBnd(x.Y)
+		if !a.ok || !c.ok {
+			return bnd{}
+		}
+		switch x.Op {
+		case "+":
+			return addBnd(a, c)
+		case "-":
+			return addBnd(a, bnd{ok: true, sym: c.sym, scale: -c.scale, off: -c.off})
+		case "*":
+			if a.sym == nil {
+				return bnd{ok: true, sym: c.sym, scale: c.scale * a.off, off: c.off * a.off}
+			}
+			if c.sym == nil {
+				return bnd{ok: true, sym: a.sym, scale: a.scale * c.off, off: a.off * c.off}
+			}
+		}
+	}
+	return bnd{}
+}
+
+func addBnd(a, b bnd) bnd {
+	switch {
+	case a.sym == nil:
+		return bnd{ok: true, sym: b.sym, scale: b.scale, off: a.off + b.off}
+	case b.sym == nil || a.sym == b.sym:
+		scale := a.scale
+		if b.sym == a.sym {
+			scale += b.scale
+		}
+		return bnd{ok: true, sym: a.sym, scale: scale, off: a.off + b.off}
+	}
+	return bnd{}
+}
+
+// domain is the iteration domain [lo, hi) of one loop.
+type domain struct {
+	ok     bool
+	lo, hi bnd
+}
+
+func loopDomain(loop *translator.LoopAccess) domain {
+	if loop.Collapsed || loop.Lower == nil || loop.Upper == nil {
+		return domain{}
+	}
+	lo, hi := parseBnd(loop.Lower), parseBnd(loop.Upper)
+	if !lo.ok || !hi.ok {
+		return domain{}
+	}
+	return domain{ok: true, lo: lo, hi: hi}
+}
+
+// covers reports that domain w provably includes every iteration of
+// domain l (same symbolic axis, wider or equal literal ends).
+func (w domain) covers(l domain) bool {
+	return w.ok && l.ok && sameAxis(w.lo, l.lo) && sameAxis(w.hi, l.hi) &&
+		w.lo.off <= l.lo.off && w.hi.off >= l.hi.off
+}
+
+// coversArray reports that the iteration domain provably spans the
+// whole array: it starts at (or below) element 0 and its upper bound
+// is at least the array's declared size along the same symbolic axis.
+func coversArray(dom domain, d *cc.VarDecl) bool {
+	if !dom.ok || dom.lo.sym != nil || dom.lo.off > 0 || d.Size == nil {
+		return false
+	}
+	size := parseBnd(d.Size)
+	return sameAxis(dom.hi, size) && dom.hi.off >= size.off
+}
+
+func (d domain) eq(o domain) bool {
+	if d.ok != o.ok {
+		return false
+	}
+	if !d.ok {
+		return true
+	}
+	return d.lo == o.lo && d.hi == o.hi
+}
+
+// ---------------------------------------------------------------------------
+// Liveness lattice
+
+// maxClasses bounds each per-array class set; overflow widens to the
+// whole-array element (conservatively more live).
+const maxClasses = 16
+
+// liveClass is one congruence class coef*i + off over dom.
+type liveClass struct {
+	coef, off int64
+	dom       domain
+}
+
+// liveState is the per-array, per-plane fact: whole-array live, or
+// live exactly in the recorded classes (empty = dead).
+type liveState struct {
+	whole bool
+	cls   []liveClass
+}
+
+func (s *liveState) empty() bool { return s == nil || (!s.whole && len(s.cls) == 0) }
+
+func (s *liveState) addClass(c liveClass) {
+	if s.whole {
+		return
+	}
+	for _, x := range s.cls {
+		if x.coef == c.coef && x.off == c.off && x.dom.eq(c.dom) {
+			return
+		}
+	}
+	s.cls = append(s.cls, c)
+	if len(s.cls) > maxClasses {
+		s.whole = true
+		s.cls = nil
+	}
+}
+
+func (s *liveState) markWhole() {
+	s.whole = true
+	s.cls = nil
+}
+
+// plane maps arrays to their live state on one residence plane; a
+// missing entry means dead.
+type plane map[*cc.VarDecl]*liveState
+
+func (p plane) get(d *cc.VarDecl) *liveState {
+	st := p[d]
+	if st == nil {
+		st = &liveState{}
+		p[d] = st
+	}
+	return st
+}
+
+type lstate struct {
+	host, dev plane
+}
+
+func newLstate() *lstate { return &lstate{host: plane{}, dev: plane{}} }
+
+func clonePlane(p plane) plane {
+	out := plane{}
+	for d, st := range p {
+		if st.empty() {
+			continue
+		}
+		out[d] = &liveState{whole: st.whole, cls: append([]liveClass(nil), st.cls...)}
+	}
+	return out
+}
+
+func (s *lstate) clone() *lstate {
+	return &lstate{host: clonePlane(s.host), dev: clonePlane(s.dev)}
+}
+
+func unionState(into, from *liveState) {
+	if from == nil {
+		return
+	}
+	if from.whole {
+		into.markWhole()
+		return
+	}
+	for _, c := range from.cls {
+		into.addClass(c)
+	}
+}
+
+func unionPlane(into, from plane) {
+	for d, st := range from {
+		if st.empty() {
+			continue
+		}
+		unionState(into.get(d), st)
+	}
+}
+
+func (s *lstate) union(o *lstate) {
+	unionPlane(s.host, o.host)
+	unionPlane(s.dev, o.dev)
+}
+
+func stateEq(a, b *liveState) bool {
+	if a.empty() || b.empty() {
+		return a.empty() == b.empty()
+	}
+	if a.whole != b.whole || len(a.cls) != len(b.cls) {
+		return false
+	}
+	// Class sets are small and append-deduped; order-sensitive compare
+	// with a subset fallback keeps this cheap and exact enough for
+	// fixpoint termination (sets only grow monotonically).
+	for _, c := range a.cls {
+		found := false
+		for _, d := range b.cls {
+			if c.coef == d.coef && c.off == d.off && c.dom.eq(d.dom) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func planeEq(a, b plane) bool {
+	for d, st := range a {
+		if !stateEq(st, b[d]) {
+			return false
+		}
+	}
+	for d, st := range b {
+		if _, ok := a[d]; !ok && !st.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *lstate) eq(o *lstate) bool {
+	return planeEq(s.host, o.host) && planeEq(s.dev, o.dev)
+}
+
+// gcd64 is the positive gcd (gcd(0, x) = |x|).
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// classesIntersect reports whether the element sets coef1*i + off1 and
+// coef2*j + off2 can share an element (domains ignored: conservative).
+func classesIntersect(c1, o1, c2, o2 int64) bool {
+	g := gcd64(c1, c2)
+	if g == 0 {
+		return o1 == o2
+	}
+	return (o1-o2)%g == 0
+}
+
+// intersects reports whether any live element could be among the
+// written classes.
+func (s *liveState) intersects(writes []translator.IndexForm) bool {
+	if s == nil {
+		return false
+	}
+	if s.whole {
+		return true
+	}
+	for _, c := range s.cls {
+		for _, w := range writes {
+			if classesIntersect(c.coef, c.off, w.Coef, w.Off) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Backward liveness (ACCV010)
+
+// liveness runs the backward pass: at program end every array's host
+// mirror is live (final values are observable), and facts flow
+// backwards through gathers, loads, updates, kernels and host code.
+func (a *analyzer) liveness(t *node) {
+	end := newLstate()
+	for _, d := range a.pa.Prog.ArrayDecls() {
+		end.host.get(d).markWhole()
+	}
+	a.liveBack(t, end, true)
+}
+
+// liveBack processes one node backwards, mutating s (the liveness just
+// below the node) into the liveness just above it. rep arms ACCV010
+// reporting (off during fixpoint iterations).
+func (a *analyzer) liveBack(n *node, s *lstate, rep bool) *lstate {
+	switch n.kind {
+	case nSeq:
+		for i := len(n.kids) - 1; i >= 0; i-- {
+			s = a.liveBack(n.kids[i], s, rep)
+		}
+	case nRegion:
+		a.regionExitBack(n.region, s)
+		for i := len(n.kids) - 1; i >= 0; i-- {
+			s = a.liveBack(n.kids[i], s, rep)
+		}
+		a.regionEntryBack(n.region, s)
+	case nKernel:
+		a.kernelBack(n.loop, s, rep)
+	case nHost:
+		for _, d := range n.reads {
+			s.host.get(d).markWhole()
+		}
+		// Host writes have unknown extent: no kill.
+	case nUpdate:
+		for _, d := range n.upHost {
+			// D2H: the device elements host later needs become live on
+			// the device; the host copy is fully overwritten.
+			unionState(s.dev.get(d), s.host[d])
+			delete(s.host, d)
+		}
+		for _, d := range n.upDev {
+			unionState(s.host.get(d), s.dev[d])
+			delete(s.dev, d)
+		}
+	case nBranch:
+		sThen := a.liveBack(&node{kind: nSeq, kids: n.kids}, s.clone(), rep)
+		var sElse *lstate
+		if n.elseKids != nil {
+			sElse = a.liveBack(&node{kind: nSeq, kids: n.elseKids}, s.clone(), rep)
+		} else {
+			sElse = s.clone()
+		}
+		sThen.union(sElse)
+		return sThen
+	case nHostLoop:
+		body := &node{kind: nSeq, kids: n.kids}
+		below := s.clone()
+		// Fixpoint on the body-bottom state: liveness at the end of an
+		// arbitrary iteration is what escapes the loop plus what the
+		// next iteration reads.
+		cur := below.clone()
+		for iter := 0; iter < 8; iter++ {
+			head := a.liveBack(body, cur.clone(), false)
+			next := below.clone()
+			next.union(head)
+			if next.eq(cur) {
+				break
+			}
+			cur = next
+		}
+		head := a.liveBack(body, cur, rep)
+		head.union(below) // zero-iteration path
+		return head
+	}
+	return s
+}
+
+func (a *analyzer) regionExitBack(r *translator.RegionInfo, s *lstate) {
+	for _, arg := range r.Args {
+		d := arg.Decl
+		if d == nil {
+			continue
+		}
+		switch arg.Class {
+		case acc.ClassCopy, acc.ClassCopyOut:
+			// Exit gather: device elements the host needs become live
+			// on the device; the host copy is fully overwritten.
+			unionState(s.dev.get(d), s.host[d])
+			delete(s.host, d)
+		case acc.ClassCopyIn, acc.ClassCreate:
+			// No exit transfer, device storage released. Only kill the
+			// device plane when no enclosing region aliases the array.
+			if !regionManages(r.Parent, d) {
+				delete(s.dev, d)
+			}
+		}
+	}
+}
+
+func (a *analyzer) regionEntryBack(r *translator.RegionInfo, s *lstate) {
+	for _, arg := range r.Args {
+		d := arg.Decl
+		if d == nil {
+			continue
+		}
+		switch arg.Class {
+		case acc.ClassCopy, acc.ClassCopyIn:
+			// Entry load: fully defines the device copy from the host.
+			unionState(s.host.get(d), s.dev[d])
+			if !regionManages(r.Parent, d) {
+				delete(s.dev, d)
+			}
+		case acc.ClassCopyOut, acc.ClassCreate:
+			if !regionManages(r.Parent, d) {
+				delete(s.dev, d)
+			}
+		}
+	}
+}
+
+func (a *analyzer) kernelBack(loop *translator.LoopAccess, s *lstate, rep bool) {
+	dom := loopDomain(loop)
+	for _, fp := range loop.Arrays {
+		d := fp.Array
+		if loop.Region == nil || !regionManages(loop.Region, d) {
+			// Automatically managed per launch: written elements are
+			// gathered eagerly (always live) and reads come from the
+			// host mirror.
+			if fp.Read || fp.Reduced {
+				s.host.get(d).markWhole()
+			}
+			continue
+		}
+		dev := s.dev.get(d)
+
+		// Report: every written element is provably overwritten or
+		// discarded before any kernel, host statement, update or
+		// copy-out consumes it.
+		if rep && len(fp.Writes)+len(fp.Reduces) > 0 {
+			eff := append(append([]translator.IndexForm{}, fp.Writes...), fp.Reduces...)
+			provable := true
+			for _, w := range eff {
+				if !w.Literal {
+					provable = false
+					break
+				}
+			}
+			if provable && !dev.intersects(eff) {
+				w := eff[0]
+				a.add(diag.Warning, "ACCV010", w.Line, w.Col, d.Name, "",
+					"the loop at line %d writes %s, but nothing reads the written elements of %q "+
+						"before they are overwritten or the data region releases them: the device "+
+						"write and its merge traffic are dead — read the result, copy it out, or drop the write",
+					loop.Line, w.Src, d.Name)
+			}
+		}
+
+		// Kill: plain literal writes fully define their class over the
+		// loop's domain. A unit-stride write whose domain provably spans
+		// the array's declared extent overwrites everything, including a
+		// whole-array fact.
+		for _, w := range fp.Writes {
+			if w.Op != "=" || !w.Literal || !dom.ok {
+				continue
+			}
+			if w.Coef == 1 && w.Off == 0 && coversArray(dom, d) {
+				*dev = liveState{}
+				continue
+			}
+			if dev.whole {
+				continue
+			}
+			kept := dev.cls[:0]
+			for _, c := range dev.cls {
+				if c.coef == w.Coef && c.off == w.Off && dom.covers(c.dom) {
+					continue
+				}
+				kept = append(kept, c)
+			}
+			dev.cls = kept
+		}
+
+		// Gen: everything the kernel reads was live before it.
+		for _, r := range fp.Reads {
+			if r.Literal {
+				dev.addClass(liveClass{coef: r.Coef, off: r.Off, dom: dom})
+			} else {
+				dev.markWhole()
+			}
+		}
+		if fp.Reduced {
+			dev.markWhole() // reductions read their target elements
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Forward cleanliness (ACCV011)
+
+// coh tracks which side of one array's host/device pair may have
+// changed since they were last synchronized.
+type coh struct {
+	devAhead, hostAhead bool
+}
+
+type cstate map[*cc.VarDecl]*coh
+
+func (c cstate) clone() cstate {
+	out := cstate{}
+	for d, st := range c {
+		cp := *st
+		out[d] = &cp
+	}
+	return out
+}
+
+func (c cstate) or(o cstate) {
+	for d, st := range o {
+		mine, ok := c[d]
+		if !ok {
+			cp := *st
+			c[d] = &cp
+			continue
+		}
+		mine.devAhead = mine.devAhead || st.devAhead
+		mine.hostAhead = mine.hostAhead || st.hostAhead
+	}
+}
+
+func (c cstate) eq(o cstate) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for d, st := range c {
+		other, ok := o[d]
+		if !ok || *st != *other {
+			return false
+		}
+	}
+	return true
+}
+
+// cleanliness runs the forward pass flagging transfers of data the
+// other side never touched since the last synchronization.
+func (a *analyzer) cleanliness(t *node) {
+	a.cleanFwd(t, cstate{}, true)
+}
+
+func (a *analyzer) cleanFwd(n *node, s cstate, rep bool) cstate {
+	switch n.kind {
+	case nSeq:
+		for _, k := range n.kids {
+			s = a.cleanFwd(k, s, rep)
+		}
+	case nRegion:
+		created := []*cc.VarDecl{}
+		for _, arg := range n.region.Args {
+			d := arg.Decl
+			if d == nil {
+				continue
+			}
+			switch arg.Class {
+			case acc.ClassCopy, acc.ClassCopyIn:
+				s[d] = &coh{} // entry load synchronizes both sides
+				created = append(created, d)
+			case acc.ClassCopyOut, acc.ClassCreate:
+				// Device storage exists but never saw the host data.
+				s[d] = &coh{hostAhead: true}
+				created = append(created, d)
+			}
+		}
+		for _, k := range n.kids {
+			s = a.cleanFwd(k, s, rep)
+		}
+		for _, arg := range n.region.Args {
+			d := arg.Decl
+			if d == nil {
+				continue
+			}
+			if arg.Class == acc.ClassCopy || arg.Class == acc.ClassCopyOut {
+				if st := s[d]; rep && st != nil && !st.devAhead {
+					a.add(diag.Warning, "ACCV011", n.region.Line, 0, d.Name, fmt.Sprintf("copyin(%s)", d.Name),
+						"the data region copies %q back to the host at exit, but no kernel wrote it "+
+							"on the device: the gather re-copies clean data — declare the array copyin "+
+							"(or create) instead",
+						d.Name)
+				}
+			}
+		}
+		for _, d := range created {
+			delete(s, d)
+		}
+	case nKernel:
+		for _, fp := range n.loop.Arrays {
+			if (fp.Written || fp.Reduced) && s[fp.Array] != nil {
+				s[fp.Array].devAhead = true
+			}
+		}
+	case nHost:
+		for _, d := range n.writes {
+			if s[d] != nil {
+				s[d].hostAhead = true
+			}
+		}
+	case nUpdate:
+		for _, d := range n.upHost {
+			st := s[d]
+			if st == nil {
+				continue
+			}
+			if rep && !st.devAhead {
+				a.add(diag.Warning, "ACCV011", n.line, 0, d.Name, "",
+					"update host(%s) copies device data the kernels never wrote since the last "+
+						"synchronization: the transfer re-copies clean data — drop the update",
+					d.Name)
+			}
+			st.devAhead, st.hostAhead = false, false
+		}
+		for _, d := range n.upDev {
+			st := s[d]
+			if st == nil {
+				continue
+			}
+			if rep && !st.hostAhead {
+				a.add(diag.Warning, "ACCV011", n.line, 0, d.Name, "",
+					"update device(%s) reloads host data the host code never wrote since the last "+
+						"synchronization: the transfer re-copies clean data — drop the update",
+					d.Name)
+			}
+			st.devAhead, st.hostAhead = false, false
+		}
+	case nBranch:
+		sElse := s.clone()
+		s = a.cleanFwd(&node{kind: nSeq, kids: n.kids}, s, rep)
+		if n.elseKids != nil {
+			sElse = a.cleanFwd(&node{kind: nSeq, kids: n.elseKids}, sElse, rep)
+		}
+		s.or(sElse)
+	case nHostLoop:
+		body := &node{kind: nSeq, kids: n.kids}
+		entry := s.clone()
+		for iter := 0; iter < 8; iter++ {
+			after := a.cleanFwd(body, entry.clone(), false)
+			next := entry.clone()
+			next.or(after)
+			if next.eq(entry) {
+				break
+			}
+			entry = next
+		}
+		after := a.cleanFwd(body, entry.clone(), rep)
+		after.or(entry) // zero-iteration path
+		return after
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Cross-kernel dependences
+
+// deps derives the cross-kernel device dependences: a loop that writes
+// (or reduces into) an array and a loop that reads it through the same
+// device allocation, in program order or through the back edge of a
+// shared enclosing host loop.
+func (a *analyzer) deps() {
+	seen := map[Dep]bool{}
+	for i, w := range a.pa.Loops {
+		for j, r := range a.pa.Loops {
+			ordered := i < j
+			backEdge := false
+			if i == j {
+				backEdge = len(a.loopPaths[w]) > 0
+			} else if i > j {
+				backEdge = shareLoop(a.loopPaths[w], a.loopPaths[r])
+			}
+			if !ordered && !backEdge {
+				continue
+			}
+			for _, wfp := range w.Arrays {
+				if !wfp.Written && !wfp.Reduced {
+					continue
+				}
+				rfp := r.Footprint(wfp.Array)
+				if rfp == nil || (!rfp.Read && !rfp.Reduced) {
+					continue
+				}
+				owner := ownerRegion(w.Region, wfp.Array)
+				if owner == nil || owner != ownerRegion(r.Region, wfp.Array) {
+					continue
+				}
+				dep := Dep{Array: wfp.Array.Name, WriterLine: w.Line, ReaderLine: r.Line}
+				if !seen[dep] {
+					seen[dep] = true
+					a.res.Deps = append(a.res.Deps, dep)
+				}
+			}
+		}
+	}
+	sortDeps(a.res.Deps)
+}
+
+func shareLoop(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sortDeps(deps []Dep) {
+	for i := 1; i < len(deps); i++ {
+		for j := i; j > 0 && depLess(deps[j], deps[j-1]); j-- {
+			deps[j], deps[j-1] = deps[j-1], deps[j]
+		}
+	}
+}
+
+func depLess(a, b Dep) bool {
+	if a.Array != b.Array {
+		return a.Array < b.Array
+	}
+	if a.WriterLine != b.WriterLine {
+		return a.WriterLine < b.WriterLine
+	}
+	return a.ReaderLine < b.ReaderLine
+}

@@ -19,11 +19,26 @@
 //	ACCV006 (warning) unannotated array reduction (a[f(i)] op= ...)
 //	ACCV007 (info)    predicted inter-GPU halo exchange between a
 //	                  distributed writer and a halo-widened reader
+//
+// The whole-program dataflow pass (internal/analysis/dataflow) adds:
+//
+//	ACCV008 (error)   loop-carried RAW/WAR/WAW dependence inside one
+//	                  parallel loop
+//	ACCV009 (error)   unprovable indirect/non-affine write race;
+//	                  `independent` downgrades it to a warning
+//	ACCV010 (warning) dead device write: no later consumer of the
+//	                  written elements
+//	ACCV011 (warning) redundant transfer of data the source side never
+//	                  wrote since the last synchronization
+//	ACCV012 (info)    block-distributable array replicated program-wide;
+//	                  the fix-it is a paste-able localaccess
 package analysis
 
 import (
 	"fmt"
+	"strings"
 
+	"accmulti/internal/analysis/dataflow"
 	"accmulti/internal/cc"
 	"accmulti/internal/diag"
 	"accmulti/internal/translator"
@@ -32,6 +47,7 @@ import (
 // Codes lists every diagnostic code the pass can emit, in order.
 var Codes = []string{
 	"ACCV001", "ACCV002", "ACCV003", "ACCV004", "ACCV005", "ACCV006", "ACCV007",
+	"ACCV008", "ACCV009", "ACCV010", "ACCV011", "ACCV012",
 }
 
 // Result is the outcome of one vet run.
@@ -48,6 +64,10 @@ type Result struct {
 	FootprintSafe map[int]bool
 	// Access is the footprint analysis the verdicts were derived from.
 	Access *translator.ProgramAccess
+	// Flow is the whole-program dataflow pass's result: its diagnostics
+	// are already merged into Diags; Deps and Distributable are exposed
+	// for the runtime cross-checks.
+	Flow *dataflow.Result
 }
 
 // Safe reports whether every parallel loop of the program got a
@@ -77,6 +97,24 @@ func Vet(prog *cc.Program) (*Result, error) {
 		v.checkLoop(loop)
 	}
 	v.checkInterKernel(pa)
+
+	flow := dataflow.Analyze(pa)
+	v.res.Flow = flow
+	for _, d := range flow.Diags {
+		v.res.Diags.Add(d)
+	}
+	// A program-wide distributability advisory (ACCV012) subsumes the
+	// per-loop replication hints on the same array.
+	if len(flow.Distributable) > 0 {
+		kept := v.res.Diags[:0]
+		for _, d := range v.res.Diags {
+			if d.Code == "ACCV004" && flow.Distributable[d.Symbol] {
+				continue
+			}
+			kept = append(kept, d)
+		}
+		v.res.Diags = kept
+	}
 	v.res.Diags.Sort()
 	return v.res, nil
 }
@@ -85,7 +123,7 @@ type vetter struct {
 	res *Result
 }
 
-func (v *vetter) add(sev diag.Severity, code string, line, col int, fixit, format string, args ...any) {
+func (v *vetter) add(sev diag.Severity, code string, line, col int, symbol, fixit, format string, args ...any) {
 	v.res.Diags.Add(diag.Diagnostic{
 		Severity: sev,
 		Code:     code,
@@ -93,6 +131,7 @@ func (v *vetter) add(sev diag.Severity, code string, line, col int, fixit, forma
 		Col:      col,
 		Message:  fmt.Sprintf(format, args...),
 		FixIt:    fixit,
+		Symbol:   symbol,
 	})
 }
 
@@ -156,7 +195,7 @@ func (v *vetter) checkFootprint(loop *translator.LoopAccess, fp *translator.Arra
 	}
 	if fp.IndirectRead {
 		bad := firstIndirect(fp.Reads)
-		v.add(diag.Error, "ACCV003", spec.Line, spec.Col, "",
+		v.add(diag.Error, "ACCV003", spec.Line, spec.Col, fp.Array.Name, "",
 			"localaccess(%s): the loop indexes %q indirectly (%s at line %d); "+
 				"a data-dependent footprint cannot be declared — remove the localaccess and replicate the array",
 			fp.Array.Name, fp.Array.Name, bad.Src, bad.Line)
@@ -178,7 +217,7 @@ func (v *vetter) checkFootprint(loop *translator.LoopAccess, fp *translator.Arra
 			if !sfp.contains(r.Coef, r.Off) {
 				narrow = true
 				verified = false
-				v.add(diag.Error, "ACCV001", r.Line, r.Col, "",
+				v.add(diag.Error, "ACCV001", r.Line, r.Col, fp.Array.Name, "",
 					"localaccess(%s) %s (line %d) declares the per-iteration footprint "+
 						"[%d*i-%d, %d*(i+1)-1+%d], but the loop reads %s = %s: "+
 						"the declared range is narrower than the actual reads",
@@ -209,7 +248,7 @@ func (v *vetter) checkFootprint(loop *translator.LoopAccess, fp *translator.Arra
 		// i >= 0: compare slopes and intercepts independently.
 		if r.Coef < cl || r.Off < ol || r.Coef > cu || r.Off > ou {
 			verified = false
-			v.add(diag.Error, "ACCV001", r.Line, r.Col, "",
+			v.add(diag.Error, "ACCV001", r.Line, r.Col, fp.Array.Name, "",
 				"localaccess(%s) bounds (line %d) declare the per-iteration footprint "+
 					"[%s, %s], but the loop reads %s = %s: "+
 					"the declared range is narrower than the actual reads",
@@ -245,7 +284,7 @@ func (v *vetter) checkTooWide(fp *translator.ArrayFootprint, sfp strideFP) {
 	}
 	if sfp.l > needL || sfp.r > needR {
 		fix := fmt.Sprintf("#pragma acc localaccess(%s) %s", fp.Array.Name, strideText(sfp.s, needL, needR))
-		v.add(diag.Warning, "ACCV002", fp.Spec.Line, fp.Spec.ClauseCol, fix,
+		v.add(diag.Warning, "ACCV002", fp.Spec.Line, fp.Spec.ClauseCol, fp.Array.Name, fix,
 			"localaccess(%s) declares halo (%d, %d) but the loop only needs (%d, %d): "+
 				"the extra halo is replicated to every GPU and transferred on each launch",
 			fp.Array.Name, sfp.l, sfp.r, needL, needR)
@@ -287,7 +326,7 @@ func (v *vetter) inferLocalAccess(loop *translator.LoopAccess, fp *translator.Ar
 		line = loop.For.Parallel.Line
 	}
 	fix := fmt.Sprintf("#pragma acc localaccess(%s) %s", fp.Array.Name, strideText(coef, needL, needR))
-	v.add(diag.Info, "ACCV004", line, 0, fix,
+	v.add(diag.Info, "ACCV004", line, 0, fp.Array.Name, fix,
 		"array %q is read-only in this loop and every read is affine "+
 			"(footprint [%d*i-%d, %d*(i+1)-1+%d]); a localaccess directive would "+
 			"distribute it instead of replicating it to every GPU",
@@ -313,7 +352,7 @@ func (v *vetter) checkWrites(loop *translator.LoopAccess, fp *translator.ArrayFo
 			if op, ok := reduceOp(w.Op); ok {
 				fix = fmt.Sprintf("#pragma acc reductiontoarray(%s: %s)", op, w.Src)
 			}
-			v.add(diag.Warning, "ACCV006", w.Line, w.Col, fix,
+			v.add(diag.Warning, "ACCV006", w.Line, w.Col, fp.Array.Name, fix,
 				"%s %s ... accumulates into an element that multiple iterations can hit; "+
 					"without a reductiontoarray annotation the multi-GPU merge loses contributions",
 				w.Src, w.Op)
@@ -335,7 +374,7 @@ func (v *vetter) checkWrites(loop *translator.LoopAccess, fp *translator.ArrayFo
 			}
 			if w.Coef == 0 {
 				safe = false
-				v.add(diag.Error, "ACCV005", w.Line, w.Col, "",
+				v.add(diag.Error, "ACCV005", w.Line, w.Col, fp.Array.Name, "",
 					"every iteration writes the same element %s of the replicated array %q; "+
 						"the multi-GPU merge keeps an arbitrary GPU's value — use a scalar or reductiontoarray",
 					w.Src, fp.Array.Name)
@@ -347,7 +386,7 @@ func (v *vetter) checkWrites(loop *translator.LoopAccess, fp *translator.ArrayFo
 				}
 				if (w.Off-prev.Off)%w.Coef == 0 {
 					safe = false
-					v.add(diag.Error, "ACCV005", w.Line, w.Col, "",
+					v.add(diag.Error, "ACCV005", w.Line, w.Col, fp.Array.Name, "",
 						"writes %s (line %d) and %s (line %d) hit the same element of the "+
 							"replicated array %q on different iterations (offsets %d and %d are "+
 							"congruent mod %d); the multi-GPU merge order is not the sequential order",
@@ -408,25 +447,32 @@ func reduceOp(assignOp string) (string, bool) {
 // after every writer launch (once the reader's widened extents are
 // resident).
 func (v *vetter) checkInterKernel(pa *translator.ProgramAccess) {
+	// Group loops by region in first-appearance order: map iteration
+	// order must never leak into the diagnostic order.
+	var regions []*translator.RegionInfo
 	byRegion := map[*translator.RegionInfo][]*translator.LoopAccess{}
 	for _, loop := range pa.Loops {
-		if loop.Region != nil {
-			byRegion[loop.Region] = append(byRegion[loop.Region], loop)
+		if loop.Region == nil {
+			continue
 		}
+		if _, seen := byRegion[loop.Region]; !seen {
+			regions = append(regions, loop.Region)
+		}
+		byRegion[loop.Region] = append(byRegion[loop.Region], loop)
 	}
-	for _, loops := range byRegion {
+	for _, region := range regions {
+		loops := byRegion[region]
 		for _, w := range loops {
-			for _, r := range loops {
-				if w == r {
-					continue
-				}
-				v.predictExchange(w, r)
-			}
+			v.predictExchange(w, loops)
 		}
 	}
 }
 
-func (v *vetter) predictExchange(wLoop, rLoop *translator.LoopAccess) {
+// predictExchange reports at most one ACCV007 per (writer loop, array):
+// the exchange happens once per writer launch no matter how many later
+// kernels read through the resident halo windows, so multiple readers
+// fold into the diagnostic of the widest one.
+func (v *vetter) predictExchange(wLoop *translator.LoopAccess, loops []*translator.LoopAccess) {
 	for _, wfp := range wLoop.Arrays {
 		if !wfp.Written || wfp.Spec == nil {
 			continue
@@ -435,19 +481,51 @@ func (v *vetter) predictExchange(wLoop, rLoop *translator.LoopAccess) {
 		if !wfpS.ok || wfpS.s <= 0 {
 			continue
 		}
-		rfp := rLoop.Footprint(wfp.Array)
-		if rfp == nil || !rfp.Read || rfp.Spec == nil {
+		type haloReader struct {
+			loop *translator.LoopAccess
+			fp   *translator.ArrayFootprint
+			sfp  strideFP
+		}
+		var readers []haloReader
+		for _, rLoop := range loops {
+			if rLoop == wLoop {
+				continue
+			}
+			rfp := rLoop.Footprint(wfp.Array)
+			if rfp == nil || !rfp.Read || rfp.Spec == nil {
+				continue
+			}
+			rfpS := literalStride(rfp.Spec)
+			if !rfpS.ok || rfpS.s != wfpS.s || rfpS.l+rfpS.r == 0 {
+				continue
+			}
+			readers = append(readers, haloReader{loop: rLoop, fp: rfp, sfp: rfpS})
+		}
+		if len(readers) == 0 {
 			continue
 		}
-		rfpS := literalStride(rfp.Spec)
-		if !rfpS.ok || rfpS.s != wfpS.s || rfpS.l+rfpS.r == 0 {
-			continue
+		best := readers[0]
+		for _, r := range readers[1:] {
+			if r.sfp.l+r.sfp.r > best.sfp.l+best.sfp.r {
+				best = r
+			}
 		}
-		v.add(diag.Info, "ACCV007", rfp.Spec.Line, rfp.Spec.ClauseCol, "",
+		extra := ""
+		if len(readers) > 1 {
+			var lines []string
+			for _, r := range readers {
+				if r.loop != best.loop {
+					lines = append(lines, fmt.Sprintf("%d", r.loop.Line))
+				}
+			}
+			extra = fmt.Sprintf("; the halo reader(s) at line(s) %s reuse the same resident windows without additional traffic",
+				strings.Join(lines, ", "))
+		}
+		v.add(diag.Info, "ACCV007", best.fp.Spec.Line, best.fp.Spec.ClauseCol, wfp.Array.Name, "",
 			"array %q is written distributed by the loop at line %d and read with halo "+
 				"(%d, %d) by the loop at line %d: once the halo windows are resident, every "+
-				"launch of the writer exchanges %d boundary element(s) per adjacent GPU pair",
-			wfp.Array.Name, wLoop.Line, rfpS.l, rfpS.r, rLoop.Line, rfpS.l+rfpS.r)
+				"launch of the writer exchanges %d boundary element(s) per adjacent GPU pair%s",
+			wfp.Array.Name, wLoop.Line, best.sfp.l, best.sfp.r, best.loop.Line, best.sfp.l+best.sfp.r, extra)
 	}
 }
 

@@ -306,6 +306,11 @@ func TestTraceMetricsCrossCheck(t *testing.T) {
 			t.Errorf("halo-exchange spans for %q, but no ACCV007 prediction", name)
 		}
 	}
+	for name := range predicted {
+		if haloCount[name] == 0 {
+			t.Errorf("ACCV007 predicts an exchange for %q, but the trace has no halo-exchange spans", name)
+		}
+	}
 	// The program iterates 10 times with two sweeps. Array "a" (written
 	// by the second sweep, halo-read by the first) exchanges after each
 	// of its 10 writer launches; "b" (written first, halo-read second)

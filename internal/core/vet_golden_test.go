@@ -60,7 +60,10 @@ func TestVetGoldenDiagnostics(t *testing.T) {
 	if checked < 10 {
 		t.Fatalf("only %d example programs checked; the example set shrank", checked)
 	}
-	for _, code := range []string{"ACCV001", "ACCV002", "ACCV003", "ACCV004", "ACCV005", "ACCV006", "ACCV007"} {
+	for _, code := range []string{
+		"ACCV001", "ACCV002", "ACCV003", "ACCV004", "ACCV005", "ACCV006",
+		"ACCV007", "ACCV008", "ACCV009", "ACCV010", "ACCV011", "ACCV012",
+	} {
 		if !codes[code] {
 			t.Errorf("no example under examples/ exercises %s", code)
 		}

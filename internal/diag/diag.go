@@ -6,7 +6,9 @@
 package diag
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 )
@@ -50,6 +52,10 @@ type Diagnostic struct {
 	// FixIt, when non-empty, is replacement or insertion text the user
 	// can paste verbatim (e.g. a corrected pragma line).
 	FixIt string
+	// Symbol, when non-empty, names the program entity (usually an
+	// array) the finding is about, for machine consumers and
+	// cross-pass deduplication. It does not render in String().
+	Symbol string
 }
 
 // String renders the diagnostic in the canonical one-line format
@@ -76,7 +82,9 @@ type List []Diagnostic
 func (l *List) Add(d Diagnostic) { *l = append(*l, d) }
 
 // Sort orders diagnostics by line, column, severity (most severe
-// first at equal positions), then code, giving deterministic output.
+// first at equal positions), then code, symbol, message and fix-it:
+// a total order over distinct diagnostics, so the rendered output is
+// byte-deterministic no matter what order the passes emitted in.
 func (l List) Sort() {
 	sort.SliceStable(l, func(i, j int) bool {
 		a, b := l[i], l[j]
@@ -89,7 +97,16 @@ func (l List) Sort() {
 		if a.Severity != b.Severity {
 			return a.Severity > b.Severity
 		}
-		return a.Code < b.Code
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Symbol != b.Symbol {
+			return a.Symbol < b.Symbol
+		}
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		return a.FixIt < b.FixIt
 	})
 }
 
@@ -134,4 +151,45 @@ func (l List) Format(file string) string {
 		fmt.Fprintf(&b, "%s:%s\n", file, d.String())
 	}
 	return b.String()
+}
+
+// jsonDiag is the machine-readable rendering of one diagnostic. The
+// field set and order are part of the -json output contract.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Symbol   string `json:"symbol,omitempty"`
+	Message  string `json:"message"`
+	FixIt    string `json:"fixit,omitempty"`
+}
+
+// WriteJSON renders the list as a byte-deterministic JSON array (one
+// object per diagnostic, sorted copy, two-space indentation, trailing
+// newline) for the CLIs' -json mode. An empty list renders as "[]".
+func (l List) WriteJSON(w io.Writer, file string) error {
+	sorted := append(List(nil), l...)
+	sorted.Sort()
+	out := make([]jsonDiag, 0, len(sorted))
+	for _, d := range sorted {
+		out = append(out, jsonDiag{
+			File:     file,
+			Line:     d.Line,
+			Col:      d.Col,
+			Severity: d.Severity.String(),
+			Code:     d.Code,
+			Symbol:   d.Symbol,
+			Message:  d.Message,
+			FixIt:    d.FixIt,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
 }

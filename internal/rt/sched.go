@@ -58,9 +58,6 @@ const (
 	// writeGrades is how many linear completion slices a proven-order
 	// affine kernel write envelope is split into.
 	writeGrades = 8
-	// maxHazIvls bounds each per-location hazard interval list; beyond
-	// it the list compacts to one conservative covering interval.
-	maxHazIvls = 24
 	// hazFullLo/hazFullHi is the conservative "whole array" range used
 	// when a transfer's logical range is unknown (miss records,
 	// reductions, scalars).
@@ -68,67 +65,22 @@ const (
 	hazFullHi = int64(1)<<62 - 1
 )
 
-// ivl is one hazard interval: logical range [lo, hi] settles at end.
-type ivl struct {
-	lo, hi int64
-	end    time.Duration
-}
-
-// hazSide is a bounded interval list for one access direction.
-type hazSide struct {
-	ivls []ivl
-}
-
-// settled returns when every recorded access overlapping [lo, hi]
-// has completed.
-func (h *hazSide) settled(lo, hi int64) time.Duration {
-	var t time.Duration
-	for _, iv := range h.ivls {
-		if iv.lo <= hi && iv.hi >= lo && iv.end > t {
-			t = iv.end
-		}
-	}
-	return t
-}
-
-// add records an access; over the cap the list compacts to a single
-// conservative covering interval (correctness never depends on the
-// list staying precise, only on it staying covering).
-func (h *hazSide) add(lo, hi int64, end time.Duration) {
-	h.ivls = append(h.ivls, ivl{lo: lo, hi: hi, end: end})
-	if len(h.ivls) <= maxHazIvls {
-		return
-	}
-	cover := h.ivls[0]
-	for _, iv := range h.ivls[1:] {
-		if iv.lo < cover.lo {
-			cover.lo = iv.lo
-		}
-		if iv.hi > cover.hi {
-			cover.hi = iv.hi
-		}
-		if iv.end > cover.end {
-			cover.end = iv.end
-		}
-	}
-	h.ivls = append(h.ivls[:0], cover)
-}
-
-// hazClock tracks reads and writes of one array at one location.
+// hazClock tracks reads and writes of one array at one location as
+// bounded covering interval lists (intervals.go).
 type hazClock struct {
-	writes, reads hazSide
+	writes, reads IntervalSet
 }
 
 // readReady is the earliest time a read of [lo, hi] may issue (RAW).
 func (h *hazClock) readReady(lo, hi int64) time.Duration {
-	return h.writes.settled(lo, hi)
+	return h.writes.Settled(lo, hi)
 }
 
 // writeReady is the earliest time a write of [lo, hi] may issue
 // (WAW and WAR).
 func (h *hazClock) writeReady(lo, hi int64) time.Duration {
-	t := h.writes.settled(lo, hi)
-	if rt := h.reads.settled(lo, hi); rt > t {
+	t := h.writes.Settled(lo, hi)
+	if rt := h.reads.Settled(lo, hi); rt > t {
 		t = rt
 	}
 	return t
@@ -308,9 +260,9 @@ func (s *asyncSched) xferApply(t sim.Transfer, end time.Duration) {
 			clock = &h.dev[fp.g]
 		}
 		if fp.write {
-			clock.writes.add(fp.lo, fp.hi, end)
+			clock.writes.Add(fp.lo, fp.hi, end)
 		} else {
-			clock.reads.add(fp.lo, fp.hi, end)
+			clock.reads.Add(fp.lo, fp.hi, end)
 		}
 	}
 }
@@ -549,7 +501,7 @@ func (s *asyncSched) kernels(k *ir.Kernel, ngpus int, parts []span, needs [][]ne
 				// Write-only arrays record no read: their halo regions
 				// are untouched by this kernel, and a false read there
 				// would stall inbound halo pushes on the kernel's end.
-				h.dev[g].reads.add(nd.lo, nd.hi, end)
+				h.dev[g].reads.Add(nd.lo, nd.hi, end)
 			}
 			if nd.wHi >= nd.wLo {
 				if nd.wGraded && cost > 0 {
@@ -565,10 +517,10 @@ func (s *asyncSched) kernels(k *ir.Kernel, ngpus int, parts []span, needs [][]ne
 						lo := nd.wLo + width*j/grades
 						hi := nd.wLo + width*(j+1)/grades - 1
 						at := begin + time.Duration(int64(cost)*(j+1)/grades)
-						h.dev[g].writes.add(lo, hi, at)
+						h.dev[g].writes.Add(lo, hi, at)
 					}
 				} else {
-					h.dev[g].writes.add(nd.wLo, nd.wHi, end)
+					h.dev[g].writes.Add(nd.wLo, nd.wHi, end)
 				}
 			}
 			h.core[g] = [2]int64{nd.coreLo, nd.coreHi}

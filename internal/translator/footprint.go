@@ -67,6 +67,15 @@ type LoopAccess struct {
 	// variables classify as body locals, so subscripts over them are
 	// deliberately non-affine.
 	Collapsed bool
+	// Lower and Upper are the loop's iteration bounds (LoopVar ranges
+	// over [Lower, Upper)); nil for collapsed loops, whose flat domain
+	// is the product of the nest's bounds.
+	Lower, Upper cc.Expr
+	// Independent records an `independent` clause on the parallel
+	// directive: the programmer asserts the iterations do not depend on
+	// each other, which the dataflow pass honors by downgrading
+	// unprovable-write-race errors to warnings.
+	Independent bool
 	// For is the loop statement itself.
 	For *cc.ForStmt
 	// Region is the innermost enclosing data region, nil at top level.
@@ -171,9 +180,10 @@ func (pa *ProgramAccess) walk(s cc.Stmt, region *RegionInfo) error {
 // program.
 func loopAccess(st *cc.ForStmt, region *RegionInfo) (*LoopAccess, error) {
 	var (
-		loopVar   *cc.VarDecl
-		infos     map[*cc.VarDecl]*accessInfo
-		collapsed bool
+		loopVar      *cc.VarDecl
+		infos        map[*cc.VarDecl]*accessInfo
+		collapsed    bool
+		lower, upper cc.Expr
 	)
 	if hasCollapse2(st.Parallel) {
 		outerVar, _, _, err := canonicalLoop(st)
@@ -198,19 +208,23 @@ func loopAccess(st *cc.ForStmt, region *RegionInfo) (*LoopAccess, error) {
 		collapsed = true
 	} else {
 		var err error
-		loopVar, _, _, err = canonicalLoop(st)
+		loopVar, lower, upper, err = canonicalLoop(st)
 		if err != nil {
 			return nil, err
 		}
 		infos = analyzeKernelBody(st.Body, loopVar)
 	}
 
+	_, independent := st.Parallel.Clause("independent")
 	loop := &LoopAccess{
-		Line:      st.Line,
-		LoopVar:   loopVar,
-		Collapsed: collapsed,
-		For:       st,
-		Region:    region,
+		Line:        st.Line,
+		LoopVar:     loopVar,
+		Collapsed:   collapsed,
+		Lower:       lower,
+		Upper:       upper,
+		Independent: independent,
+		For:         st,
+		Region:      region,
 	}
 	specs := map[*cc.VarDecl]*cc.LocalSpec{}
 	for _, sp := range st.Specs {
