@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short cover bench bench-quick bench-baseline bench-pr6 eval eval-json examples clean check fuzz-smoke accvet trace-check
+.PHONY: all build vet lint test test-short cover bench bench-quick bench-baseline bench-pr6 bench-pr8 eval eval-json examples clean check fuzz-smoke accvet trace-check
 
 # Optional linters: used when present on PATH, skipped (with a pinned
 # install hint) when absent — `make lint` must work in a hermetic
@@ -97,13 +97,15 @@ bench:
 # allocation-budget assertions (loader paths, specialized launches, and
 # the tracing-disabled launch path, which must add zero allocations),
 # the pipelined-scheduler speedup gate (>=1.2x on the halo-bound
-# stencil, with report equivalence modulo time), plus one iteration of
+# stencil, with report equivalence modulo time), the paper-app gate
+# (>=2x Phase-B on MD, KMEANS and BFS, specialized vs interpreter,
+# results verified both sides), plus one iteration of
 # each wall-clock gate benchmark (legacy-vs-optimized loader,
 # replicated-write diff, plan resolution, and the Phase-B
 # interpreter-vs-specialized pairs). Cheap enough to run in every
 # `make check`.
 bench-quick:
-	$(GO) test -run 'TestSteadyStateAllocBudget|TestSpecLaunchSteadyStateAllocBudget|TestTraceDisabledAllocBudget|TestPhaseBSpeedupGate|TestAsyncSpeedupGate' \
+	$(GO) test -run 'TestSteadyStateAllocBudget|TestSpecLaunchSteadyStateAllocBudget|TestTraceDisabledAllocBudget|TestPhaseBSpeedupGate|TestAsyncSpeedupGate|TestPaperAppSpeedupGate' \
 		-bench 'BenchmarkIteratedStencilLoader|BenchmarkReplicatedWriteDiff|BenchmarkLaunchPlanResolve|BenchmarkPhaseBSaxpy|BenchmarkPhaseBStencil' \
 		-benchtime=1x -benchmem ./internal/rt
 
@@ -121,6 +123,14 @@ bench-baseline:
 # report-equivalence bit asserted per app.
 bench-pr6:
 	$(GO) run ./cmd/accbench -json async > BENCH_PR6.json
+
+# bench-pr8 regenerates the committed interpreter-vs-specialized study
+# (BENCH_PR8.json): real Phase-B wall clock on the paper apps plus two
+# synthetic controls, with the specialized executors and launch fusion
+# on vs the instrumented interpreter, result verification, and the
+# report-invariance bit asserted per workload.
+bench-pr8:
+	$(GO) run ./cmd/accbench -json -verify appstudy > BENCH_PR8.json
 
 # Regenerate the paper's evaluation (Tables I-II, Figs 7-9, ablations,
 # cluster study) with result verification. -no-async keeps the

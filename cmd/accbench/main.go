@@ -6,9 +6,10 @@
 //	accbench [-scale f] [-apps MD,KMEANS,BFS] [-verify] [-seed n] [targets...]
 //
 // Targets: table1 table2 fig7 fig8 fig9 ablations cluster wallclock
-// async all (default: all; wallclock is opt-in — it measures real
-// elapsed host time, not simulated time, so it only runs when asked
-// for). The Proposal configurations run under the pipelined scheduler
+// async appstudy all (default: all; wallclock and appstudy are opt-in
+// — they measure real elapsed host time, not simulated time, so they
+// only run when asked for; appstudy is the BENCH_PR8.json
+// interpreter-vs-specialized Phase-B study). The Proposal configurations run under the pipelined scheduler
 // unless -no-async asks for the paper's bulk-synchronous schedule;
 // the async target compares the two over the shipped example apps
 // (the BENCH_PR6.json study).
@@ -139,6 +140,7 @@ func main() {
 		cluster   []bench.ClusterRow
 		wallclock []bench.WallClockRow
 		asyncRows []bench.AsyncRow
+		appstudy  []bench.AppStudyRow
 		err       error
 	)
 	if all || want["table2"] {
@@ -171,9 +173,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	if want["appstudy"] { // opt-in: measures real time, not simulated
+		if appstudy, err = bench.AppStudy(cfg); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *jsonOut {
-		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster, wallclock, asyncRows); err != nil {
+		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster, wallclock, asyncRows, appstudy); err != nil {
 			fatal(err)
 		}
 		return
@@ -219,6 +226,10 @@ func main() {
 	}
 	if asyncRows != nil {
 		bench.RenderAsync(os.Stdout, asyncRows)
+		fmt.Println()
+	}
+	if appstudy != nil {
+		bench.RenderAppStudy(os.Stdout, appstudy)
 	}
 }
 

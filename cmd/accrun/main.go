@@ -196,6 +196,9 @@ func main() {
 	}
 	fmt.Printf("machine: %s (%d GPUs), mode %s\n", spec.Name, spec.NumGPUs, opts.Mode)
 	fmt.Println(res.Report)
+	if *narrate {
+		printSpecSummary(res.Runtime)
+	}
 	if *auditRun {
 		fmt.Println("audit: all device copies matched the sequential oracle")
 	}
@@ -245,6 +248,31 @@ func main() {
 }
 
 // writeFileWith streams fn's output into path.
+// printSpecSummary reports how much of Phase B ran on the specialized
+// executors, with the interpreter fallbacks broken down by runtime
+// reason and the outright-rejected kernels by compile-time reason.
+func printSpecSummary(r *rt.Runtime) {
+	hits, fb := r.SpecHits(), r.SpecFallbacks()
+	fmt.Printf("spec: %d chunks specialized, %d interpreter fallbacks\n", hits, fb)
+	printReasons := func(label string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		reasons := make([]string, 0, len(m))
+		for reason := range m {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		parts := make([]string, len(reasons))
+		for i, reason := range reasons {
+			parts[i] = fmt.Sprintf("%s=%d", reason, m[reason])
+		}
+		fmt.Printf("  %s: %s\n", label, strings.Join(parts, " "))
+	}
+	printReasons("fallback reasons", r.SpecFallbackReasons())
+	printReasons("rejected kernels (chunks, by compile reason)", r.SpecRejects())
+}
+
 func writeFileWith(path string, fn func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {

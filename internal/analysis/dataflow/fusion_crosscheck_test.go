@@ -1,0 +1,69 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"accmulti/internal/analysis/dataflow"
+	"accmulti/internal/cc"
+	"accmulti/internal/translator"
+)
+
+// The translator proves fusability (ir.Kernel.FuseNext) with a
+// declaration-level disjointness argument; the dataflow pass derives
+// cross-kernel dependences independently from footprints. This test
+// pins the two against each other: a marked pair must carry no Dep
+// edge in either direction.
+func TestFusedPairsHaveNoStaticDeps(t *testing.T) {
+	const src = `
+int n, iters, t;
+float a[n], b[n], c[n], d[n];
+void main() {
+    int i;
+    #pragma acc data copyin(a, b) copy(c, d)
+    {
+        t = 0;
+        while (t < iters) {
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                c[i] = 2.0 * a[i] + c[i];
+            }
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                d[i] = b[i] * b[i] + 0.5;
+            }
+            t = t + 1;
+        }
+    }
+}
+`
+	prog, err := cc.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := translator.Translate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Kernels) != 2 || mod.Kernels[0].FuseNext != mod.Kernels[1] {
+		t.Fatal("iterated pair not marked fusable; test premise broken")
+	}
+	pa, err := translator.AnalyzeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := dataflow.Analyze(pa)
+	for _, k := range mod.Kernels {
+		k2 := k.FuseNext
+		if k2 == nil {
+			continue
+		}
+		for _, dep := range flow.Deps {
+			cross := (dep.WriterLine == k.Line && dep.ReaderLine == k2.Line) ||
+				(dep.WriterLine == k2.Line && dep.ReaderLine == k.Line)
+			if cross {
+				t.Errorf("fused pair L%d-L%d carries static dep on %s (writer L%d, reader L%d)",
+					k.Line, k2.Line, dep.Array, dep.WriterLine, dep.ReaderLine)
+			}
+		}
+	}
+}

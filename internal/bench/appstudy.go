@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"accmulti/internal/apps"
+	"accmulti/internal/core"
+	"accmulti/internal/ir"
+	"accmulti/internal/rt"
+	"accmulti/internal/sim"
+)
+
+// AppStudy is the PR-8 evaluation: per-application Phase-B wall clock
+// with the specialized executors (and cross-kernel launch fusion) on
+// versus the instrumented interpreter, on the paper's three
+// applications plus two synthetic controls. Like the wallclock study
+// it measures *real* elapsed host time — here restricted to the kernel
+// fan-out phase, where the fast path lives — and asserts that the
+// simulated-time report is bit-identical between the two
+// configurations: specialization and fusion may move wall clock only,
+// never results or accounting.
+
+// AppStudyRow is one workload's measurement.
+type AppStudyRow struct {
+	// Name identifies the workload ("MD", "KMEANS", "BFS",
+	// "STENCIL-REPL", "SAXPY").
+	Name string
+	// Desc summarizes the input.
+	Desc string
+	// Runs is the measurement repetition count (best-of).
+	Runs int
+	// InterpMS and SpecMS are best-of-Runs Phase-B wall milliseconds
+	// under the interpreter and the specialized executors.
+	InterpMS, SpecMS float64
+	// Speedup is InterpMS / SpecMS.
+	Speedup float64
+	// FusedLaunches is how many adjacent launch pairs executed fused
+	// in the specialized configuration's best run.
+	FusedLaunches int
+	// Invariant records that the two configurations produced
+	// bit-identical simulated-time Reports.
+	Invariant bool
+}
+
+// appStudySaxpySrc is the streaming control: a single trivially
+// specialized kernel, iterated so launch overheads amortize.
+const appStudySaxpySrc = `
+int n, steps;
+double a;
+double x[n], y[n];
+void main() {
+    int i, s;
+    #pragma acc data copyin(x) copy(y)
+    {
+        for (s = 0; s < steps; s++) {
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                y[i] = a * x[i] + y[i];
+            }
+        }
+    }
+}
+`
+
+// appStudyFusedSrc is the launch-fusion control: two adjacent
+// independent kernels iterated inside a data region, so every warm
+// step executes as one fused fan-out.
+const appStudyFusedSrc = `
+int n, steps, t;
+float a[n], b[n], c[n], d[n];
+void main() {
+    int i;
+    #pragma acc data copyin(a, b) copy(c, d)
+    {
+        t = 0;
+        while (t < steps) {
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                c[i] = 2.0 * a[i] + c[i];
+            }
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                d[i] = b[i] * b[i] + d[i] * 0.5;
+            }
+            t = t + 1;
+        }
+    }
+}
+`
+
+type appStudyLoad struct {
+	name, desc string
+	run        func(opts rt.Options) (*rt.Report, time.Duration, int, error)
+}
+
+func appStudyAppLoad(cfg Config, name string, spec sim.MachineSpec) (appStudyLoad, error) {
+	app, err := apps.ByName(name)
+	if err != nil {
+		return appStudyLoad{}, err
+	}
+	prog, err := core.Compile(app.Source)
+	if err != nil {
+		return appStudyLoad{}, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	scale := cfg.scaleFor(name)
+	return appStudyLoad{
+		name: name,
+		desc: fmt.Sprintf("paper app, %.2gx input", scale),
+		run: func(opts rt.Options) (*rt.Report, time.Duration, int, error) {
+			in, err := app.Generate(scale, cfg.Seed)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			res, err := prog.Run(in.Bindings, core.Config{Machine: spec, Options: opts})
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if cfg.Verify {
+				if err := in.Verify(res.Instance); err != nil {
+					return nil, 0, 0, fmt.Errorf("bench: %s: %w", name, err)
+				}
+			}
+			return res.Report, res.Runtime.PhaseBWall(), res.Runtime.FusedLaunches(), nil
+		},
+	}, nil
+}
+
+func appStudySynthetic(name, desc, src string, spec sim.MachineSpec, bind func(prog *core.Program) *ir.Bindings) (appStudyLoad, error) {
+	prog, err := core.Compile(src)
+	if err != nil {
+		return appStudyLoad{}, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	return appStudyLoad{
+		name: name,
+		desc: desc,
+		run: func(opts rt.Options) (*rt.Report, time.Duration, int, error) {
+			res, err := prog.Run(bind(prog), core.Config{Machine: spec, Options: opts})
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			return res.Report, res.Runtime.PhaseBWall(), res.Runtime.FusedLaunches(), nil
+		},
+	}, nil
+}
+
+// AppStudy measures every workload under both configurations,
+// best-of-3, and checks report invariance.
+func AppStudy(cfg Config) ([]AppStudyRow, error) {
+	cfg = cfg.withDefaults()
+	spec := sim.Desktop()
+	var loads []appStudyLoad
+	for _, name := range cfg.Apps {
+		wl, err := appStudyAppLoad(cfg, name, spec)
+		if err != nil {
+			return nil, err
+		}
+		loads = append(loads, wl)
+	}
+	const stencilN, stencilSteps = 1 << 18, 8
+	st, err := appStudySynthetic("STENCIL-REPL",
+		fmt.Sprintf("%d cells x %d steps, replicated ping-pong", stencilN, stencilSteps),
+		stencilReplSource, spec,
+		func(prog *core.Program) *ir.Bindings {
+			a := ir.NewHostArray(prog.Module.Prog.Scope["a"], int64(stencilN))
+			for i := range a.F32 {
+				a.F32[i] = float32(i%97) * 0.25
+			}
+			return ir.NewBindings().
+				SetScalar("n", stencilN).SetScalar("steps", stencilSteps).
+				SetArray("a", a)
+		})
+	if err != nil {
+		return nil, err
+	}
+	loads = append(loads, st)
+	const saxpyN, saxpySteps = 1 << 18, 8
+	sx, err := appStudySynthetic("SAXPY",
+		fmt.Sprintf("%d elements x %d steps, streaming", saxpyN, saxpySteps),
+		appStudySaxpySrc, spec,
+		func(prog *core.Program) *ir.Bindings {
+			x := ir.NewHostArray(prog.Module.Prog.Scope["x"], int64(saxpyN))
+			for i := range x.F64 {
+				x.F64[i] = float64(i%31) * 0.125
+			}
+			return ir.NewBindings().
+				SetScalar("n", saxpyN).SetScalar("steps", saxpySteps).SetScalar("a", 1.5).
+				SetArray("x", x)
+		})
+	if err != nil {
+		return nil, err
+	}
+	loads = append(loads, sx)
+	const fusedN, fusedSteps = 1 << 18, 8
+	fp, err := appStudySynthetic("FUSED-PAIR",
+		fmt.Sprintf("%d elements x %d steps, adjacent independent pair", fusedN, fusedSteps),
+		appStudyFusedSrc, spec,
+		func(prog *core.Program) *ir.Bindings {
+			b := ir.NewBindings().
+				SetScalar("n", fusedN).SetScalar("steps", fusedSteps)
+			for _, name := range []string{"a", "b"} {
+				a := ir.NewHostArray(prog.Module.Prog.Scope[name], int64(fusedN))
+				for i := range a.F32 {
+					a.F32[i] = float32(i%61) * 0.0625
+				}
+				b.SetArray(name, a)
+			}
+			return b
+		})
+	if err != nil {
+		return nil, err
+	}
+	loads = append(loads, fp)
+
+	const runs = 3
+	var rows []AppStudyRow
+	for _, wl := range loads {
+		best := func(opts rt.Options) (float64, *rt.Report, int, error) {
+			bestMS := 0.0
+			fused := 0
+			var rep *rt.Report
+			for i := 0; i < runs; i++ {
+				r, phaseB, f, err := wl.run(opts)
+				if err != nil {
+					return 0, nil, 0, fmt.Errorf("bench: %s: %w", wl.name, err)
+				}
+				ms := float64(phaseB) / float64(time.Millisecond)
+				if rep == nil || ms < bestMS {
+					bestMS, fused = ms, f
+				}
+				rep = r
+			}
+			return bestMS, rep, fused, nil
+		}
+		interpMS, interpRep, _, err := best(rt.Options{DisableSpecialize: true, DisableFusion: true})
+		if err != nil {
+			return nil, err
+		}
+		specMS, specRep, fused, err := best(rt.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AppStudyRow{
+			Name: wl.name, Desc: wl.desc, Runs: runs,
+			InterpMS: interpMS, SpecMS: specMS,
+			Speedup:       interpMS / specMS,
+			FusedLaunches: fused,
+			Invariant:     reflect.DeepEqual(interpRep, specRep),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAppStudy prints the app study as text.
+func RenderAppStudy(w io.Writer, rows []AppStudyRow) {
+	fmt.Fprintln(w, "Phase-B wall-clock: interpreter vs specialized executors + launch fusion")
+	fmt.Fprintln(w, "(real elapsed time in the kernel fan-out phase; simulated-time reports bit-identical)")
+	fmt.Fprintf(w, "  %-14s %10s %10s %8s %7s  %s\n", "workload", "interp ms", "spec ms", "speedup", "fused", "invariant")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %10.1f %10.1f %7.2fx %7d  %v\n",
+			r.Name, r.InterpMS, r.SpecMS, r.Speedup, r.FusedLaunches, r.Invariant)
+	}
+}

@@ -146,6 +146,17 @@ type Kernel struct {
 	// the body is not eligible (see BuildKernelSpec). The runtime
 	// decides per launch whether the fast path may actually run.
 	Spec *KernelSpec
+	// SpecReason categorizes why Spec is nil ("branch", "intrinsic",
+	// "loop", "induction", "shape"); empty when Spec is present. The
+	// runtime surfaces it in the per-reason fallback metrics.
+	SpecReason string
+	// FuseNext points at the lexically next kernel in the same block
+	// when the translator proved the pair fusable: both specialized,
+	// no scalar reductions or array reduces, and declaration-level
+	// disjointness — an array either kernel writes appears nowhere in
+	// the other kernel. The runtime may then execute both kernels'
+	// Phase B in one fan-out when its own per-launch gates also hold.
+	FuseNext *Kernel
 }
 
 // Use returns the ArrayUse for a declaration, if the kernel touches it.

@@ -27,17 +27,47 @@ import (
 //     footprint of a store access is exactly the arithmetic progression
 //     between those endpoints, which the runtime marks dirty in bulk.
 //
-// Anything outside the shape — inner loops, break/continue, ?:,
-// short-circuit operators (data-dependent cost), indirect or non-affine
-// indices, assignment to the induction variable — makes BuildKernelSpec
-// return nil and the kernel permanently runs on the instrumented
-// interpreter. The runtime adds launch-time fallback conditions on top
-// (audit mode, fault plans, miss-check lanes, layout-transformed
-// copies; see internal/rt).
+// Inner sequential loops compile as paired cost buckets (condition
+// evaluations and completed iterations) counted like if-arms, and
+// non-affine (computed) indices — indirect a[idx[i]] gathers, inner-
+// loop-variable subscripts, modular arithmetic — compile with their
+// ranges discharged at launch by the interval prover (specprove.go)
+// instead of endpoint evaluation; stores with data-dependent footprints
+// mark dirty bits per iteration like the interpreter. Anything left —
+// while loops, break/continue, ?:, short-circuit operators
+// (data-dependent cost), unknown builtins, assignment to the induction
+// variable — makes BuildKernelSpec return nil with a reason category
+// and the kernel permanently runs on the instrumented interpreter. The
+// runtime adds launch-time fallback conditions on top (audit mode,
+// fault plans, miss-check lanes, layout-transformed copies, failed
+// range proofs; see internal/rt).
 
 // errSpecIneligible aborts spec compilation; the kernel falls back to
-// the interpreter. It never escapes BuildKernelSpec.
+// the interpreter. It never escapes BuildKernelSpec. specErr variants
+// carry the rejection category the trace layer surfaces (spec.reject.*).
 var errSpecIneligible = errors.New("ir: kernel not eligible for specialization")
+
+// specErr is an ineligibility error with a reason category.
+type specErr struct{ reason string }
+
+func (e *specErr) Error() string { return "ir: kernel not eligible for specialization: " + e.reason }
+
+var (
+	errSpecBranch    = &specErr{reason: "branch"}    // ?: or short-circuit operators
+	errSpecIntrinsic = &specErr{reason: "intrinsic"} // unknown builtin call
+	errSpecLoop      = &specErr{reason: "loop"}      // while / break / continue
+	errSpecInduction = &specErr{reason: "induction"} // body writes the induction variable
+)
+
+// specReason maps a compile failure to its category ("shape" for the
+// generic errSpecIneligible).
+func specReason(err error) string {
+	var se *specErr
+	if errors.As(err, &se) {
+		return se.reason
+	}
+	return "shape"
+}
 
 // AccessKind classifies one compiled array access site.
 type AccessKind uint8
@@ -59,10 +89,26 @@ type SpecAccess struct {
 	Kind AccessKind
 	// InBranch marks accesses under an if-arm (executed conditionally).
 	InBranch bool
+	// InLoop marks accesses inside an inner sequential loop (executed a
+	// data-dependent number of times per iteration).
+	InLoop bool
+	// Affine reports an index provably affine in the induction variable
+	// (a*i + b with loop-invariant coefficients). Non-affine (computed)
+	// accesses carry a nil Index; the runtime bounds their element
+	// ranges with the interval prover instead of endpoint evaluation.
+	Affine bool
 	// Index is the access index compiled for the *host* environment:
 	// the runtime evaluates it at a chunk's first and last iteration to
-	// range-check the whole chunk before running the fast path.
+	// range-check the whole chunk before running the fast path. Nil for
+	// computed accesses.
 	Index ExprI
+}
+
+// Exact reports a store whose per-chunk footprint is exactly the
+// arithmetic progression between its endpoint indices: affine,
+// unconditional, and executed once per iteration.
+func (a *SpecAccess) Exact() bool {
+	return a.Affine && !a.InBranch && !a.InLoop
 }
 
 // IterCost is the per-execution instrumentation cost of a statement
@@ -91,6 +137,35 @@ type DArray struct {
 	// element index (lanes always span the whole array).
 	LaneF []float64
 	LaneI []int64
+	// Dirty/ChunkLane/ChunkElems, when Dirty is non-nil, make every
+	// store site mark per-element and per-chunk dirty bits exactly like
+	// the interpreter's instrumented view (physical offsets; ChunkLane
+	// is this worker's private chunk scratch). The runtime binds them
+	// only for slots whose store footprint is data-dependent — exact
+	// affine stores keep the cheaper bulk marking.
+	Dirty      []uint8
+	ChunkLane  []uint8
+	ChunkElems int64
+	// TWidth/TRows describe a layout-transformed (column-major) copy:
+	// physical offset = (p%TWidth)*TRows + p/TWidth for logical offset
+	// p. Zero TWidth means the copy is stored in logical order.
+	TWidth, TRows int64
+}
+
+// off maps a logical offset into the copy to its physical offset.
+func (a *DArray) off(p int64) int64 {
+	if a.TWidth != 0 {
+		return p%a.TWidth*a.TRows + p/a.TWidth
+	}
+	return p
+}
+
+// mark records one store at physical offset p.
+func (a *DArray) mark(p int64) {
+	if a.Dirty != nil {
+		a.Dirty[p] = 1
+		a.ChunkLane[p/a.ChunkElems] = 1
+	}
 }
 
 // DEnv is one worker's environment for a specialized body: flat scalar
@@ -138,10 +213,22 @@ type KernelSpec struct {
 	Arms []IterCost
 	// Accesses lists every static array access site.
 	Accesses []SpecAccess
-	// BranchStores[slot] reports a store to the slot under an if-arm:
-	// its exact dirty footprint is data-dependent, so dirty-marked
-	// launches fall back to the interpreter for such kernels.
-	BranchStores []bool
+	// InexactStores[slot] reports a store to the slot whose footprint is
+	// data-dependent (under a branch, inside an inner loop, or through a
+	// computed index): dirty-marked launches bind per-iteration dirty
+	// marking for such slots instead of the bulk affine marking.
+	InexactStores []bool
+	// WrittenSlots[slot] reports any store or reduce on the slot; the
+	// interval prover must not trust value scans of written arrays.
+	WrittenSlots []bool
+	// HasComputed reports at least one non-affine access: the runtime
+	// must discharge the Prover before taking the fast path.
+	HasComputed bool
+	// Prover is the compiled interval abstraction of Body (see
+	// specprove.go), built only when HasComputed; nil when the abstract
+	// walk could not mirror the body (the kernel then always falls back
+	// on computed-access range checks).
+	Prover *SpecProver
 	// VecBody, when non-nil, is the tiled form of Body (see specvec.go):
 	// one call covers up to VecTile iterations with one tight loop per
 	// expression node. The runtime may only use it when its per-launch
@@ -162,31 +249,40 @@ type specBuilder struct {
 	arms     []*IterCost
 	cur      *IterCost
 	inBranch bool
+	inLoop   bool
+	// noRecord compiles a second copy of a subtree whose cost and
+	// accesses the normal walk already recorded (the fused for-loop's
+	// hoisted bound): recording it again would double-charge the cost
+	// model and desynchronize the prover's access cursor.
+	noRecord bool
 }
 
-// BuildKernelSpec compiles the specialized form of a kernel body, or
-// returns nil when the body is not eligible.
-func BuildKernelSpec(body cc.Stmt, loopVar *cc.VarDecl, prog *cc.Program) *KernelSpec {
+// BuildKernelSpec compiles the specialized form of a kernel body. When
+// the body is not eligible it returns a nil spec and the rejection
+// category ("branch", "intrinsic", "loop", "induction", "shape") for
+// the per-reason fallback metrics.
+func BuildKernelSpec(body cc.Stmt, loopVar *cc.VarDecl, prog *cc.Program) (*KernelSpec, string) {
 	b := &specBuilder{
 		loopVar:  loopVar,
 		assigned: map[*cc.VarDecl]bool{},
 		spec: &KernelSpec{
-			LoopSlot:     loopVar.Slot,
-			NumInts:      prog.NumInts,
-			NumFloats:    prog.NumFloats,
-			NumArrays:    prog.NumArrays,
-			BranchStores: make([]bool, prog.NumArrays),
+			LoopSlot:      loopVar.Slot,
+			NumInts:       prog.NumInts,
+			NumFloats:     prog.NumFloats,
+			NumArrays:     prog.NumArrays,
+			InexactStores: make([]bool, prog.NumArrays),
+			WrittenSlots:  make([]bool, prog.NumArrays),
 		},
 	}
 	b.spec.Base.Stores = make([]int64, prog.NumArrays)
 	collectAssignedScalars(body, b.assigned)
 	if b.assigned[loopVar] {
-		return nil // body rewrites the induction variable
+		return nil, errSpecInduction.reason // body rewrites the induction variable
 	}
 	b.cur = &b.spec.Base
 	st, err := b.stmt(body)
 	if err != nil {
-		return nil
+		return nil, specReason(err)
 	}
 	if st == nil {
 		st = func(*DEnv) {}
@@ -196,10 +292,16 @@ func BuildKernelSpec(body cc.Stmt, loopVar *cc.VarDecl, prog *cc.Program) *Kerne
 	for i, a := range b.arms {
 		b.spec.Arms[i] = *a
 	}
-	if len(b.spec.Arms) == 0 {
-		buildVec(body, loopVar, b.assigned, b.spec)
+	for ai := range b.spec.Accesses {
+		if !b.spec.Accesses[ai].Affine {
+			b.spec.HasComputed = true
+		}
 	}
-	return b.spec
+	if b.spec.HasComputed {
+		b.spec.Prover = buildProver(body, loopVar, prog, b.spec)
+	}
+	buildVec(body, loopVar, b.assigned, b.spec)
+	return b.spec, ""
 }
 
 // collectAssignedScalars records every scalar the body assigns
@@ -375,9 +477,91 @@ func (b *specBuilder) stmt(s cc.Stmt) (DStmt, error) {
 
 	case *cc.IfStmt:
 		return b.ifStmt(st)
+
+	case *cc.ForStmt:
+		if st.Parallel != nil {
+			return nil, errSpecLoop // nested parallel loops: interpreter only
+		}
+		return b.forStmt(st)
+
+	case *cc.WhileStmt, *cc.BranchStmt:
+		return nil, errSpecLoop
 	}
-	// Inner loops, break/continue, update directives: interpreter only.
+	// Update directives and other constructs: interpreter only.
 	return nil, errSpecIneligible
+}
+
+// forStmt compiles an inner sequential loop. The loop gets two cost
+// buckets with DEnv.Branch counters: one counted per condition
+// evaluation (trips+1 — the condition's cost lives there) and one
+// counted per completed iteration (trips — body and post cost live
+// there). The init's cost belongs to the enclosing bucket, exactly
+// mirroring the interpreter's per-execution accounting.
+func (b *specBuilder) forStmt(st *cc.ForStmt) (DStmt, error) {
+	if st.Cond == nil {
+		return nil, errSpecLoop
+	}
+	var init DStmt
+	var err error
+	if st.Init != nil {
+		if init, err = b.stmt(st.Init); err != nil {
+			return nil, err
+		}
+	}
+	savedCur, savedLoop := b.cur, b.inLoop
+	defer func() { b.cur, b.inLoop = savedCur, savedLoop }()
+	b.inLoop = true
+
+	newArm := func() (int, *IterCost) {
+		c := &IterCost{Stores: make([]int64, b.spec.NumArrays)}
+		b.arms = append(b.arms, c)
+		return len(b.arms) - 1, c
+	}
+	condIdx, condCost := newArm()
+	b.cur = condCost
+	cond, err := b.cond(st.Cond)
+	if err != nil {
+		return nil, err
+	}
+	bodyIdx, bodyCost := newArm()
+	b.cur = bodyCost
+	body, err := b.stmt(st.Body)
+	if err != nil {
+		return nil, err
+	}
+	if body == nil {
+		body = dNop
+	}
+	var post DStmt
+	if st.Post != nil {
+		if post, err = b.stmt(st.Post); err != nil {
+			return nil, err
+		}
+	}
+	if post == nil {
+		post = dNop
+	}
+	if init == nil {
+		init = dNop
+	}
+	// Canonical counted loops run fused: the invariant bound is hoisted
+	// and the induction variable becomes a plain Go loop variable. The
+	// cost buckets receive exactly the open-coded totals.
+	if fused := b.fuseFor(st, init, body, condIdx, bodyIdx); fused != nil {
+		return fused, nil
+	}
+	return func(env *DEnv) {
+		init(env)
+		for {
+			env.Branch[condIdx]++
+			if !cond(env) {
+				return
+			}
+			body(env)
+			post(env)
+			env.Branch[bodyIdx]++
+		}
+	}, nil
 }
 
 // ifStmt compiles a simple branch. Each arm gets its own cost bucket
@@ -446,6 +630,9 @@ func (b *specBuilder) scalarAssign(st *cc.AssignStmt, lhs *cc.Ident) (DStmt, err
 		}
 		switch st.Op {
 		case "=":
+			if fused := fuseAssignI(st, slot); fused != nil {
+				return fused, nil
+			}
 			return func(e *DEnv) { e.Ints[slot] = rhs(e) }, nil
 		case "+=":
 			return func(e *DEnv) { e.Ints[slot] += rhs(e) }, nil
@@ -468,61 +655,88 @@ func (b *specBuilder) scalarAssign(st *cc.AssignStmt, lhs *cc.Ident) (DStmt, err
 	if err != nil {
 		return nil, err
 	}
+	// The fused form (when the RHS shape is covered) runs the RHS tree,
+	// the accumulate op and the width rounding in one closure; the
+	// generic compile above already charged the RHS cost.
+	fused := fuseAssignF(st, slot, lhs.Decl.Type == cc.TFloat)
 	round := func(v float64) float64 { return v }
 	if lhs.Decl.Type == cc.TFloat {
 		round = func(v float64) float64 { return float64(float32(v)) }
 	}
 	switch st.Op {
 	case "=":
-		return func(e *DEnv) { e.Floats[slot] = round(rhs(e)) }, nil
-	case "+=":
+	case "+=", "-=", "*=":
 		b.cur.Flops++
-		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] + rhs(e)) }, nil
-	case "-=":
-		b.cur.Flops++
-		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] - rhs(e)) }, nil
-	case "*=":
-		b.cur.Flops++
-		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] * rhs(e)) }, nil
 	case "/=":
 		b.cur.Flops += 4
+	default:
+		return nil, errSpecIneligible
+	}
+	if fused != nil {
+		return fused, nil
+	}
+	switch st.Op {
+	case "=":
+		return func(e *DEnv) { e.Floats[slot] = round(rhs(e)) }, nil
+	case "+=":
+		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] + rhs(e)) }, nil
+	case "-=":
+		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] - rhs(e)) }, nil
+	case "*=":
+		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] * rhs(e)) }, nil
+	default:
 		return func(e *DEnv) { e.Floats[slot] = round(e.Floats[slot] / rhs(e)) }, nil
 	}
-	return nil, errSpecIneligible
 }
 
-// index compiles an access index twice — once against the host Env for
-// the launch-time endpoint checks, once for the specialized body — and
-// verifies it is affine. Only the direct compilation accrues cost (one
-// evaluation per execution, like the interpreter).
-func (b *specBuilder) index(idx cc.Expr) (ExprI, dExprI, error) {
+// index compiles an access index. Affine indices compile twice — once
+// against the host Env for the launch-time endpoint checks, once for
+// the specialized body. Non-affine (computed) indices — indirect loads,
+// inner-loop-variable subscripts, modular arithmetic — compile only the
+// direct form; the interval prover bounds their ranges at launch.
+// Only the direct compilation accrues cost (one evaluation per
+// execution, like the interpreter).
+func (b *specBuilder) index(idx cc.Expr) (ExprI, dExprI, bool, error) {
+	affine := true
 	if _, err := b.affineDegree(foldExpr(idx)); err != nil {
-		return nil, nil, err
+		// Reasoned rejections (?:, short-circuit, unknown builtins)
+		// stay rejections; plain non-affinity demotes to computed.
+		if err != errSpecIneligible {
+			return nil, nil, false, err
+		}
+		affine = false
 	}
-	hostIdx, err := CompileExprI(idx)
-	if err != nil {
-		return nil, nil, errSpecIneligible
+	var hostIdx ExprI
+	if affine {
+		var err error
+		hostIdx, err = CompileExprI(idx)
+		if err != nil {
+			return nil, nil, false, errSpecIneligible
+		}
 	}
 	didx, err := b.exprI(idx)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
-	return hostIdx, didx, nil
+	return hostIdx, didx, affine, nil
 }
 
 func (b *specBuilder) arrayAssign(st *cc.AssignStmt, lhs *cc.IndexExpr) (DStmt, error) {
 	decl := lhs.Array
 	slot := decl.Slot
-	hostIdx, didx, err := b.index(lhs.Index)
+	hostIdx, didx, affine, err := b.index(lhs.Index)
 	if err != nil {
 		return nil, err
 	}
-	b.spec.Accesses = append(b.spec.Accesses, SpecAccess{
-		Slot: slot, Kind: AccessStore, InBranch: b.inBranch, Index: hostIdx,
-	})
-	if b.inBranch {
-		b.spec.BranchStores[slot] = true
+	acc := SpecAccess{
+		Slot: slot, Kind: AccessStore, InBranch: b.inBranch, InLoop: b.inLoop,
+		Affine: affine, Index: hostIdx,
 	}
+	b.spec.Accesses = append(b.spec.Accesses, acc)
+	if !acc.Exact() {
+		b.spec.InexactStores[slot] = true
+	}
+	b.spec.WrittenSlots[slot] = true
 	size := decl.Type.Size()
 	b.cur.Stores[slot]++
 	b.cur.BytesWritten += size
@@ -534,7 +748,9 @@ func (b *specBuilder) arrayAssign(st *cc.AssignStmt, lhs *cc.IndexExpr) (DStmt, 
 		if st.Op == "=" {
 			return func(e *DEnv) {
 				a := &e.Arrays[slot]
-				a.I32[didx(e)-a.Base] = int32(rhs(e))
+				p := a.off(didx(e) - a.Base)
+				a.I32[p] = int32(rhs(e))
+				a.mark(p)
 			}, nil
 		}
 		apply, err := intApply(st.Op, st.Pos())
@@ -545,8 +761,9 @@ func (b *specBuilder) arrayAssign(st *cc.AssignStmt, lhs *cc.IndexExpr) (DStmt, 
 		b.cur.BytesRead += size
 		return func(e *DEnv) {
 			a := &e.Arrays[slot]
-			p := didx(e) - a.Base
+			p := a.off(didx(e) - a.Base)
 			a.I32[p] = int32(apply(int64(a.I32[p]), rhs(e)))
+			a.mark(p)
 		}, nil
 	}
 	rhs, err := b.exprF(st.RHS)
@@ -558,12 +775,16 @@ func (b *specBuilder) arrayAssign(st *cc.AssignStmt, lhs *cc.IndexExpr) (DStmt, 
 		if f32 {
 			return func(e *DEnv) {
 				a := &e.Arrays[slot]
-				a.F32[didx(e)-a.Base] = float32(rhs(e))
+				p := a.off(didx(e) - a.Base)
+				a.F32[p] = float32(rhs(e))
+				a.mark(p)
 			}, nil
 		}
 		return func(e *DEnv) {
 			a := &e.Arrays[slot]
-			a.F64[didx(e)-a.Base] = rhs(e)
+			p := a.off(didx(e) - a.Base)
+			a.F64[p] = rhs(e)
+			a.mark(p)
 		}, nil
 	}
 	apply, err := floatApply(st.Op, st.Pos())
@@ -575,27 +796,31 @@ func (b *specBuilder) arrayAssign(st *cc.AssignStmt, lhs *cc.IndexExpr) (DStmt, 
 	if f32 {
 		return func(e *DEnv) {
 			a := &e.Arrays[slot]
-			p := didx(e) - a.Base
+			p := a.off(didx(e) - a.Base)
 			a.F32[p] = float32(apply(float64(a.F32[p]), rhs(e)))
+			a.mark(p)
 		}, nil
 	}
 	return func(e *DEnv) {
 		a := &e.Arrays[slot]
-		p := didx(e) - a.Base
+		p := a.off(didx(e) - a.Base)
 		a.F64[p] = apply(a.F64[p], rhs(e))
+		a.mark(p)
 	}, nil
 }
 
 func (b *specBuilder) arrayReduce(st *cc.AssignStmt, lhs *cc.IndexExpr) (DStmt, error) {
 	decl := lhs.Array
 	slot := decl.Slot
-	hostIdx, didx, err := b.index(lhs.Index)
+	hostIdx, didx, affine, err := b.index(lhs.Index)
 	if err != nil {
 		return nil, err
 	}
 	b.spec.Accesses = append(b.spec.Accesses, SpecAccess{
-		Slot: slot, Kind: AccessReduce, InBranch: b.inBranch, Index: hostIdx,
+		Slot: slot, Kind: AccessReduce, InBranch: b.inBranch, InLoop: b.inLoop,
+		Affine: affine, Index: hostIdx,
 	})
+	b.spec.WrittenSlots[slot] = true
 	mul := st.Reduce.Op == "*"
 	// The interpreter charges one flop at the statement plus the view's
 	// fixed reduce cost (one flop, 8 bytes each way, one ReduceOp).
@@ -640,43 +865,69 @@ func (b *specBuilder) arrayReduce(st *cc.AssignStmt, lhs *cc.IndexExpr) (DStmt, 
 
 func (b *specBuilder) exprI(e cc.Expr) (dExprI, error) {
 	e = foldExpr(e)
+	var d dExprI
 	if e.Type() == cc.TInt {
 		ci, _, err := b.compile(e)
-		return ci, err
+		if err != nil {
+			return nil, err
+		}
+		d = ci
+	} else {
+		_, cf, err := b.compile(e)
+		if err != nil {
+			return nil, err
+		}
+		d = func(env *DEnv) int64 { return int64(cf(env)) }
 	}
-	_, cf, err := b.compile(e)
-	if err != nil {
-		return nil, err
+	// The generic pass above did all the bookkeeping (cost, access
+	// recording); a fused superoperator replaces only the closure.
+	if f := fuseExprI(e); f != nil {
+		return f, nil
 	}
-	return func(env *DEnv) int64 { return int64(cf(env)) }, nil
+	return d, nil
 }
 
 func (b *specBuilder) exprF(e cc.Expr) (dExprF, error) {
 	e = foldExpr(e)
+	var d dExprF
 	if e.Type() != cc.TInt {
 		_, cf, err := b.compile(e)
-		return cf, err
+		if err != nil {
+			return nil, err
+		}
+		d = cf
+	} else {
+		ci, _, err := b.compile(e)
+		if err != nil {
+			return nil, err
+		}
+		d = func(env *DEnv) float64 { return float64(ci(env)) }
 	}
-	ci, _, err := b.compile(e)
-	if err != nil {
-		return nil, err
+	if f := fuseExprF(e); f != nil {
+		return f, nil
 	}
-	return func(env *DEnv) float64 { return float64(ci(env)) }, nil
+	return d, nil
 }
 
 func (b *specBuilder) cond(e cc.Expr) (func(*DEnv) bool, error) {
+	var c func(*DEnv) bool
 	if e.Type() == cc.TInt {
 		op, err := b.exprI(e)
 		if err != nil {
 			return nil, err
 		}
-		return func(env *DEnv) bool { return op(env) != 0 }, nil
+		c = func(env *DEnv) bool { return op(env) != 0 }
+	} else {
+		op, err := b.exprF(e)
+		if err != nil {
+			return nil, err
+		}
+		c = func(env *DEnv) bool { return op(env) != 0 }
 	}
-	op, err := b.exprF(e)
-	if err != nil {
-		return nil, err
+	if f := fuseCond(foldExpr(e)); f != nil {
+		return f, nil
 	}
-	return func(env *DEnv) bool { return op(env) != 0 }, nil
+	return c, nil
 }
 
 func (b *specBuilder) compile(e cc.Expr) (dExprI, dExprF, error) {
@@ -742,7 +993,7 @@ func (b *specBuilder) compile(e cc.Expr) (dExprI, dExprF, error) {
 
 	case *cc.CondExpr:
 		// The arms' costs are data-dependent: interpreter only.
-		return nil, nil, errSpecIneligible
+		return nil, nil, errSpecBranch
 
 	case *cc.CallExpr:
 		return b.call(x)
@@ -773,29 +1024,32 @@ func (b *specBuilder) compile(e cc.Expr) (dExprI, dExprF, error) {
 // load compiles an array read as a direct slice access.
 func (b *specBuilder) load(x *cc.IndexExpr) (dExprI, dExprF, error) {
 	slot := x.Array.Slot
-	hostIdx, didx, err := b.index(x.Index)
+	hostIdx, didx, affine, err := b.index(x.Index)
 	if err != nil {
 		return nil, nil, err
 	}
-	b.spec.Accesses = append(b.spec.Accesses, SpecAccess{
-		Slot: slot, Kind: AccessLoad, InBranch: b.inBranch, Index: hostIdx,
-	})
-	b.cur.BytesRead += x.Array.Type.Size()
+	if !b.noRecord {
+		b.spec.Accesses = append(b.spec.Accesses, SpecAccess{
+			Slot: slot, Kind: AccessLoad, InBranch: b.inBranch, InLoop: b.inLoop,
+			Affine: affine, Index: hostIdx,
+		})
+		b.cur.BytesRead += x.Array.Type.Size()
+	}
 	switch x.Array.Type {
 	case cc.TInt:
 		return func(env *DEnv) int64 {
 			a := &env.Arrays[slot]
-			return int64(a.I32[didx(env)-a.Base])
+			return int64(a.I32[a.off(didx(env)-a.Base)])
 		}, nil, nil
 	case cc.TFloat:
 		return nil, func(env *DEnv) float64 {
 			a := &env.Arrays[slot]
-			return float64(a.F32[didx(env)-a.Base])
+			return float64(a.F32[a.off(didx(env)-a.Base)])
 		}, nil
 	default:
 		return nil, func(env *DEnv) float64 {
 			a := &env.Arrays[slot]
-			return a.F64[didx(env)-a.Base]
+			return a.F64[a.off(didx(env)-a.Base)]
 		}, nil
 	}
 }
@@ -805,7 +1059,7 @@ func (b *specBuilder) binary(x *cc.BinaryExpr) (dExprI, dExprF, error) {
 	case "&&", "||":
 		// Short-circuiting makes the right operand's cost
 		// data-dependent; the analytic formulas cannot express that.
-		return nil, nil, errSpecIneligible
+		return nil, nil, errSpecBranch
 	}
 
 	switch x.Op {
@@ -927,7 +1181,7 @@ func (b *specBuilder) binary(x *cc.BinaryExpr) (dExprI, dExprF, error) {
 func (b *specBuilder) call(x *cc.CallExpr) (dExprI, dExprF, error) {
 	bi, ok := cc.Builtins[x.Name]
 	if !ok {
-		return nil, nil, errSpecIneligible
+		return nil, nil, errSpecIntrinsic
 	}
 	b.cur.Flops += bi.Flops
 	if x.Type() == cc.TInt {
@@ -956,7 +1210,7 @@ func (b *specBuilder) call(x *cc.CallExpr) (dExprI, dExprF, error) {
 				return v
 			}, nil, nil
 		}
-		return nil, nil, errSpecIneligible
+		return nil, nil, errSpecIntrinsic
 	}
 	args := make([]dExprF, len(x.Args))
 	for i, a := range x.Args {
@@ -968,7 +1222,7 @@ func (b *specBuilder) call(x *cc.CallExpr) (dExprI, dExprF, error) {
 	}
 	fn1, fn2, ok := floatBuiltin(x.Name)
 	if !ok {
-		return nil, nil, errSpecIneligible
+		return nil, nil, errSpecIntrinsic
 	}
 	if fn1 != nil {
 		a0 := args[0]

@@ -1,0 +1,1352 @@
+package ir
+
+import (
+	"accmulti/internal/cc"
+)
+
+// Superoperator fusion for the per-iteration specialized body.
+//
+// The generic spec compiler emits one closure per expression node, so a
+// body like MD's inner loop pays ~50 indirect calls per iteration —
+// only ~1.4x faster than the instrumented interpreter. The recognizers
+// below collapse the shapes that dominate the paper apps' kernels into
+// single closures:
+//
+//   - index expressions (i, i+c, k*i+c, s1*s2+s3, s1/s2, ...) become
+//     one jump-table dispatch instead of a closure subtree,
+//   - array loads evaluate their index inline,
+//   - comparisons (guards, loop conditions) evaluate both operands
+//     inline and skip the b2i/!=0 wrapper entirely,
+//   - single binary float ops over leaf operands (scalar, literal,
+//     load) evaluate in one call.
+//
+// Fusion replaces only the runtime closure; the generic compile pass
+// still runs first so cost accounting, access recording and the
+// prover/vec mirrors are untouched. Each fused closure performs the
+// exact operations of the subtree it replaces, in the same order, with
+// the same conversions — float operands stay separate Go operations
+// (never a multiply-add in a single expression, which the compiler
+// could contract to an FMA), loads use the same off/Base remap, and
+// integer division panics identically.
+
+// iTerm is a fused integer expression over the scalar slots: the
+// index-shaped linear/multiplicative forms the apps use.
+type iTerm struct {
+	mode    uint8
+	a, b, c int
+	k1, k2  int64
+}
+
+const (
+	ixNone uint8 = iota
+	ixLit        // k1
+	ixVar        // s[a]
+	ixVarK       // s[a] + k1
+	ixAddVV      // s[a] + s[b]
+	ixSubVV      // s[a] - s[b]
+	ixSubKV      // k1 - s[a]
+	ixMulVV      // s[a] * s[b]
+	ixMulKV      // k1 * s[a]
+	ixMulVVaddV  // s[a]*s[b] + s[c]
+	ixMulVVaddK  // s[a]*s[b] + k1
+	ixMulKVaddK  // k1*s[a] + k2
+	ixMulKVaddV  // k1*s[a] + s[b]
+	ixDivVV      // s[a] / s[b]
+	ixDivVK      // s[a] / k1
+	ixModVV      // s[a] % s[b]
+	ixModVK      // s[a] % k1
+)
+
+func (t *iTerm) eval(ints []int64) int64 {
+	switch t.mode {
+	case ixLit:
+		return t.k1
+	case ixVar:
+		return ints[t.a]
+	case ixVarK:
+		return ints[t.a] + t.k1
+	case ixAddVV:
+		return ints[t.a] + ints[t.b]
+	case ixSubVV:
+		return ints[t.a] - ints[t.b]
+	case ixSubKV:
+		return t.k1 - ints[t.a]
+	case ixMulVV:
+		return ints[t.a] * ints[t.b]
+	case ixMulKV:
+		return t.k1 * ints[t.a]
+	case ixMulVVaddV:
+		return ints[t.a]*ints[t.b] + ints[t.c]
+	case ixMulVVaddK:
+		return ints[t.a]*ints[t.b] + t.k1
+	case ixMulKVaddK:
+		return t.k1*ints[t.a] + t.k2
+	case ixMulKVaddV:
+		return t.k1*ints[t.a] + ints[t.b]
+	case ixDivVV:
+		return ints[t.a] / ints[t.b]
+	case ixDivVK:
+		return ints[t.a] / t.k1
+	case ixModVV:
+		return ints[t.a] % ints[t.b]
+	default: // ixModVK
+		return ints[t.a] % t.k1
+	}
+}
+
+// fuseAtomI matches a literal or an int scalar.
+func fuseAtomI(e cc.Expr) (slot int, k int64, isVar, ok bool) {
+	switch x := e.(type) {
+	case *cc.NumLit:
+		if !x.IsFloat {
+			return 0, x.I, false, true
+		}
+	case *cc.Ident:
+		if x.Type() == cc.TInt && !x.Decl.IsArray {
+			return x.Decl.Slot, 0, true, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+// fuseMul matches s1*s2 or k*s (either operand order; int multiply is
+// order-insensitive including overflow wrap).
+func fuseMul(x *cc.BinaryExpr) (iTerm, bool) {
+	sa, ka, av, ok := fuseAtomI(x.X)
+	if !ok {
+		return iTerm{}, false
+	}
+	sb, kb, bv, ok := fuseAtomI(x.Y)
+	if !ok {
+		return iTerm{}, false
+	}
+	switch {
+	case av && bv:
+		return iTerm{mode: ixMulVV, a: sa, b: sb}, true
+	case av:
+		return iTerm{mode: ixMulKV, k1: kb, a: sa}, true
+	case bv:
+		return iTerm{mode: ixMulKV, k1: ka, a: sb}, true
+	}
+	return iTerm{}, false
+}
+
+// fuseTerm matches the index-shaped integer forms. The input has been
+// constant-folded already, so literal subtrees are single NumLits.
+func fuseTerm(e cc.Expr) (iTerm, bool) {
+	if s, k, v, ok := fuseAtomI(e); ok {
+		if v {
+			return iTerm{mode: ixVar, a: s}, true
+		}
+		return iTerm{mode: ixLit, k1: k}, true
+	}
+	x, ok := e.(*cc.BinaryExpr)
+	if !ok || x.Type() != cc.TInt {
+		return iTerm{}, false
+	}
+	switch x.Op {
+	case "*":
+		return fuseMul(x)
+	case "/", "%":
+		sa, _, av, ok := fuseAtomI(x.X)
+		if !ok || !av {
+			return iTerm{}, false
+		}
+		sb, kb, bv, ok := fuseAtomI(x.Y)
+		if !ok {
+			return iTerm{}, false
+		}
+		div := x.Op == "/"
+		switch {
+		case bv && div:
+			return iTerm{mode: ixDivVV, a: sa, b: sb}, true
+		case bv:
+			return iTerm{mode: ixModVV, a: sa, b: sb}, true
+		case kb == 0:
+			return iTerm{}, false // constant divide by zero: leave generic
+		case div:
+			return iTerm{mode: ixDivVK, a: sa, k1: kb}, true
+		default:
+			return iTerm{mode: ixModVK, a: sa, k1: kb}, true
+		}
+	case "+", "-":
+		sub := x.Op == "-"
+		// Left operand: a product or an atom.
+		if mx, ok := x.X.(*cc.BinaryExpr); ok && mx.Op == "*" && !sub {
+			m, ok := fuseMul(mx)
+			if !ok {
+				return iTerm{}, false
+			}
+			sr, kr, rv, ok := fuseAtomI(x.Y)
+			if !ok {
+				return iTerm{}, false
+			}
+			switch {
+			case m.mode == ixMulVV && rv:
+				return iTerm{mode: ixMulVVaddV, a: m.a, b: m.b, c: sr}, true
+			case m.mode == ixMulVV:
+				return iTerm{mode: ixMulVVaddK, a: m.a, b: m.b, k1: kr}, true
+			case rv:
+				return iTerm{mode: ixMulKVaddV, k1: m.k1, a: m.a, b: sr}, true
+			default:
+				return iTerm{mode: ixMulKVaddK, k1: m.k1, a: m.a, k2: kr}, true
+			}
+		}
+		sa, ka, av, ok := fuseAtomI(x.X)
+		if !ok {
+			return iTerm{}, false
+		}
+		sb, kb, bv, ok := fuseAtomI(x.Y)
+		if !ok {
+			return iTerm{}, false
+		}
+		switch {
+		case av && bv && sub:
+			return iTerm{mode: ixSubVV, a: sa, b: sb}, true
+		case av && bv:
+			return iTerm{mode: ixAddVV, a: sa, b: sb}, true
+		case av && sub:
+			return iTerm{mode: ixVarK, a: sa, k1: -kb}, true
+		case av:
+			return iTerm{mode: ixVarK, a: sa, k1: kb}, true
+		case bv && sub:
+			return iTerm{mode: ixSubKV, k1: ka, a: sb}, true
+		case bv:
+			return iTerm{mode: ixVarK, a: sb, k1: ka}, true
+		}
+	}
+	return iTerm{}, false
+}
+
+// emitTerm compiles a matched term to a dedicated single closure (no
+// dispatch at run time for the hottest modes).
+func emitTerm(t iTerm) dExprI {
+	switch t.mode {
+	case ixLit:
+		k := t.k1
+		return func(e *DEnv) int64 { return k }
+	case ixVar:
+		a := t.a
+		return func(e *DEnv) int64 { return e.Ints[a] }
+	case ixVarK:
+		a, k := t.a, t.k1
+		return func(e *DEnv) int64 { return e.Ints[a] + k }
+	case ixAddVV:
+		a, b := t.a, t.b
+		return func(e *DEnv) int64 { return e.Ints[a] + e.Ints[b] }
+	case ixSubVV:
+		a, b := t.a, t.b
+		return func(e *DEnv) int64 { return e.Ints[a] - e.Ints[b] }
+	case ixSubKV:
+		k, a := t.k1, t.a
+		return func(e *DEnv) int64 { return k - e.Ints[a] }
+	case ixMulVV:
+		a, b := t.a, t.b
+		return func(e *DEnv) int64 { return e.Ints[a] * e.Ints[b] }
+	case ixMulKV:
+		k, a := t.k1, t.a
+		return func(e *DEnv) int64 { return k * e.Ints[a] }
+	case ixMulVVaddV:
+		a, b, c := t.a, t.b, t.c
+		return func(e *DEnv) int64 { return e.Ints[a]*e.Ints[b] + e.Ints[c] }
+	case ixMulVVaddK:
+		a, b, k := t.a, t.b, t.k1
+		return func(e *DEnv) int64 { return e.Ints[a]*e.Ints[b] + k }
+	case ixMulKVaddK:
+		k, a, k2 := t.k1, t.a, t.k2
+		return func(e *DEnv) int64 { return k*e.Ints[a] + k2 }
+	case ixMulKVaddV:
+		k, a, b := t.k1, t.a, t.b
+		return func(e *DEnv) int64 { return k*e.Ints[a] + e.Ints[b] }
+	default:
+		tt := t
+		return func(e *DEnv) int64 { return tt.eval(e.Ints) }
+	}
+}
+
+// fexprI is a fused integer operand: literal, scalar, or int-array
+// load with a fused index.
+type fexprI struct {
+	kind uint8 // fiLit, fiVar, fiLoad
+	k    int64
+	slot int
+	arr  int
+	idx  iTerm
+}
+
+const (
+	fiLit uint8 = iota
+	fiVar
+	fiLoad
+)
+
+func (f *fexprI) eval(e *DEnv) int64 {
+	switch f.kind {
+	case fiLit:
+		return f.k
+	case fiVar:
+		return e.Ints[f.slot]
+	default:
+		a := &e.Arrays[f.arr]
+		return int64(a.I32[a.off(f.idx.eval(e.Ints)-a.Base)])
+	}
+}
+
+func fuseSideI(e cc.Expr) (fexprI, bool) {
+	if s, k, v, ok := fuseAtomI(e); ok {
+		if v {
+			return fexprI{kind: fiVar, slot: s}, true
+		}
+		return fexprI{kind: fiLit, k: k}, true
+	}
+	if x, ok := e.(*cc.IndexExpr); ok && x.Array.Type == cc.TInt {
+		if t, ok := fuseTerm(foldExpr(x.Index)); ok {
+			return fexprI{kind: fiLoad, arr: x.Array.Slot, idx: t}, true
+		}
+	}
+	return fexprI{}, false
+}
+
+// fexprF is a fused float operand: literal, scalar, array load (any
+// element type) with a fused index, or an int term converted to float.
+// round applies the interpreter's (float) cast rounding on top.
+type fexprF struct {
+	kind  uint8 // ffLit, ffVar, ffLoad32, ffLoad64, ffLoadI, ffIntTerm
+	round bool
+	k     float64
+	slot  int
+	arr   int
+	idx   iTerm
+}
+
+const (
+	ffLit uint8 = iota
+	ffVar
+	ffLoad32
+	ffLoad64
+	ffLoadI
+	ffIntTerm
+)
+
+func (f *fexprF) eval(e *DEnv) float64 {
+	var v float64
+	switch f.kind {
+	case ffLit:
+		v = f.k
+	case ffVar:
+		v = e.Floats[f.slot]
+	case ffLoad32:
+		a := &e.Arrays[f.arr]
+		v = float64(a.F32[a.off(f.idx.eval(e.Ints)-a.Base)])
+	case ffLoad64:
+		a := &e.Arrays[f.arr]
+		v = a.F64[a.off(f.idx.eval(e.Ints)-a.Base)]
+	case ffLoadI:
+		a := &e.Arrays[f.arr]
+		v = float64(int64(a.I32[a.off(f.idx.eval(e.Ints)-a.Base)]))
+	default: // ffIntTerm
+		v = float64(f.idx.eval(e.Ints))
+	}
+	if f.round {
+		v = float64(float32(v))
+	}
+	return v
+}
+
+func fuseSideF(e cc.Expr) (fexprF, bool) {
+	switch x := e.(type) {
+	case *cc.NumLit:
+		if x.IsFloat {
+			return fexprF{kind: ffLit, k: x.F}, true
+		}
+		// Int literal in float context: exprF coerces via float64.
+		return fexprF{kind: ffLit, k: float64(x.I)}, true
+	case *cc.Ident:
+		if x.Decl.IsArray {
+			return fexprF{}, false
+		}
+		if x.Type() == cc.TInt {
+			return fexprF{kind: ffIntTerm, idx: iTerm{mode: ixVar, a: x.Decl.Slot}}, true
+		}
+		return fexprF{kind: ffVar, slot: x.Decl.Slot}, true
+	case *cc.IndexExpr:
+		t, ok := fuseTerm(foldExpr(x.Index))
+		if !ok {
+			return fexprF{}, false
+		}
+		switch x.Array.Type {
+		case cc.TFloat:
+			return fexprF{kind: ffLoad32, arr: x.Array.Slot, idx: t}, true
+		case cc.TDouble:
+			return fexprF{kind: ffLoad64, arr: x.Array.Slot, idx: t}, true
+		default:
+			return fexprF{kind: ffLoadI, arr: x.Array.Slot, idx: t}, true
+		}
+	case *cc.CastExpr:
+		inner, ok := fuseSideF(foldExpr(x.X))
+		if !ok || inner.round {
+			return fexprF{}, false
+		}
+		switch x.To {
+		case cc.TFloat:
+			// The generic path computes float64(float32(value)) with the
+			// inner value already coerced to float64 (int operands
+			// included), which fexprF.eval reproduces exactly.
+			inner.round = true
+			return inner, true
+		case cc.TDouble:
+			return inner, true
+		}
+		return fexprF{}, false
+	}
+	return fexprF{}, false
+}
+
+// fuseExprI fuses a whole int-typed expression: a term, an int load,
+// or a comparison over fusable operands. Returns nil when the shape is
+// not covered (the generic closure stays in place).
+func fuseExprI(e cc.Expr) dExprI {
+	if t, ok := fuseTerm(e); ok {
+		return emitTerm(t)
+	}
+	if x, ok := e.(*cc.IndexExpr); ok && x.Array.Type == cc.TInt {
+		if t, ok := fuseTerm(foldExpr(x.Index)); ok {
+			slot := x.Array.Slot
+			switch t.mode {
+			case ixVar:
+				si := t.a
+				return func(e *DEnv) int64 {
+					a := &e.Arrays[slot]
+					return int64(a.I32[a.off(e.Ints[si]-a.Base)])
+				}
+			case ixMulVVaddV:
+				sa, sb, sc := t.a, t.b, t.c
+				return func(e *DEnv) int64 {
+					a := &e.Arrays[slot]
+					return int64(a.I32[a.off(e.Ints[sa]*e.Ints[sb]+e.Ints[sc]-a.Base)])
+				}
+			default:
+				tt := t
+				return func(e *DEnv) int64 {
+					a := &e.Arrays[slot]
+					return int64(a.I32[a.off(tt.eval(e.Ints)-a.Base)])
+				}
+			}
+		}
+		return nil
+	}
+	x, ok := e.(*cc.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch x.Op {
+	case "<", "<=", ">", ">=", "==", "!=":
+	default:
+		return nil
+	}
+	if x.X.Type() == cc.TInt && x.Y.Type() == cc.TInt {
+		lf, ok := fuseSideI(foldExpr(x.X))
+		if !ok {
+			return nil
+		}
+		rf, ok := fuseSideI(foldExpr(x.Y))
+		if !ok {
+			return nil
+		}
+		l, r := emitI(lf), emitI(rf)
+		switch x.Op {
+		case "<":
+			return func(e *DEnv) int64 { return b2i(l(e) < r(e)) }
+		case "<=":
+			return func(e *DEnv) int64 { return b2i(l(e) <= r(e)) }
+		case ">":
+			return func(e *DEnv) int64 { return b2i(l(e) > r(e)) }
+		case ">=":
+			return func(e *DEnv) int64 { return b2i(l(e) >= r(e)) }
+		case "==":
+			return func(e *DEnv) int64 { return b2i(l(e) == r(e)) }
+		default:
+			return func(e *DEnv) int64 { return b2i(l(e) != r(e)) }
+		}
+	}
+	lf, ok := fuseSideF(foldExpr(x.X))
+	if !ok {
+		return nil
+	}
+	rf, ok := fuseSideF(foldExpr(x.Y))
+	if !ok {
+		return nil
+	}
+	l, r := emitF(lf), emitF(rf)
+	switch x.Op {
+	case "<":
+		return func(e *DEnv) int64 { return b2i(l(e) < r(e)) }
+	case "<=":
+		return func(e *DEnv) int64 { return b2i(l(e) <= r(e)) }
+	case ">":
+		return func(e *DEnv) int64 { return b2i(l(e) > r(e)) }
+	case ">=":
+		return func(e *DEnv) int64 { return b2i(l(e) >= r(e)) }
+	case "==":
+		return func(e *DEnv) int64 { return b2i(l(e) == r(e)) }
+	default:
+		return func(e *DEnv) int64 { return b2i(l(e) != r(e)) }
+	}
+}
+
+// fuseCond fuses a branch/loop condition, skipping the !=0 wrapper.
+func fuseCond(e cc.Expr) func(*DEnv) bool {
+	if x, ok := e.(*cc.BinaryExpr); ok {
+		switch x.Op {
+		case "<", "<=", ">", ">=", "==", "!=":
+			if x.X.Type() == cc.TInt && x.Y.Type() == cc.TInt {
+				lf, ok := fuseSideI(foldExpr(x.X))
+				if !ok {
+					return nil
+				}
+				rf, ok := fuseSideI(foldExpr(x.Y))
+				if !ok {
+					return nil
+				}
+				return emitCmpI(x.Op, lf, rf)
+			}
+			lf, ok := fuseSideF(foldExpr(x.X))
+			if !ok {
+				return nil
+			}
+			rf, ok := fuseSideF(foldExpr(x.Y))
+			if !ok {
+				return nil
+			}
+			return emitCmpF(x.Op, lf, rf)
+		}
+		return nil
+	}
+	if e.Type() == cc.TInt {
+		if s, ok := fuseSideI(e); ok {
+			d := emitI(s)
+			return func(e *DEnv) bool { return d(e) != 0 }
+		}
+	}
+	return nil
+}
+
+// emitCmpI emits an int comparison with scalar-variable and literal
+// operands read inline; other fusable shapes go through one emitted
+// closure per side. The guard conditions of the paper kernels are all
+// var-vs-lit (jn >= 0), var-vs-var, or load-vs-var (cost[i] == level),
+// so the common cases run in a single closure.
+func emitCmpI(op string, lf, rf fexprI) func(*DEnv) bool {
+	switch {
+	case lf.kind == fiVar && rf.kind == fiLit:
+		a, k := lf.slot, rf.k
+		switch op {
+		case "<":
+			return func(e *DEnv) bool { return e.Ints[a] < k }
+		case "<=":
+			return func(e *DEnv) bool { return e.Ints[a] <= k }
+		case ">":
+			return func(e *DEnv) bool { return e.Ints[a] > k }
+		case ">=":
+			return func(e *DEnv) bool { return e.Ints[a] >= k }
+		case "==":
+			return func(e *DEnv) bool { return e.Ints[a] == k }
+		default:
+			return func(e *DEnv) bool { return e.Ints[a] != k }
+		}
+	case lf.kind == fiLit && rf.kind == fiVar:
+		k, b := lf.k, rf.slot
+		switch op {
+		case "<":
+			return func(e *DEnv) bool { return k < e.Ints[b] }
+		case "<=":
+			return func(e *DEnv) bool { return k <= e.Ints[b] }
+		case ">":
+			return func(e *DEnv) bool { return k > e.Ints[b] }
+		case ">=":
+			return func(e *DEnv) bool { return k >= e.Ints[b] }
+		case "==":
+			return func(e *DEnv) bool { return k == e.Ints[b] }
+		default:
+			return func(e *DEnv) bool { return k != e.Ints[b] }
+		}
+	case lf.kind == fiVar && rf.kind == fiVar:
+		a, b := lf.slot, rf.slot
+		switch op {
+		case "<":
+			return func(e *DEnv) bool { return e.Ints[a] < e.Ints[b] }
+		case "<=":
+			return func(e *DEnv) bool { return e.Ints[a] <= e.Ints[b] }
+		case ">":
+			return func(e *DEnv) bool { return e.Ints[a] > e.Ints[b] }
+		case ">=":
+			return func(e *DEnv) bool { return e.Ints[a] >= e.Ints[b] }
+		case "==":
+			return func(e *DEnv) bool { return e.Ints[a] == e.Ints[b] }
+		default:
+			return func(e *DEnv) bool { return e.Ints[a] != e.Ints[b] }
+		}
+	case rf.kind == fiLit:
+		l, k := emitI(lf), rf.k
+		switch op {
+		case "<":
+			return func(e *DEnv) bool { return l(e) < k }
+		case "<=":
+			return func(e *DEnv) bool { return l(e) <= k }
+		case ">":
+			return func(e *DEnv) bool { return l(e) > k }
+		case ">=":
+			return func(e *DEnv) bool { return l(e) >= k }
+		case "==":
+			return func(e *DEnv) bool { return l(e) == k }
+		default:
+			return func(e *DEnv) bool { return l(e) != k }
+		}
+	case rf.kind == fiVar:
+		l, b := emitI(lf), rf.slot
+		switch op {
+		case "<":
+			return func(e *DEnv) bool { return l(e) < e.Ints[b] }
+		case "<=":
+			return func(e *DEnv) bool { return l(e) <= e.Ints[b] }
+		case ">":
+			return func(e *DEnv) bool { return l(e) > e.Ints[b] }
+		case ">=":
+			return func(e *DEnv) bool { return l(e) >= e.Ints[b] }
+		case "==":
+			return func(e *DEnv) bool { return l(e) == e.Ints[b] }
+		default:
+			return func(e *DEnv) bool { return l(e) != e.Ints[b] }
+		}
+	default:
+		l, r := emitI(lf), emitI(rf)
+		switch op {
+		case "<":
+			return func(e *DEnv) bool { return l(e) < r(e) }
+		case "<=":
+			return func(e *DEnv) bool { return l(e) <= r(e) }
+		case ">":
+			return func(e *DEnv) bool { return l(e) > r(e) }
+		case ">=":
+			return func(e *DEnv) bool { return l(e) >= r(e) }
+		case "==":
+			return func(e *DEnv) bool { return l(e) == r(e) }
+		default:
+			return func(e *DEnv) bool { return l(e) != r(e) }
+		}
+	}
+}
+
+// emitCmpF is emitCmpI's float counterpart; only unrounded scalar
+// variables read inline (r2 < cutsq, d < bestd), everything else takes
+// a closure call per side.
+func emitCmpF(op string, lf, rf fexprF) func(*DEnv) bool {
+	lv := lf.kind == ffVar && !lf.round
+	rv := rf.kind == ffVar && !rf.round
+	switch {
+	case lv && rv:
+		a, b := lf.slot, rf.slot
+		switch op {
+		case "<":
+			return func(e *DEnv) bool { return e.Floats[a] < e.Floats[b] }
+		case "<=":
+			return func(e *DEnv) bool { return e.Floats[a] <= e.Floats[b] }
+		case ">":
+			return func(e *DEnv) bool { return e.Floats[a] > e.Floats[b] }
+		case ">=":
+			return func(e *DEnv) bool { return e.Floats[a] >= e.Floats[b] }
+		case "==":
+			return func(e *DEnv) bool { return e.Floats[a] == e.Floats[b] }
+		default:
+			return func(e *DEnv) bool { return e.Floats[a] != e.Floats[b] }
+		}
+	case rv:
+		l, b := emitF(lf), rf.slot
+		switch op {
+		case "<":
+			return func(e *DEnv) bool { return l(e) < e.Floats[b] }
+		case "<=":
+			return func(e *DEnv) bool { return l(e) <= e.Floats[b] }
+		case ">":
+			return func(e *DEnv) bool { return l(e) > e.Floats[b] }
+		case ">=":
+			return func(e *DEnv) bool { return l(e) >= e.Floats[b] }
+		case "==":
+			return func(e *DEnv) bool { return l(e) == e.Floats[b] }
+		default:
+			return func(e *DEnv) bool { return l(e) != e.Floats[b] }
+		}
+	case lv:
+		a, r := lf.slot, emitF(rf)
+		switch op {
+		case "<":
+			return func(e *DEnv) bool { return e.Floats[a] < r(e) }
+		case "<=":
+			return func(e *DEnv) bool { return e.Floats[a] <= r(e) }
+		case ">":
+			return func(e *DEnv) bool { return e.Floats[a] > r(e) }
+		case ">=":
+			return func(e *DEnv) bool { return e.Floats[a] >= r(e) }
+		case "==":
+			return func(e *DEnv) bool { return e.Floats[a] == r(e) }
+		default:
+			return func(e *DEnv) bool { return e.Floats[a] != r(e) }
+		}
+	default:
+		l, r := emitF(lf), emitF(rf)
+		switch op {
+		case "<":
+			return func(e *DEnv) bool { return l(e) < r(e) }
+		case "<=":
+			return func(e *DEnv) bool { return l(e) <= r(e) }
+		case ">":
+			return func(e *DEnv) bool { return l(e) > r(e) }
+		case ">=":
+			return func(e *DEnv) bool { return l(e) >= r(e) }
+		case "==":
+			return func(e *DEnv) bool { return l(e) == r(e) }
+		default:
+			return func(e *DEnv) bool { return l(e) != r(e) }
+		}
+	}
+}
+
+// fuseAssignI collapses `v = <side>` — most importantly the indirect
+// gather assignment (jn = nbr[i*maxn+j]) that heads every guarded
+// neighbour loop — into a single closure with the load inlined.
+func fuseAssignI(st *cc.AssignStmt, slot int) DStmt {
+	if st.Op != "=" {
+		return nil
+	}
+	s, ok := fuseSideI(foldExpr(st.RHS))
+	if !ok {
+		return nil
+	}
+	switch s.kind {
+	case fiLit:
+		k := s.k
+		return func(e *DEnv) { e.Ints[slot] = k }
+	case fiVar:
+		src := s.slot
+		return func(e *DEnv) { e.Ints[slot] = e.Ints[src] }
+	}
+	arr := s.arr
+	switch s.idx.mode {
+	case ixVar:
+		si := s.idx.a
+		return func(e *DEnv) {
+			a := &e.Arrays[arr]
+			e.Ints[slot] = int64(a.I32[a.off(e.Ints[si]-a.Base)])
+		}
+	case ixVarK:
+		si, k := s.idx.a, s.idx.k1
+		return func(e *DEnv) {
+			a := &e.Arrays[arr]
+			e.Ints[slot] = int64(a.I32[a.off(e.Ints[si]+k-a.Base)])
+		}
+	case ixMulVVaddV:
+		sa, sb, sc := s.idx.a, s.idx.b, s.idx.c
+		return func(e *DEnv) {
+			a := &e.Arrays[arr]
+			e.Ints[slot] = int64(a.I32[a.off(e.Ints[sa]*e.Ints[sb]+e.Ints[sc]-a.Base)])
+		}
+	case ixMulKVaddK:
+		k1, sa, k2 := s.idx.k1, s.idx.a, s.idx.k2
+		return func(e *DEnv) {
+			a := &e.Arrays[arr]
+			e.Ints[slot] = int64(a.I32[a.off(k1*e.Ints[sa]+k2-a.Base)])
+		}
+	default:
+		d := emitI(s)
+		return func(e *DEnv) { e.Ints[slot] = d(e) }
+	}
+}
+
+// fuseExprF fuses a whole float-typed expression: a bounded-depth tree
+// of arithmetic ops over fusable leaf operands, emitted as dedicated
+// closures with one Go operation per node (see emitExprF — no FMA
+// contraction can occur).
+func fuseExprF(e cc.Expr) dExprF {
+	return emitExprF(e, 4)
+}
+
+// ---- fused counted loops ----------------------------------------------
+//
+// An inner sequential loop of the canonical shape
+//
+//	for (v = init; v < bound; v++) body      (also <=)
+//
+// whose bound is provably loop-invariant runs as one fused closure: the
+// bound is hoisted and evaluated once, the trip count is computed up
+// front (so both Branch counters become bulk adds and the cost model
+// sees exactly the per-trip numbers the open-coded loop produced), and
+// the induction variable advances as a plain Go loop variable instead
+// of a compiled post-statement. For the paper apps this removes the
+// dominant per-iteration interpretive overhead: BFS re-evaluated
+// off[i+1] once per edge, MD and KMEANS re-evaluated a scalar bound
+// once per neighbor/feature.
+
+// stmtWrites collects the scalar slots assigned and the array slots
+// stored to anywhere under s, including nested loop inits and posts.
+func stmtWrites(s cc.Stmt, scalars, arrays map[int]bool) {
+	switch st := s.(type) {
+	case *cc.Block:
+		for _, c := range st.Stmts {
+			stmtWrites(c, scalars, arrays)
+		}
+	case *cc.AssignStmt:
+		switch lhs := st.LHS.(type) {
+		case *cc.Ident:
+			scalars[lhs.Decl.Slot] = true
+		case *cc.IndexExpr:
+			arrays[lhs.Array.Slot] = true
+		}
+	case *cc.IfStmt:
+		stmtWrites(st.Then, scalars, arrays)
+		if st.Else != nil {
+			stmtWrites(st.Else, scalars, arrays)
+		}
+	case *cc.ForStmt:
+		if st.Init != nil {
+			stmtWrites(st.Init, scalars, arrays)
+		}
+		if st.Post != nil {
+			stmtWrites(st.Post, scalars, arrays)
+		}
+		stmtWrites(st.Body, scalars, arrays)
+	case *cc.WhileStmt:
+		stmtWrites(st.Body, scalars, arrays)
+	}
+}
+
+// exprReads collects the scalar slots and array slots e reads.
+func exprReads(e cc.Expr, scalars, arrays map[int]bool) {
+	switch x := e.(type) {
+	case *cc.Ident:
+		scalars[x.Decl.Slot] = true
+	case *cc.IndexExpr:
+		arrays[x.Array.Slot] = true
+		exprReads(x.Index, scalars, arrays)
+	case *cc.BinaryExpr:
+		exprReads(x.X, scalars, arrays)
+		exprReads(x.Y, scalars, arrays)
+	case *cc.UnaryExpr:
+		exprReads(x.X, scalars, arrays)
+	case *cc.CastExpr:
+		exprReads(x.X, scalars, arrays)
+	case *cc.CondExpr:
+		exprReads(x.Cond, scalars, arrays)
+		exprReads(x.Then, scalars, arrays)
+		exprReads(x.Else, scalars, arrays)
+	case *cc.CallExpr:
+		for _, a := range x.Args {
+			exprReads(a, scalars, arrays)
+		}
+	}
+}
+
+// sideExprI compiles a second evaluator for a subtree whose cost and
+// accesses the normal walk already recorded: nothing is charged and no
+// access records are appended (the prover's cursor must not move).
+func (b *specBuilder) sideExprI(e cc.Expr) dExprI {
+	savedCur, savedNR := b.cur, b.noRecord
+	b.cur = &IterCost{Stores: make([]int64, b.spec.NumArrays)}
+	b.noRecord = true
+	d, err := b.exprI(e)
+	b.cur, b.noRecord = savedCur, savedNR
+	if err != nil {
+		return nil
+	}
+	return d
+}
+
+// fuseFor recognizes the canonical counted loop and returns the fused
+// closure, or nil when the shape or the invariance proof does not hold
+// (the caller then emits the open-coded loop). init and body are the
+// already-compiled pieces; condIdx/bodyIdx are the loop's cost-bucket
+// counters, incremented in bulk with exactly the open-coded totals.
+func (b *specBuilder) fuseFor(st *cc.ForStmt, init, body DStmt, condIdx, bodyIdx int) DStmt {
+	post := st.Post
+	if post == nil || post.Op != "+=" {
+		return nil
+	}
+	lv, ok := post.LHS.(*cc.Ident)
+	if !ok || lv.Decl.Type != cc.TInt {
+		return nil
+	}
+	one, ok := post.RHS.(*cc.NumLit)
+	if !ok || one.IsFloat || one.I != 1 {
+		return nil
+	}
+	cmp, ok := foldExpr(st.Cond).(*cc.BinaryExpr)
+	if !ok || (cmp.Op != "<" && cmp.Op != "<=") {
+		return nil
+	}
+	cv, ok := cmp.X.(*cc.Ident)
+	if !ok || cv.Decl != lv.Decl {
+		return nil
+	}
+	bound := foldExpr(cmp.Y)
+	if bound.Type() != cc.TInt {
+		return nil
+	}
+	// Invariance: nothing the body writes — scalars or arrays — may
+	// feed the bound, and the body must not touch the induction
+	// variable (the post statement is its only writer).
+	ws, wa := map[int]bool{}, map[int]bool{}
+	stmtWrites(st.Body, ws, wa)
+	if ws[lv.Decl.Slot] {
+		return nil
+	}
+	rs, ra := map[int]bool{}, map[int]bool{}
+	exprReads(bound, rs, ra)
+	if rs[lv.Decl.Slot] {
+		return nil
+	}
+	for s := range rs {
+		if ws[s] {
+			return nil
+		}
+	}
+	for a := range ra {
+		if wa[a] {
+			return nil
+		}
+	}
+	boundEval := b.sideExprI(bound)
+	if boundEval == nil {
+		return nil
+	}
+	slot := lv.Decl.Slot
+	incl := cmp.Op == "<="
+	if init == nil {
+		init = dNop
+	}
+	if body == nil {
+		body = dNop
+	}
+	return func(env *DEnv) {
+		init(env)
+		v := env.Ints[slot]
+		bnd := boundEval(env)
+		if incl {
+			bnd++
+		}
+		n := bnd - v
+		if n < 0 {
+			n = 0
+		}
+		env.Branch[condIdx] += n + 1
+		env.Branch[bodyIdx] += n
+		for ; v < bnd; v++ {
+			env.Ints[slot] = v
+			body(env)
+		}
+		env.Ints[slot] = v
+	}
+}
+
+// ---- emitted closures --------------------------------------------------
+//
+// The fexprI/fexprF structs above are the *analysis* representation; at
+// run time their eval methods still pay a kind switch per call. The
+// emitters below compile a matched operand to a dedicated closure with
+// the switch resolved at build time, specializing the index modes the
+// paper apps hit hardest (i, i+c, k*s, k*s+c, s1*s2+s3).
+
+// emitI compiles a fused integer operand to a dedicated closure.
+func emitI(f fexprI) dExprI {
+	switch f.kind {
+	case fiLit:
+		k := f.k
+		return func(e *DEnv) int64 { return k }
+	case fiVar:
+		s := f.slot
+		return func(e *DEnv) int64 { return e.Ints[s] }
+	}
+	arr := f.arr
+	switch f.idx.mode {
+	case ixVar:
+		si := f.idx.a
+		return func(e *DEnv) int64 {
+			a := &e.Arrays[arr]
+			return int64(a.I32[a.off(e.Ints[si]-a.Base)])
+		}
+	case ixVarK:
+		si, k := f.idx.a, f.idx.k1
+		return func(e *DEnv) int64 {
+			a := &e.Arrays[arr]
+			return int64(a.I32[a.off(e.Ints[si]+k-a.Base)])
+		}
+	case ixMulVVaddV:
+		sa, sb, sc := f.idx.a, f.idx.b, f.idx.c
+		return func(e *DEnv) int64 {
+			a := &e.Arrays[arr]
+			return int64(a.I32[a.off(e.Ints[sa]*e.Ints[sb]+e.Ints[sc]-a.Base)])
+		}
+	case ixMulKVaddK:
+		k1, sa, k2 := f.idx.k1, f.idx.a, f.idx.k2
+		return func(e *DEnv) int64 {
+			a := &e.Arrays[arr]
+			return int64(a.I32[a.off(k1*e.Ints[sa]+k2-a.Base)])
+		}
+	default:
+		t := emitTerm(f.idx)
+		return func(e *DEnv) int64 {
+			a := &e.Arrays[arr]
+			return int64(a.I32[a.off(t(e)-a.Base)])
+		}
+	}
+}
+
+// emitF compiles a fused float operand to a dedicated closure. The
+// (float) cast rounding, when present, wraps the emitted base.
+func emitF(f fexprF) dExprF {
+	d := emitFBase(f)
+	if f.round {
+		return func(e *DEnv) float64 { return float64(float32(d(e))) }
+	}
+	return d
+}
+
+func emitFBase(f fexprF) dExprF {
+	switch f.kind {
+	case ffLit:
+		k := f.k
+		return func(e *DEnv) float64 { return k }
+	case ffVar:
+		s := f.slot
+		return func(e *DEnv) float64 { return e.Floats[s] }
+	case ffIntTerm:
+		t := emitTerm(f.idx)
+		return func(e *DEnv) float64 { return float64(t(e)) }
+	}
+	arr := f.arr
+	switch f.kind {
+	case ffLoad32:
+		switch f.idx.mode {
+		case ixVar:
+			si := f.idx.a
+			return func(e *DEnv) float64 {
+				a := &e.Arrays[arr]
+				return float64(a.F32[a.off(e.Ints[si]-a.Base)])
+			}
+		case ixMulKV:
+			k, si := f.idx.k1, f.idx.a
+			return func(e *DEnv) float64 {
+				a := &e.Arrays[arr]
+				return float64(a.F32[a.off(k*e.Ints[si]-a.Base)])
+			}
+		case ixMulKVaddK:
+			k1, si, k2 := f.idx.k1, f.idx.a, f.idx.k2
+			return func(e *DEnv) float64 {
+				a := &e.Arrays[arr]
+				return float64(a.F32[a.off(k1*e.Ints[si]+k2-a.Base)])
+			}
+		case ixMulVVaddV:
+			sa, sb, sc := f.idx.a, f.idx.b, f.idx.c
+			return func(e *DEnv) float64 {
+				a := &e.Arrays[arr]
+				return float64(a.F32[a.off(e.Ints[sa]*e.Ints[sb]+e.Ints[sc]-a.Base)])
+			}
+		default:
+			t := emitTerm(f.idx)
+			return func(e *DEnv) float64 {
+				a := &e.Arrays[arr]
+				return float64(a.F32[a.off(t(e)-a.Base)])
+			}
+		}
+	case ffLoad64:
+		switch f.idx.mode {
+		case ixVar:
+			si := f.idx.a
+			return func(e *DEnv) float64 {
+				a := &e.Arrays[arr]
+				return a.F64[a.off(e.Ints[si]-a.Base)]
+			}
+		case ixMulKV:
+			k, si := f.idx.k1, f.idx.a
+			return func(e *DEnv) float64 {
+				a := &e.Arrays[arr]
+				return a.F64[a.off(k*e.Ints[si]-a.Base)]
+			}
+		case ixMulKVaddK:
+			k1, si, k2 := f.idx.k1, f.idx.a, f.idx.k2
+			return func(e *DEnv) float64 {
+				a := &e.Arrays[arr]
+				return a.F64[a.off(k1*e.Ints[si]+k2-a.Base)]
+			}
+		case ixMulVVaddV:
+			sa, sb, sc := f.idx.a, f.idx.b, f.idx.c
+			return func(e *DEnv) float64 {
+				a := &e.Arrays[arr]
+				return a.F64[a.off(e.Ints[sa]*e.Ints[sb]+e.Ints[sc]-a.Base)]
+			}
+		default:
+			t := emitTerm(f.idx)
+			return func(e *DEnv) float64 {
+				a := &e.Arrays[arr]
+				return a.F64[a.off(t(e)-a.Base)]
+			}
+		}
+	default: // ffLoadI
+		t := emitTerm(f.idx)
+		return func(e *DEnv) float64 {
+			a := &e.Arrays[arr]
+			return float64(int64(a.I32[a.off(t(e)-a.Base)]))
+		}
+	}
+}
+
+// fOperand classifies a binary operand for inline emission: a plain
+// scalar slot or literal reads inline inside the combiner closure; any
+// other fusable shape (or a nested binary) becomes a closure call.
+type fOperand struct {
+	kind uint8 // foVar, foLit, foClos
+	slot int
+	k    float64
+	c    dExprF
+}
+
+const (
+	foVar uint8 = iota
+	foLit
+	foClos
+)
+
+func emitFOperand(e cc.Expr, depth int) (fOperand, bool) {
+	if s, ok := fuseSideF(e); ok {
+		switch {
+		case s.kind == ffVar && !s.round:
+			return fOperand{kind: foVar, slot: s.slot}, true
+		case s.kind == ffLit && !s.round:
+			return fOperand{kind: foLit, k: s.k}, true
+		default:
+			return fOperand{kind: foClos, c: emitF(s)}, true
+		}
+	}
+	if d := emitExprF(e, depth); d != nil {
+		return fOperand{kind: foClos, c: d}, true
+	}
+	return fOperand{}, false
+}
+
+// emitExprF compiles a float expression tree of bounded depth to nested
+// dedicated closures: fusable leaves via emitF, binary nodes as one Go
+// operation each. Scalar and literal operands read inline; closure-call
+// results pass through explicit float64 conversions — value-identity
+// (every operand is already a rounded float64) but blocking cross-
+// operation FMA contraction, keeping the emitted tree bit-identical to
+// the per-node generic closures.
+func emitExprF(e cc.Expr, depth int) dExprF {
+	if s, ok := fuseSideF(e); ok {
+		return emitF(s)
+	}
+	if depth <= 0 {
+		return nil
+	}
+	x, ok := e.(*cc.BinaryExpr)
+	if !ok || x.Type() == cc.TInt {
+		return nil
+	}
+	l, ok := emitFOperand(foldExpr(x.X), depth-1)
+	if !ok {
+		return nil
+	}
+	r, ok := emitFOperand(foldExpr(x.Y), depth-1)
+	if !ok {
+		return nil
+	}
+	return emitFBinary(x.Op, l, r)
+}
+
+// emitFBinary emits one float binary op with both operand kinds
+// resolved at build time (9 combinations per operator).
+func emitFBinary(op string, l, r fOperand) dExprF {
+	pair := l.kind*3 + r.kind
+	switch op {
+	case "+":
+		switch pair {
+		case 0: // var+var
+			a, b := l.slot, r.slot
+			return func(e *DEnv) float64 { return e.Floats[a] + e.Floats[b] }
+		case 1: // var+lit
+			a, k := l.slot, r.k
+			return func(e *DEnv) float64 { return e.Floats[a] + k }
+		case 2: // var+clos
+			a, c := l.slot, r.c
+			return func(e *DEnv) float64 { return e.Floats[a] + float64(c(e)) }
+		case 3: // lit+var
+			k, b := l.k, r.slot
+			return func(e *DEnv) float64 { return k + e.Floats[b] }
+		case 5: // lit+clos
+			k, c := l.k, r.c
+			return func(e *DEnv) float64 { return k + float64(c(e)) }
+		case 6: // clos+var
+			c, b := l.c, r.slot
+			return func(e *DEnv) float64 { return float64(c(e)) + e.Floats[b] }
+		case 7: // clos+lit
+			c, k := l.c, r.k
+			return func(e *DEnv) float64 { return float64(c(e)) + k }
+		case 8: // clos+clos
+			cl, cr := l.c, r.c
+			return func(e *DEnv) float64 { return float64(cl(e)) + float64(cr(e)) }
+		}
+	case "-":
+		switch pair {
+		case 0:
+			a, b := l.slot, r.slot
+			return func(e *DEnv) float64 { return e.Floats[a] - e.Floats[b] }
+		case 1:
+			a, k := l.slot, r.k
+			return func(e *DEnv) float64 { return e.Floats[a] - k }
+		case 2:
+			a, c := l.slot, r.c
+			return func(e *DEnv) float64 { return e.Floats[a] - float64(c(e)) }
+		case 3:
+			k, b := l.k, r.slot
+			return func(e *DEnv) float64 { return k - e.Floats[b] }
+		case 5:
+			k, c := l.k, r.c
+			return func(e *DEnv) float64 { return k - float64(c(e)) }
+		case 6:
+			c, b := l.c, r.slot
+			return func(e *DEnv) float64 { return float64(c(e)) - e.Floats[b] }
+		case 7:
+			c, k := l.c, r.k
+			return func(e *DEnv) float64 { return float64(c(e)) - k }
+		case 8:
+			cl, cr := l.c, r.c
+			return func(e *DEnv) float64 { return float64(cl(e)) - float64(cr(e)) }
+		}
+	case "*":
+		switch pair {
+		case 0:
+			a, b := l.slot, r.slot
+			return func(e *DEnv) float64 { return e.Floats[a] * e.Floats[b] }
+		case 1:
+			a, k := l.slot, r.k
+			return func(e *DEnv) float64 { return e.Floats[a] * k }
+		case 2:
+			a, c := l.slot, r.c
+			return func(e *DEnv) float64 { return e.Floats[a] * float64(c(e)) }
+		case 3:
+			k, b := l.k, r.slot
+			return func(e *DEnv) float64 { return k * e.Floats[b] }
+		case 5:
+			k, c := l.k, r.c
+			return func(e *DEnv) float64 { return k * float64(c(e)) }
+		case 6:
+			c, b := l.c, r.slot
+			return func(e *DEnv) float64 { return float64(c(e)) * e.Floats[b] }
+		case 7:
+			c, k := l.c, r.k
+			return func(e *DEnv) float64 { return float64(c(e)) * k }
+		case 8:
+			cl, cr := l.c, r.c
+			return func(e *DEnv) float64 { return float64(cl(e)) * float64(cr(e)) }
+		}
+	case "/":
+		switch pair {
+		case 0:
+			a, b := l.slot, r.slot
+			return func(e *DEnv) float64 { return e.Floats[a] / e.Floats[b] }
+		case 1:
+			a, k := l.slot, r.k
+			return func(e *DEnv) float64 { return e.Floats[a] / k }
+		case 2:
+			a, c := l.slot, r.c
+			return func(e *DEnv) float64 { return e.Floats[a] / float64(c(e)) }
+		case 3:
+			k, b := l.k, r.slot
+			return func(e *DEnv) float64 { return k / e.Floats[b] }
+		case 5:
+			k, c := l.k, r.c
+			return func(e *DEnv) float64 { return k / float64(c(e)) }
+		case 6:
+			c, b := l.c, r.slot
+			return func(e *DEnv) float64 { return float64(c(e)) / e.Floats[b] }
+		case 7:
+			c, k := l.c, r.k
+			return func(e *DEnv) float64 { return float64(c(e)) / k }
+		case 8:
+			cl, cr := l.c, r.c
+			return func(e *DEnv) float64 { return float64(cl(e)) / float64(cr(e)) }
+		}
+	}
+	// lit op lit (pair 4) cannot occur: foldExpr collapsed it.
+	return nil
+}
+
+// fuseAssignF builds the fused form of a float scalar assignment: the
+// RHS tree, the accumulate op and the element-width rounding execute in
+// a single closure. Returns nil when the RHS shape is not covered.
+func fuseAssignF(st *cc.AssignStmt, slot int, f32 bool) DStmt {
+	rhs := foldExpr(st.RHS)
+	// Accumulating a product of two scalars (fx += dx*fr) is the hot
+	// inner-loop statement of the force kernels: collapse it to a single
+	// closure. The float64 conversion around the product is
+	// value-identity but stops the outer add/sub from contracting with
+	// the multiply into an FMA.
+	if st.Op == "+=" || st.Op == "-=" {
+		if x, ok := rhs.(*cc.BinaryExpr); ok && x.Op == "*" && x.Type() != cc.TInt {
+			ls, lok := fuseSideF(foldExpr(x.X))
+			rs, rok := fuseSideF(foldExpr(x.Y))
+			if lok && rok && ls.kind == ffVar && !ls.round && rs.kind == ffVar && !rs.round {
+				a, b := ls.slot, rs.slot
+				switch {
+				case st.Op == "+=" && f32:
+					return func(e *DEnv) {
+						e.Floats[slot] = float64(float32(e.Floats[slot] + float64(e.Floats[a]*e.Floats[b])))
+					}
+				case st.Op == "+=":
+					return func(e *DEnv) {
+						e.Floats[slot] = e.Floats[slot] + float64(e.Floats[a]*e.Floats[b])
+					}
+				case f32:
+					return func(e *DEnv) {
+						e.Floats[slot] = float64(float32(e.Floats[slot] - float64(e.Floats[a]*e.Floats[b])))
+					}
+				default:
+					return func(e *DEnv) {
+						e.Floats[slot] = e.Floats[slot] - float64(e.Floats[a]*e.Floats[b])
+					}
+				}
+			}
+		}
+	}
+	d := emitExprF(rhs, 4)
+	if d == nil {
+		return nil
+	}
+	// The RHS result crosses a closure-call boundary, so the accumulate
+	// op below cannot contract with any multiply inside d.
+	switch st.Op {
+	case "=":
+		if f32 {
+			return func(e *DEnv) { e.Floats[slot] = float64(float32(d(e))) }
+		}
+		return func(e *DEnv) { e.Floats[slot] = d(e) }
+	case "+=":
+		if f32 {
+			return func(e *DEnv) { e.Floats[slot] = float64(float32(e.Floats[slot] + d(e))) }
+		}
+		return func(e *DEnv) { e.Floats[slot] = e.Floats[slot] + d(e) }
+	case "-=":
+		if f32 {
+			return func(e *DEnv) { e.Floats[slot] = float64(float32(e.Floats[slot] - d(e))) }
+		}
+		return func(e *DEnv) { e.Floats[slot] = e.Floats[slot] - d(e) }
+	case "*=":
+		if f32 {
+			return func(e *DEnv) { e.Floats[slot] = float64(float32(e.Floats[slot] * d(e))) }
+		}
+		return func(e *DEnv) { e.Floats[slot] = e.Floats[slot] * d(e) }
+	case "/=":
+		if f32 {
+			return func(e *DEnv) { e.Floats[slot] = float64(float32(e.Floats[slot] / d(e))) }
+		}
+		return func(e *DEnv) { e.Floats[slot] = e.Floats[slot] / d(e) }
+	}
+	return nil
+}

@@ -132,6 +132,13 @@ type vecBuilder struct {
 // shape allows it; on any ineligibility it simply leaves VecBody nil
 // (the per-iteration body still runs).
 func buildVec(body cc.Stmt, loopVar *cc.VarDecl, assigned map[*cc.VarDecl]bool, spec *KernelSpec) {
+	if spec.HasComputed || len(spec.Arms) > 0 {
+		// Gather/scatter tiles and masked arm stores are compiled by
+		// buildVecExt below; the plain tiler assumes affine accesses
+		// and straight-line bodies.
+		buildVecExt(body, loopVar, assigned, spec)
+		return
+	}
 	folds, ok := vecScan(body, assigned)
 	if !ok {
 		return

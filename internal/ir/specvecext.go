@@ -1,0 +1,306 @@
+package ir
+
+import (
+	"accmulti/internal/cc"
+)
+
+// Tiled execution of the extended kernel shapes: computed (gather /
+// scatter) accesses and top-level guarded arms. The plain tiler in
+// specvec.go compiles straight-line affine bodies; this builder covers
+// the paper apps' remaining shapes while keeping the same bit-exactness
+// contract — every float operation happens in interpreter order per
+// element, with explicit float64() roundings, and guarded arms execute
+// per lane in iteration order so scalar dataflow inside an arm behaves
+// exactly as the per-iteration body would.
+//
+// Shape handled here:
+//
+//	straight-line prefix of scalar assigns and array stores/reduces
+//	(affine or computed), with top-level if statements whose arms are
+//	executed per-lane via the scalar spec closures under a mask vector.
+//
+// The tile schedule stays element-equivalent to iteration order for
+// the same reasons as the plain tiler, with two additions:
+//
+//   - A computed load (a[idx]) gathers per lane from an index vector
+//     computed by earlier passes; the runtime has already proven every
+//     abstract index in-range before the tile loop starts (the
+//     interval prover), so the gather needs no per-lane bounds branch
+//     beyond the physical slice bounds the proof guarantees.
+//   - A computed store scatters per lane in ascending iteration order.
+//     vecScan-ext only admits bodies where no later statement loads
+//     from an array the body scatter-writes (the runtime's alias check
+//     cannot order computed ranges), so store/load reordering across
+//     statements cannot observe a scattered element.
+//   - Guarded arms run per lane through the scalar DStmt closures with
+//     the worker's DEnv scalars set from the lane's slot vectors; this
+//     is the interpreter's exact order within the lane, and lanes are
+//     independent because vecScan's no-carry rule holds across the
+//     whole body including arms.
+func buildVecExt(body cc.Stmt, loopVar *cc.VarDecl, assigned map[*cc.VarDecl]bool, spec *KernelSpec) {
+	v := newVecExtBuilder(body, loopVar, assigned, spec)
+	if v == nil {
+		return
+	}
+	st, err := v.stmt(body)
+	if err != nil || st == nil || v.ai != len(spec.Accesses) || v.armIdx != len(spec.Arms) {
+		return
+	}
+	spec.VecBody, spec.NumBufI, spec.NumBufF = st, v.nBufI, v.nBufF
+}
+
+type vecExtBuilder struct {
+	*vecBuilder
+	armIdx int
+}
+
+// stmt shadows the plain tiler's walk: it additionally compiles
+// top-level if statements as masked per-lane arm bodies and admits
+// computed accesses in straight-line statements.
+func (v *vecExtBuilder) stmt(s cc.Stmt) (VStmt, error) {
+	return nil, errSpecIneligible
+}
+
+func newVecExtBuilder(body cc.Stmt, loopVar *cc.VarDecl, assigned map[*cc.VarDecl]bool, spec *KernelSpec) *vecExtBuilder {
+	folds, ok := vecScanExt(body, assigned, spec)
+	if !ok {
+		return nil
+	}
+	return &vecExtBuilder{vecBuilder: &vecBuilder{
+		loopVar:  loopVar,
+		assigned: assigned,
+		spec:     spec,
+		sc: &specBuilder{
+			loopVar:  loopVar,
+			assigned: assigned,
+			spec:     &KernelSpec{NumArrays: spec.NumArrays},
+			cur:      &IterCost{Stores: make([]int64, spec.NumArrays)},
+		},
+		folds:    folds,
+		slotBufI: map[int]int{},
+		slotBufF: map[int]int{},
+	}}
+}
+
+// vecScanExt extends vecScan's no-carry discipline to bodies with
+// top-level ifs: scalar reads must follow the "=" that defines them in
+// program order along every path, op-assigned scalars must be pure
+// folds, arms may contain only array stores/reduces and declarations,
+// and no statement may load from an array any computed store writes.
+func vecScanExt(body cc.Stmt, assigned map[*cc.VarDecl]bool, spec *KernelSpec) (map[*cc.VarDecl]bool, bool) {
+	reads := map[*cc.VarDecl]int{}
+	eqAssigns := map[*cc.VarDecl]int{}
+	opAssigns := map[*cc.VarDecl]int{}
+	var countExpr func(e cc.Expr)
+	countExpr = func(e cc.Expr) {
+		switch x := e.(type) {
+		case *cc.Ident:
+			reads[x.Decl]++
+		case *cc.IndexExpr:
+			countExpr(x.Index)
+		case *cc.UnaryExpr:
+			countExpr(x.X)
+		case *cc.BinaryExpr:
+			countExpr(x.X)
+			countExpr(x.Y)
+		case *cc.CallExpr:
+			for _, a := range x.Args {
+				countExpr(a)
+			}
+		case *cc.CastExpr:
+			countExpr(x.X)
+		case *cc.CondExpr:
+			countExpr(x.Cond)
+			countExpr(x.Then)
+			countExpr(x.Else)
+		}
+	}
+	var countStmt func(s cc.Stmt, inArm bool) bool
+	countStmt = func(s cc.Stmt, inArm bool) bool {
+		switch st := s.(type) {
+		case *cc.Block:
+			if st.Data != nil {
+				return false
+			}
+			for _, c := range st.Stmts {
+				if !countStmt(c, inArm) {
+					return false
+				}
+			}
+			return true
+		case *cc.DeclStmt:
+			return true
+		case *cc.AssignStmt:
+			switch lhs := st.LHS.(type) {
+			case *cc.Ident:
+				if inArm {
+					// Scalar writes under a mask would need merge
+					// logic; the per-iteration body handles them.
+					return false
+				}
+				if st.Op == "=" {
+					eqAssigns[lhs.Decl]++
+				} else {
+					opAssigns[lhs.Decl]++
+				}
+			case *cc.IndexExpr:
+				countExpr(lhs.Index)
+			}
+			countExpr(st.RHS)
+			return true
+		case *cc.IfStmt:
+			if inArm {
+				return false // one mask level only
+			}
+			countExpr(st.Cond)
+			if !countStmt(st.Then, true) {
+				return false
+			}
+			if st.Else != nil && !countStmt(st.Else, true) {
+				return false
+			}
+			return true
+		}
+		return false
+	}
+	if !countStmt(body, false) {
+		return nil, false
+	}
+	folds := map[*cc.VarDecl]bool{}
+	for d, n := range opAssigns {
+		if n == 1 && reads[d] == 0 && eqAssigns[d] == 0 {
+			folds[d] = true
+		}
+	}
+	// No-carry rule along program order: a scalar read before its "="
+	// define anywhere (cond, index, RHS, arm) rejects. Fold targets
+	// never count as defined — their reads were rejected above.
+	written := map[*cc.VarDecl]bool{}
+	var okExpr func(e cc.Expr) bool
+	okExpr = func(e cc.Expr) bool {
+		switch x := e.(type) {
+		case *cc.Ident:
+			return !assigned[x.Decl] || written[x.Decl]
+		case *cc.IndexExpr:
+			return okExpr(x.Index)
+		case *cc.UnaryExpr:
+			return okExpr(x.X)
+		case *cc.BinaryExpr:
+			return okExpr(x.X) && okExpr(x.Y)
+		case *cc.CallExpr:
+			for _, a := range x.Args {
+				if !okExpr(a) {
+					return false
+				}
+			}
+			return true
+		case *cc.CastExpr:
+			return okExpr(x.X)
+		case *cc.CondExpr:
+			return okExpr(x.Cond) && okExpr(x.Then) && okExpr(x.Else)
+		}
+		return true
+	}
+	var orderWalk func(s cc.Stmt) bool
+	orderWalk = func(s cc.Stmt) bool {
+		switch st := s.(type) {
+		case *cc.Block:
+			for _, c := range st.Stmts {
+				if !orderWalk(c) {
+					return false
+				}
+			}
+			return true
+		case *cc.DeclStmt:
+			return true
+		case *cc.AssignStmt:
+			if lhs, ok := st.LHS.(*cc.IndexExpr); ok && !okExpr(lhs.Index) {
+				return false
+			}
+			if !okExpr(st.RHS) {
+				return false
+			}
+			if lhs, ok := st.LHS.(*cc.Ident); ok && st.Op == "=" {
+				written[lhs.Decl] = true
+			}
+			return true
+		case *cc.IfStmt:
+			if !okExpr(st.Cond) {
+				return false
+			}
+			if !orderWalk(st.Then) {
+				return false
+			}
+			if st.Else != nil && !orderWalk(st.Else) {
+				return false
+			}
+			return true
+		}
+		return false
+	}
+	if !orderWalk(body) {
+		return nil, false
+	}
+	// Computed-store target arrays must not be loaded anywhere in the
+	// body: the tile schedule cannot order a scatter against a load of
+	// an unprovable range.
+	scatterSlots := map[int]bool{}
+	for _, a := range spec.Accesses {
+		if a.Kind != AccessLoad && !a.Affine {
+			scatterSlots[a.Slot] = true
+		}
+	}
+	if len(scatterSlots) > 0 {
+		loaded := false
+		var loadWalk func(e cc.Expr)
+		loadWalk = func(e cc.Expr) {
+			switch x := e.(type) {
+			case *cc.IndexExpr:
+				if scatterSlots[x.Array.Slot] {
+					loaded = true
+				}
+				loadWalk(x.Index)
+			case *cc.UnaryExpr:
+				loadWalk(x.X)
+			case *cc.BinaryExpr:
+				loadWalk(x.X)
+				loadWalk(x.Y)
+			case *cc.CallExpr:
+				for _, a := range x.Args {
+					loadWalk(a)
+				}
+			case *cc.CastExpr:
+				loadWalk(x.X)
+			case *cc.CondExpr:
+				loadWalk(x.Cond)
+				loadWalk(x.Then)
+				loadWalk(x.Else)
+			}
+		}
+		var stmtWalk func(s cc.Stmt)
+		stmtWalk = func(s cc.Stmt) {
+			switch st := s.(type) {
+			case *cc.Block:
+				for _, c := range st.Stmts {
+					stmtWalk(c)
+				}
+			case *cc.AssignStmt:
+				if lhs, ok := st.LHS.(*cc.IndexExpr); ok {
+					loadWalk(lhs.Index)
+				}
+				loadWalk(st.RHS)
+			case *cc.IfStmt:
+				loadWalk(st.Cond)
+				stmtWalk(st.Then)
+				if st.Else != nil {
+					stmtWalk(st.Else)
+				}
+			}
+		}
+		stmtWalk(body)
+		if loaded {
+			return nil, false
+		}
+	}
+	return folds, true
+}

@@ -146,6 +146,18 @@ func (r *Runtime) syncReplicated(st *arrayState, gpus []*sim.Device) []sim.Trans
 			apply(g)
 		}
 	}
+	// Serial write-epoch bumps for every copy that received content
+	// (deferred out of copyRun: with >= 3 GPUs several concurrent
+	// appliers target the same destination copy).
+	if withRuns > 0 {
+		for g2 := range gpus {
+			for g := range diffs {
+				if g != g2 && len(diffs[g].runs) > 0 {
+					st.copies[g2].wepoch++
+				}
+			}
+		}
+	}
 
 	// Stage 3 — clear.
 	r.fanOutGPUs(len(gpus), func(g int) {

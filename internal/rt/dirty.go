@@ -116,6 +116,10 @@ func runsDisjoint(lists [][]span, idx []int) bool {
 // bulk copy computes exactly what the element-wise storeF(loadF) loop
 // it replaces did (the float32→float64→float32 and int32→float64→int32
 // round trips are exact).
+// Write-epoch bumps happen in the caller after the (possibly
+// concurrent) apply stage: several sources may target one destination
+// copy, and a non-atomic counter bump here would race even though the
+// element ranges are disjoint.
 func copyRun(dst, src *gpuCopy, lo, hi int64) {
 	switch {
 	case src.f32 != nil:

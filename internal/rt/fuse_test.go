@@ -1,0 +1,252 @@
+package rt
+
+import (
+	"reflect"
+	"testing"
+
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+)
+
+// Tests for cross-kernel launch fusion (translator marking in
+// internal/translator/fusion.go, runtime execution in fuse.go). The
+// load-bearing contract: fusion is a wall-clock-only optimization —
+// the report must be bit-identical to the unfused schedule, including
+// every time bucket, peak, counter and event.
+
+// fuseIterSrc iterates an independent pair of specialized kernels
+// inside a data region: iteration 1 launches unfused (k2's arrays are
+// not resident yet), every later iteration fuses.
+const fuseIterSrc = `
+int n, iters, t;
+float a[n], b[n], c[n], d[n];
+void main() {
+    int i;
+    #pragma acc data copyin(a, b) copy(c, d)
+    {
+        t = 0;
+        while (t < iters) {
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                c[i] = 2.0 * a[i] + c[i];
+            }
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                d[i] = b[i] * b[i] + 0.5;
+            }
+            t = t + 1;
+        }
+    }
+}
+`
+
+func TestFusablePairsMarked(t *testing.T) {
+	// Chain of three: 1-2 independent (fuse), 2-3 dependent (3 reads
+	// what both 1 and 2 wrote).
+	src := `
+int n;
+float a[n], b[n], c[n], e[n];
+void main() {
+    int i;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        b[i] = a[i] + 1.0;
+    }
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        c[i] = a[i] * 2.0;
+    }
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        e[i] = b[i] + c[i];
+    }
+}
+`
+	mod, _ := buildSpecInstance(t, src, map[string]float64{"n": 64})
+	if len(mod.Kernels) != 3 {
+		t.Fatalf("want 3 kernels, have %d", len(mod.Kernels))
+	}
+	if mod.Kernels[0].FuseNext != mod.Kernels[1] {
+		t.Fatal("independent adjacent pair not marked fusable")
+	}
+	if mod.Kernels[1].FuseNext != nil {
+		t.Fatal("dependent pair (k3 reads k2's writes) marked fusable")
+	}
+	if mod.Kernels[2].FuseNext != nil {
+		t.Fatal("last kernel has no successor; FuseNext must be nil")
+	}
+
+	// A scalar reduction blocks fusion in either position.
+	src = `
+int n;
+float a[n], b[n];
+float s;
+void main() {
+    int i;
+    #pragma acc parallel loop reduction(+:s)
+    for (i = 0; i < n; i++) {
+        s = s + a[i];
+    }
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        b[i] = a[i] + 1.0;
+    }
+}
+`
+	mod, _ = buildSpecInstance(t, src, map[string]float64{"n": 64})
+	if mod.Kernels[0].FuseNext != nil {
+		t.Fatal("scalar-reduction kernel marked fusable")
+	}
+
+	// A spec-ineligible kernel blocks fusion (fused chunks must be
+	// straight-line so they cannot abort halfway).
+	src = `
+int n;
+float a[n], b[n];
+void main() {
+    int i;
+    int j;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        j = 0;
+        while (j < 4) {
+            a[i] = a[i] + 1.0;
+            j = j + 1;
+        }
+    }
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        b[i] = b[i] + 1.0;
+    }
+}
+`
+	mod, _ = buildSpecInstance(t, src, map[string]float64{"n": 64})
+	if mod.Kernels[0].Spec != nil {
+		t.Fatal("inner-loop kernel unexpectedly specialized; test premise broken")
+	}
+	if mod.Kernels[0].FuseNext != nil {
+		t.Fatal("unspecialized kernel marked fusable")
+	}
+}
+
+// TestFusedVsUnfusedIdentical is the fusion contract: bit-identical
+// final arrays and a bit-identical report (every bucket, volume, peak,
+// counter and event — not merely "modulo time"), with fusion actually
+// firing on the warm iterations.
+func TestFusedVsUnfusedIdentical(t *testing.T) {
+	const iters = 6
+	scalars := map[string]float64{"n": 4096, "iters": iters}
+	run := func(opts Options) (*Runtime, *ir.Instance) {
+		_, inst := buildSpecInstance(t, fuseIterSrc, scalars)
+		mach, err := sim.NewMachine(sim.Desktop())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := New(mach, opts)
+		if err := r.Run(inst); err != nil {
+			t.Fatal(err)
+		}
+		return r, inst
+	}
+
+	fused, fusedInst := run(Options{})
+	plain, plainInst := run(Options{DisableFusion: true})
+
+	if plain.FusedLaunches() != 0 {
+		t.Fatalf("DisableFusion run fused %d pairs", plain.FusedLaunches())
+	}
+	// Iteration 1 warms the residency (k2's arrays load during its own
+	// launch); every later iteration fuses.
+	if want := iters - 1; fused.FusedLaunches() != want {
+		t.Fatalf("FusedLaunches = %d, want %d", fused.FusedLaunches(), want)
+	}
+	if !reflect.DeepEqual(fused.Report(), plain.Report()) {
+		t.Fatalf("fused report differs from unfused:\nfused:   %v\nunfused: %v", fused.Report(), plain.Report())
+	}
+	if !reflect.DeepEqual(fused.KernelExecs(), plain.KernelExecs()) {
+		t.Fatalf("per-kernel launch counts differ: %v vs %v", fused.KernelExecs(), plain.KernelExecs())
+	}
+	for _, name := range []string{"c", "d"} {
+		af, err := fusedInst.Array(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap, err := plainInst.Array(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(af.F32, ap.F32) || !reflect.DeepEqual(af.F64, ap.F64) {
+			t.Fatalf("array %s differs between fused and unfused runs", name)
+		}
+	}
+}
+
+// TestFusionRuntimeGates pins the launch-time exclusions: observers
+// and schedule owners must keep fusion off even when the pair is
+// statically marked.
+func TestFusionRuntimeGates(t *testing.T) {
+	scalars := map[string]float64{"n": 1024, "iters": 4}
+	run := func(opts Options) *Runtime {
+		_, inst := buildSpecInstance(t, fuseIterSrc, scalars)
+		mach, err := sim.NewMachine(sim.Desktop())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := New(mach, opts)
+		if err := r.Run(inst); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if r := run(Options{}); r.FusedLaunches() == 0 {
+		t.Fatal("control run did not fuse; gate assertions would be vacuous")
+	}
+	if r := run(Options{Async: true}); r.FusedLaunches() != 0 {
+		t.Fatal("async scheduler must exclude fusion")
+	}
+	if r := run(Options{Mode: ModeBaseline}); r.FusedLaunches() != 0 {
+		t.Fatal("single-GPU baseline mode must exclude fusion")
+	}
+	if r := run(Options{Auditor: noopAudit{}}); r.FusedLaunches() != 0 {
+		t.Fatal("audit mode must exclude fusion")
+	}
+	if r := run(Options{BalanceLoad: true}); r.FusedLaunches() != 0 {
+		t.Fatal("balanced partitioning must exclude fusion")
+	}
+	if r := run(Options{DisableReloadSkip: true}); r.FusedLaunches() != 0 {
+		t.Fatal("with reload-skip disabled no load pass is a no-op; fusion must not fire")
+	}
+}
+
+// TestFusionColdAndDirtyResidency pins the no-op probe on the cold
+// path: outside a data region every launch reloads (implicit data
+// movement), so fusion must never fire even for a marked pair.
+func TestFusionColdAndDirtyResidency(t *testing.T) {
+	src := `
+int n;
+float a[n], b[n], c[n], d[n];
+void main() {
+    int i;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        c[i] = 2.0 * a[i] + c[i];
+    }
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        d[i] = b[i] * b[i] + 0.5;
+    }
+}
+`
+	_, inst := buildSpecInstance(t, src, map[string]float64{"n": 1024})
+	mach, err := sim.NewMachine(sim.Desktop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(mach, Options{})
+	if err := r.Run(inst); err != nil {
+		t.Fatal(err)
+	}
+	if r.FusedLaunches() != 0 {
+		t.Fatalf("cold launches fused %d pairs; Phase A is never a no-op here", r.FusedLaunches())
+	}
+}

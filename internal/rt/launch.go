@@ -48,6 +48,14 @@ func partition(lower, upper int64, n int) []span {
 // count shrinks one device at a time — re-partitioning the iteration
 // space each rung. Each step is recorded in the report's Events.
 func (r *Runtime) Launch(k *ir.Kernel, env *ir.Env) error {
+	if r.fusedDone == k {
+		// This kernel already executed, fused with its predecessor
+		// (see fuse.go); only the per-call entry bookkeeping remains.
+		r.fusedDone = nil
+		r.kernelExecs[k.ID]++
+		r.rep.KernelLaunches++
+		return nil
+	}
 	r.kernelExecs[k.ID]++
 	r.rep.KernelLaunches++
 	if r.opts.Mode == ModeCPU {
@@ -210,6 +218,16 @@ loading:
 		}
 	}
 
+	// Cross-kernel fusion: when the next launch is a proven-independent
+	// partner and its Phase A is provably a no-op, run both kernels'
+	// chunks in this launch's fan-out (fuse.go). Accounting stays
+	// sequential-identical; only wall-clock time changes.
+	if k2 := r.fuseCandidate(k, gpus); k2 != nil {
+		if done, err := r.launchFused(k, k2, env, gpus, parts, needs); done {
+			return err
+		}
+	}
+
 	// Phase B — kernel execution on every GPU concurrently. The
 	// specialized executor, when one applies, is resolved on the host
 	// strand (its cache is unsynchronized); each GPU goroutine then
@@ -227,6 +245,7 @@ loading:
 		tracer.EnsureLanes(len(gpus))
 	}
 	t0 := r.rep.Total()
+	wall0 := time.Now()
 	var wg sync.WaitGroup
 	// Per-GPU scalar reduction partials.
 	partials := make([][]float64, len(gpus))
@@ -268,6 +287,7 @@ loading:
 		}(g, dev)
 	}
 	wg.Wait()
+	r.phaseBWall += time.Since(wall0)
 	if tracer != nil {
 		tracer.FlushLanes()
 	}
@@ -281,18 +301,7 @@ loading:
 			maxKernel = r.gpuCost[g]
 		}
 		total.Add(r.gpuCtrs[g])
-		if ex != nil {
-			if r.gpuSpec[g] {
-				if tracer != nil {
-					tracer.Metrics().Inc("spec.hits", 1)
-				}
-			} else if parts[g].count() > 0 {
-				ex.fallbacks++
-				if tracer != nil {
-					tracer.Metrics().Inc("spec.fallbacks", 1)
-				}
-			}
-		}
+		r.specTally(k, ex, g, r.gpuSpec[g], parts[g].count())
 	}
 	r.rep.KernelTime += maxKernel
 	r.rep.Counters.Add(total)
@@ -314,6 +323,18 @@ loading:
 		return err
 	}
 
+	// Kernel writes, reduction merges and the communication manager all
+	// mutate the copies of written/reduced arrays: advance their write
+	// epochs so stale prover value scans cannot be reused.
+	for _, use := range k.Arrays {
+		if !use.Written && !use.Reduced {
+			continue
+		}
+		for _, c := range r.state(use.Decl).copies {
+			c.wepoch++
+		}
+	}
+
 	// Phase D — arrays outside data regions return to the host after
 	// every loop (implicit copy-out).
 	out := r.outTransfers[:0]
@@ -333,6 +354,44 @@ loading:
 	}
 	r.sampleMemory()
 	return nil
+}
+
+// specTally records one per-GPU chunk's specialized-executor outcome:
+// hit and fallback counters (with per-reason breakdown) for eligible
+// kernels, compile-time rejection counters otherwise. Shared by the
+// normal and the fused launch epilogues so the bookkeeping cannot
+// drift between them.
+func (r *Runtime) specTally(k *ir.Kernel, ex *specExec, g int, handled bool, chunk int64) {
+	tracer := r.opts.Tracer
+	if ex != nil {
+		if handled {
+			if tracer != nil {
+				tracer.Metrics().Inc("spec.hits", 1)
+				if ex.gs[g].vecAlias {
+					tracer.Metrics().Inc("spec.vec.alias", 1)
+				}
+			}
+		} else if chunk > 0 {
+			ex.fallbacks++
+			reason := ex.gs[g].reason
+			if reason == "" {
+				reason = "shape"
+			}
+			ex.reasons[reason]++
+			if tracer != nil {
+				tracer.Metrics().Inc("spec.fallbacks", 1)
+				tracer.Metrics().Inc("spec.fallbacks."+reason, 1)
+			}
+		}
+	} else if k.Spec == nil && !r.opts.DisableSpecialize && chunk > 0 {
+		// Compile-time rejection: the translator never built a spec.
+		// Tracked separately from runtime fallbacks (spec.fallbacks
+		// totals stay equal to Runtime.SpecFallbacks).
+		r.specRejects[k.SpecReason]++
+		if tracer != nil {
+			tracer.Metrics().Inc("spec.reject."+k.SpecReason, 1)
+		}
+	}
 }
 
 // kernelEfficiency picks the cost-model factor for this mode.

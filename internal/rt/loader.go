@@ -588,6 +588,7 @@ func (c *gpuCopy) realloc(nd need) error {
 		return err
 	}
 	c.lo, c.hi = nd.lo, nd.hi
+	c.wepoch++ // fresh storage: cached value scans no longer apply
 	c.transformed = nd.transform
 	if nd.transform {
 		c.width = nd.width

@@ -173,6 +173,7 @@ type copyJob struct {
 
 func (j copyJob) run() {
 	c, host := j.c, j.st.host
+	c.wepoch++
 	if !c.transformed {
 		// Untransformed copies store element i at physical offset
 		// i - c.lo, and the typed slices match the host mirror's (both

@@ -136,6 +136,13 @@ type Options struct {
 	// Exists for the report-invariance tests and wall-clock ablations;
 	// the virtual-time report must be bit-identical either way.
 	DisableHostParallel bool
+	// DisableFusion turns cross-kernel launch fusion off: adjacent
+	// independent launches (Kernel.FuseNext pairs) run their Phase B
+	// fan-outs separately. Fusion is a wall-clock-only optimization
+	// with sequential-identical accounting, so reports, events,
+	// transfers and final array contents must be bit-identical either
+	// way; the fused-vs-unfused A/B tests pin that.
+	DisableFusion bool
 	// DisableSpecialize turns the specialized kernel executors off:
 	// every launch runs the instrumented closure-tree interpreter, as
 	// before PR 4. Exists for the report-invariance tests and wall-clock
@@ -219,6 +226,13 @@ type Runtime struct {
 	// specialized body is static and all launch-varying state is
 	// re-bound on every run.
 	specExecs map[int]*specExec
+	// specRejects counts non-empty per-GPU chunks of kernels the spec
+	// compiler rejected, by Kernel.SpecReason.
+	specRejects map[string]int64
+	// phaseBWall accumulates real wall-clock time spent inside the
+	// Phase B kernel fan-out (all GPUs' chunk execution, specialized or
+	// interpreted), for the paper-app speedup gate and bench.AppStudy.
+	phaseBWall time.Duration
 	// scalarScratch is reused for plan-cache validation fingerprints.
 	scalarScratch []int64
 
@@ -248,6 +262,19 @@ type Runtime struct {
 	gpuCtrs []sim.Counters
 	gpuErrs []error
 	gpuSpec []bool
+	// Second slot set for the trailing kernel of a fused launch pair
+	// (see fuse.go); sized by fusedScratch.
+	gpuCost2 []time.Duration
+	gpuCtrs2 []sim.Counters
+	gpuErrs2 []error
+	gpuSpec2 []bool
+
+	// fusedDone marks the kernel whose launch already ran fused with
+	// its predecessor: the next Launch call for it reduces to entry
+	// bookkeeping. fusedLaunches counts committed fusions (wall-clock
+	// telemetry only — deliberately not a Report field).
+	fusedDone     *ir.Kernel
+	fusedLaunches int
 }
 
 type fpKey struct {
@@ -281,6 +308,7 @@ func New(mach *sim.Machine, opts Options) *Runtime {
 		balCache:    map[balKey]balVal{},
 		planCache:   map[planKey]*launchPlan{},
 		specExecs:   map[int]*specExec{},
+		specRejects: map[string]int64{},
 	}
 	if r.opts.Async && r.opts.Mode != ModeCPU {
 		r.sched = newAsyncSched(r)

@@ -134,9 +134,29 @@ func (noopAudit) AfterExitData(*ir.DataRegion, *ir.Env, time.Duration) error    
 func (noopAudit) AfterUpdate(*ir.UpdateOp, *ir.Env, time.Duration) error            { return nil }
 
 // TestSpecIneligibleKernelHasNoSpec pins translator-side eligibility:
-// an indirect store must leave Kernel.Spec nil.
+// a conditional expression (the one shape the spec compiler still
+// rejects) must leave Kernel.Spec nil with a "branch" reason, while
+// the formerly-ineligible indirect store now compiles — with a prover.
 func TestSpecIneligibleKernelHasNoSpec(t *testing.T) {
 	src := `
+int n;
+int in_[n], out_[n];
+void main() {
+    int i;
+    #pragma acc parallel loop
+    for (i = 0; i < n; i++) {
+        out_[i] = in_[i] > 0 ? in_[i] : 0;
+    }
+}
+`
+	mod, _ := buildSpecInstance(t, src, map[string]float64{"n": 64})
+	if mod.Kernels[0].Spec != nil {
+		t.Fatal("conditional expression compiled a KernelSpec; want interpreter-only")
+	}
+	if r := mod.Kernels[0].SpecReason; r != "branch" {
+		t.Fatalf("SpecReason = %q, want \"branch\"", r)
+	}
+	src = `
 int n;
 int in_[n], idx_[n], out_[n];
 void main() {
@@ -147,13 +167,19 @@ void main() {
     }
 }
 `
-	mod, _ := buildSpecInstance(t, src, map[string]float64{"n": 64})
-	if mod.Kernels[0].Spec != nil {
-		t.Fatal("indirect store compiled a KernelSpec; want interpreter-only")
+	mod, _ = buildSpecInstance(t, src, map[string]float64{"n": 64})
+	if mod.Kernels[0].Spec == nil {
+		t.Fatal("indirect store did not compile a KernelSpec")
+	}
+	if mod.Kernels[0].Spec.Prover == nil {
+		t.Fatal("indirect store spec has no interval prover")
 	}
 	mod, _ = buildSpecInstance(t, specSaxpySrc, map[string]float64{"n": 64, "a": 1})
 	if mod.Kernels[0].Spec == nil {
 		t.Fatal("saxpy kernel did not compile a KernelSpec")
+	}
+	if mod.Kernels[0].SpecReason != "" {
+		t.Fatalf("saxpy SpecReason = %q, want empty", mod.Kernels[0].SpecReason)
 	}
 }
 
@@ -430,4 +456,93 @@ func BenchmarkPhaseBStencil(b *testing.B) {
 	b.Run("specialized", func(b *testing.B) {
 		benchPhaseB(b, specStencilSrc, scalars, Options{})
 	})
+}
+
+// TestHostileGatherIndexFallsBack pins the out-of-range contract for
+// computed indices: a hostile idx_ entry must fail the interval proof,
+// hand the chunk to the interpreter, and surface the interpreter's
+// exact illegal-access error — never a process panic and never a
+// silent wrong answer from the fast path.
+func TestHostileGatherIndexFallsBack(t *testing.T) {
+	const n = 256
+	shapes := map[string]string{
+		"gather": `
+int n;
+int in_[n], idx_[n], out_[n];
+void main() {
+    int i;
+    #pragma acc data copyin(in_, idx_) copy(out_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out_[i] = in_[idx_[i]] + 1;
+        }
+    }
+}
+`,
+		"scatter": `
+int n;
+int in_[n], idx_[n], out_[n];
+void main() {
+    int i;
+    #pragma acc data copyin(in_, idx_) copy(out_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out_[idx_[i]] = in_[i] + 1;
+        }
+    }
+}
+`,
+	}
+	hostiles := map[string]int32{"past-the-end": n + 7, "negative": -3}
+	for shapeName, src := range shapes {
+		for hostileName, hostile := range hostiles {
+			t.Run(shapeName+"/"+hostileName, func(t *testing.T) {
+				run := func(opts Options) error {
+					prog, err := cc.ParseProgram(src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mod, err := translator.Translate(prog)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if mod.Kernels[0].Spec == nil {
+						t.Fatal("indirect kernel did not compile a KernelSpec; test premise broken")
+					}
+					bind := ir.NewBindings().SetScalar("n", n)
+					in := make([]int32, n)
+					idx := make([]int32, n)
+					for i := range idx {
+						in[i] = int32(i)
+						idx[i] = int32(i) // identity, except one hostile entry
+					}
+					idx[n/3] = hostile // lands in GPU0's chunk
+					bind.SetArray("in_", &ir.HostArray{Decl: prog.Scope["in_"], I32: in})
+					bind.SetArray("idx_", &ir.HostArray{Decl: prog.Scope["idx_"], I32: idx})
+					inst, err := mod.Bind(bind)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mach, err := sim.NewMachine(sim.Desktop())
+					if err != nil {
+						t.Fatal(err)
+					}
+					return New(mach, opts).Run(inst)
+				}
+				errSpec := run(Options{})
+				errInterp := run(Options{DisableSpecialize: true})
+				if errSpec == nil || errInterp == nil {
+					t.Fatalf("hostile index must error on both paths; spec=%v interp=%v", errSpec, errInterp)
+				}
+				if errSpec.Error() != errInterp.Error() {
+					t.Fatalf("spec path error diverges from interpreter:\nspec:   %v\ninterp: %v", errSpec, errInterp)
+				}
+				if !strings.Contains(errSpec.Error(), "panicked") {
+					t.Fatalf("error %v did not come from the recovered illegal access", errSpec)
+				}
+			})
+		}
+	}
 }

@@ -1,0 +1,141 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"accmulti/internal/apps"
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+	"accmulti/internal/sim"
+	"accmulti/internal/translator"
+)
+
+// Paper-app coverage of the specialized executor (PR 8): the apps'
+// gather / guarded-store / reduction-to-array kernels must take the
+// fast path, bit-identically, and beat the interpreter.
+
+func appInstance(tb testing.TB, name string, scale float64) (*ir.Module, *ir.Instance, *apps.Input) {
+	tb.Helper()
+	app, err := apps.ByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prog, err := cc.ParseProgram(app.Source)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mod, err := translator.Translate(prog)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	in, err := app.Generate(scale, 42)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	inst, err := mod.Bind(in.Bindings)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return mod, inst, in
+}
+
+// TestPaperAppSpecCoverage pins that every kernel of MD, KMEANS and
+// BFS compiles a KernelSpec and that full runs are dominated by fast-
+// path chunks (no silent wholesale fallback), with results verified
+// against the Go reference.
+// appPhaseBWall runs one full app instance and returns the wall-clock
+// time its runtime spent inside Phase B kernel fan-outs, best of three
+// runs (fresh instance each run: apps mutate their bindings).
+func appPhaseBWall(t *testing.T, name string, scale float64, opts Options) time.Duration {
+	t.Helper()
+	best := time.Duration(0)
+	for run := 0; run < 3; run++ {
+		_, inst, in := appInstance(t, name, scale)
+		mach, err := sim.NewMachine(sim.Desktop())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := New(mach, opts)
+		if err := r.Run(inst); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Verify(inst); err != nil {
+			t.Fatal(err)
+		}
+		if d := r.PhaseBWall(); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestPaperAppSpeedupGate enforces the PR-8 acceptance bar: on the
+// paper's own applications — MD (gather + guarded float kernel),
+// KMEANS (gather + reduction-to-array), BFS (guarded inner loop over
+// a CSR row) — specialized Phase B must beat the instrumented
+// interpreter by >= 2x at desktop scale, with results verified against
+// the Go reference on both sides. Skipped in -short mode: wall-clock
+// ratios under -race are noise, not signal.
+func TestPaperAppSpeedupGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock gate: skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		name  string
+		scale float64
+	}{
+		{"MD", 0.25},
+		{"KMEANS", 0.1},
+		{"BFS", 0.04},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy := appPhaseBWall(t, tc.name, tc.scale, Options{DisableSpecialize: true})
+			fast := appPhaseBWall(t, tc.name, tc.scale, Options{})
+			speedup := float64(legacy) / float64(fast)
+			t.Logf("%s: legacy %v, specialized %v, speedup %.1fx", tc.name, legacy, fast, speedup)
+			if speedup < 2 {
+				t.Errorf("%s: Phase-B speedup %.2fx below the 2x gate", tc.name, speedup)
+			}
+		})
+	}
+}
+
+func TestPaperAppSpecCoverage(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		scale float64
+	}{
+		{"MD", 0.02},
+		{"KMEANS", 0.02},
+		{"BFS", 0.01},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mod, inst, in := appInstance(t, tc.name, tc.scale)
+			for _, k := range mod.Kernels {
+				if k.Spec == nil {
+					t.Errorf("kernel %s has no KernelSpec (reason %q)", k.Name, k.SpecReason)
+				}
+			}
+			mach, err := sim.NewMachine(sim.Desktop())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := New(mach, Options{})
+			if err := r.Run(inst); err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Verify(inst); err != nil {
+				t.Fatal(err)
+			}
+			hits, falls := r.SpecHits(), r.SpecFallbacks()
+			t.Logf("%s: spec hits %d, fallbacks %d %v rejects %v", tc.name, hits, falls, r.SpecFallbackReasons(), r.SpecRejects())
+			if hits == 0 {
+				t.Errorf("%s: the specialized executor never ran", tc.name)
+			}
+			if falls > hits {
+				t.Errorf("%s: fallbacks (%d) dominate hits (%d)", tc.name, falls, hits)
+			}
+		})
+	}
+}

@@ -341,6 +341,59 @@ void main() {
 			return m
 		},
 	},
+	{
+		// Pure gather read through a permutation index: specializes with
+		// the interval prover (range-checked computed access).
+		name: "gather-read",
+		src: `
+int n;
+int in_[n], idx_[n], out_[n];
+void main() {
+    int i;
+    #pragma acc data copyin(in_, idx_) copy(out_)
+    {
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out_[i] = in_[idx_[i]] * 3 - 1;
+        }
+    }
+}
+`,
+		scalars: nScalar,
+	},
+	{
+		// Iterated adjacent independent pair: the launch-fusion shape.
+		// Warm iterations execute fused on the spec side; the report and
+		// contents must still match the interpreter bit for bit.
+		name: "fused-pair-iter",
+		src: `
+int n, steps, t;
+float a[n], b[n], c[n], d[n];
+void main() {
+    int i;
+    #pragma acc data copyin(a, b) copy(c, d)
+    {
+        t = 0;
+        while (t < steps) {
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                c[i] = 2.0 * a[i] + c[i];
+            }
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                d[i] = b[i] * b[i] + d[i] * 0.5;
+            }
+            t = t + 1;
+        }
+    }
+}
+`,
+		scalars: func(rng *rand.Rand) map[string]float64 {
+			m := nScalar(rng)
+			m["steps"] = float64(2 + rng.Intn(4))
+			return m
+		},
+	},
 }
 
 // runSpecTemplate compiles, binds and runs one template, filling every

@@ -2,6 +2,7 @@ package rt
 
 import (
 	"sync/atomic"
+	"time"
 
 	"accmulti/internal/cc"
 	"accmulti/internal/ir"
@@ -23,12 +24,22 @@ import (
 //     an armed fault plan, or no KernelSpec at all.
 //   - Per-GPU fallbacks (run returns handled=false): miss-check lanes
 //     (distributed writes buffer out-of-partition stores one record at
-//     a time), layout-transformed copies (physical indices are not
-//     affine in the logical index), dirty marking of a slot written
-//     under a branch (the write footprint is data-dependent), an empty
-//     resident range on an accessed array, or an endpoint range check
-//     that fails — the interpreter then reproduces the exact legacy
+//     a time), a layout-transformed copy feeding a reduction lane
+//     (lanes are logically indexed), an empty resident range on an
+//     accessed array, an endpoint range check that fails, or a
+//     computed access the interval prover cannot place inside the
+//     residency — the interpreter then reproduces the exact legacy
 //     behaviour, including its partition-violation panic texts.
+//
+// Beyond affine bodies, the executor covers gather loads (a[idx[i]]),
+// guarded stores (top-level if/else arms), inner loops,
+// reduction-to-array merges and math intrinsics: computed indices are
+// discharged per chunk by the interval prover (ir.SpecProver) with
+// min/max value scans of resident index arrays, branch-arm costs are
+// charged per observed arm execution, and data-dependent store
+// footprints fall back to per-iteration dirty marking through the
+// same bitmap the interpreter uses. Layout-transformed copies remap
+// logical offsets through DArray.off on every access.
 //
 // What the per-access instrumentation did, the executor reconstructs:
 // counters analytically (per-iteration IterCost formulas × iteration
@@ -49,6 +60,8 @@ type specExec struct {
 	// fallbacks counts non-empty per-GPU chunks that bounced to the
 	// interpreter. Host strand only (bumped at the launch barrier).
 	fallbacks int64
+	// reasons breaks fallbacks down by cause. Host strand only.
+	reasons map[string]int64
 }
 
 // SpecHits returns how many per-GPU chunks the specialized executors
@@ -71,6 +84,37 @@ func (r *Runtime) SpecFallbacks() int64 {
 	return n
 }
 
+// SpecFallbackReasons breaks SpecFallbacks down by cause ("transform",
+// "miss", "range", "reduction", "indirect", "shape").
+func (r *Runtime) SpecFallbackReasons() map[string]int64 {
+	out := map[string]int64{}
+	for _, ex := range r.specExecs {
+		for reason, n := range ex.reasons {
+			out[reason] += n
+		}
+	}
+	return out
+}
+
+// SpecRejects counts non-empty per-GPU chunks of kernels the spec
+// compiler rejected outright, by compile-time reason ("branch",
+// "intrinsic", "loop", "induction", "shape").
+func (r *Runtime) SpecRejects() map[string]int64 {
+	out := make(map[string]int64, len(r.specRejects))
+	for reason, n := range r.specRejects {
+		out[reason] = n
+	}
+	return out
+}
+
+// PhaseBWall reports the real wall-clock time this runtime has spent
+// inside Phase B kernel fan-outs (chunk execution on all GPUs), across
+// every launch so far. The paper-app speedup gate compares this figure
+// between a specialized and a DisableSpecialize run of the same app.
+func (r *Runtime) PhaseBWall() time.Duration {
+	return r.phaseBWall
+}
+
 // specGPU is one GPU's executor scratch, reused across launches so the
 // steady state allocates nothing.
 type specGPU struct {
@@ -81,7 +125,7 @@ type specGPU struct {
 	// evalEnv evaluates access-index endpoints against the host scalars.
 	evalEnv *ir.Env
 	// v0, v1 hold each access's index at the chunk's first and last
-	// iteration (in Accesses order).
+	// iteration (in Accesses order; meaningless for computed accesses).
 	v0, v1 []int64
 	// branch accumulates arm-taken counts over the workers.
 	branch []int64
@@ -90,6 +134,28 @@ type specGPU struct {
 	// workers share (index(i) = accA*i + accB, in Accesses order).
 	venvs      []*ir.VecEnv
 	accA, accB []int64
+	// penv is the interval prover's abstract environment (computed-
+	// access kernels only); scans memoizes its per-launch array scans.
+	penv  *ir.PEnv
+	scans []scanEntry
+	// reason records why this GPU's chunk bounced to the interpreter
+	// ("" when it didn't); read by the host merge after the barrier.
+	reason string
+	// vecAlias records that the tiled body was skipped by the alias
+	// check this launch (the scalar spec body still ran).
+	vecAlias bool
+}
+
+// scanEntry memoizes one min/max value scan of an int array subrange.
+// Entries persist across launches and are revalidated against the
+// copy's write epoch, so a read-only index array (a CSR row table, a
+// neighbor list) is scanned once per content change, not once per
+// launch.
+type scanEntry struct {
+	slot   int
+	lo, hi int64
+	epoch  int64
+	val    ir.Ival
 }
 
 // specExecutor resolves the executor for a launch, or nil when the
@@ -105,6 +171,7 @@ func (r *Runtime) specExecutor(k *ir.Kernel) *specExec {
 			spec:     k.Spec,
 			uiBySlot: make([]int, k.Spec.NumArrays),
 			gs:       make([]specGPU, r.mach.NumGPUs()),
+			reasons:  map[string]int64{},
 		}
 		for slot := range ex.uiBySlot {
 			ex.uiBySlot[slot] = -1
@@ -125,19 +192,28 @@ func (r *Runtime) specExecutor(k *ir.Kernel) *specExec {
 func (ex *specExec) run(r *Runtime, k *ir.Kernel, env *ir.Env, g int, dev *sim.Device, p span, nds []need, redVals []float64) (sim.Counters, bool, error) {
 	spec := ex.spec
 	n := p.count()
+	gs := &ex.gs[g]
+	gs.reason, gs.vecAlias = "", false
 
-	// Structural per-GPU fallbacks.
+	// Structural per-GPU fallbacks. Layout-transformed copies are
+	// handled (the direct arrays carry the column-major remap), except
+	// under reduction lanes, whose merge addresses logical order.
+	anyTransform := false
 	for ui := range k.Arrays {
 		nd := &nds[ui]
-		if nd.transform || nd.wantMiss {
-			return sim.Counters{}, false, nil
+		if nd.transform {
+			anyTransform = true
+			if nd.wantLanes {
+				gs.reason = "transform"
+				return sim.Counters{}, false, nil
+			}
 		}
-		if nd.wantDirty && spec.BranchStores[k.Arrays[ui].Decl.Slot] {
+		if nd.wantMiss {
+			gs.reason = "miss"
 			return sim.Counters{}, false, nil
 		}
 	}
 
-	gs := &ex.gs[g]
 	ex.ensureScratch(r, gs, dev)
 
 	// Endpoint range checks: each access's affine index is monotone over
@@ -155,7 +231,11 @@ func (ex *specExec) run(r *Runtime, k *ir.Kernel, env *ir.Env, g int, dev *sim.D
 		a := &spec.Accesses[ai]
 		ui := ex.uiBySlot[a.Slot]
 		if ui < 0 {
+			gs.reason = "shape"
 			return sim.Counters{}, false, nil
+		}
+		if !a.Affine {
+			continue // discharged by the interval prover below
 		}
 		st := r.state(k.Arrays[ui].Decl)
 		c := st.copies[g]
@@ -169,14 +249,30 @@ func (ex *specExec) run(r *Runtime, k *ir.Kernel, env *ir.Env, g int, dev *sim.D
 		}
 		if a.Kind == ir.AccessReduce {
 			if lo < 0 || hi >= st.n {
+				gs.reason = "reduction"
 				return sim.Counters{}, false, nil
 			}
 		} else {
 			if !c.valid || lo < c.lo || hi > c.hi {
+				gs.reason = "range"
 				return sim.Counters{}, false, nil
 			}
 		}
 		gs.v0[ai], gs.v1[ai] = v0, v1
+	}
+
+	// Computed accesses: prove every abstract index in-range before any
+	// mutation. A failed (or impossible) proof hands the whole chunk to
+	// the interpreter, which reproduces the exact legacy behaviour for
+	// genuinely out-of-range indices — including its diagnostics.
+	if spec.HasComputed {
+		if spec.Prover == nil {
+			gs.reason = "indirect"
+			return sim.Counters{}, false, nil
+		}
+		if !ex.prove(r, k, env, g, gs, p, n) {
+			return sim.Counters{}, false, nil
+		}
 	}
 	atomic.AddInt64(&ex.hits, 1)
 
@@ -189,6 +285,11 @@ func (ex *specExec) run(r *Runtime, k *ir.Kernel, env *ir.Env, g int, dev *sim.D
 	}
 	chunk := (int(n) + workers - 1) / workers
 	nw := (int(n) + chunk - 1) / chunk
+	// liveDirty marks slots whose stores must mark dirty bits per
+	// iteration (some store's footprint is data-dependent: a guarded,
+	// inner-loop, or computed index); their direct arrays get the dirty
+	// buffers bound so the store closures mark exactly what executes.
+	liveDirty := false
 	for w := 0; w < nw; w++ {
 		de := gs.envs[w]
 		copy(de.Ints, env.Ints)
@@ -205,6 +306,11 @@ func (ex *specExec) run(r *Runtime, k *ir.Kernel, env *ir.Env, g int, dev *sim.D
 			da.F32, da.F64, da.I32 = c.f32, c.f64, c.i32
 			da.Base = c.lo
 			da.LaneF, da.LaneI = nil, nil
+			da.Dirty, da.ChunkLane = nil, nil
+			da.TWidth, da.TRows = 0, 0
+			if c.transformed {
+				da.TWidth, da.TRows = c.width, c.rows
+			}
 			if nds[ui].wantLanes {
 				if c.lanesI != nil {
 					da.LaneI = c.lanesI[w]
@@ -212,12 +318,25 @@ func (ex *specExec) run(r *Runtime, k *ir.Kernel, env *ir.Env, g int, dev *sim.D
 					da.LaneF = c.lanesF[w]
 				}
 			}
+			if nds[ui].wantDirty && (spec.InexactStores[use.Decl.Slot] || c.transformed) {
+				da.Dirty = c.dirty
+				da.ChunkLane = c.chunkLanes[w]
+				da.ChunkElems = c.chunkElems
+				liveDirty = true
+			}
 		}
 	}
 
 	base := p.lo
 	var err error
-	if spec.VecBody != nil && ex.prepVec(gs, p, n) {
+	// The tiled body walks physical slices with logical-affine strides,
+	// so transformed copies keep the per-iteration path.
+	useVec := spec.VecBody != nil && !liveDirty && !anyTransform
+	if useVec && !ex.prepVec(gs, p, n) {
+		useVec = false
+		gs.vecAlias = true
+	}
+	if useVec {
 		vbody := spec.VecBody
 		_, err = dev.ParallelForWorkers(int(n), gs.slots, func(w, start, end int) (sim.Counters, error) {
 			vm := gs.venvs[w]
@@ -268,23 +387,48 @@ func (ex *specExec) run(r *Runtime, k *ir.Kernel, env *ir.Env, g int, dev *sim.D
 		addCost(&ctrs, &spec.Arms[j], gs.branch[j])
 	}
 
-	// Dirty marking: every store on a dirty-marked slot is unconditional
-	// here (branch stores fell back above), so its footprint is exactly
-	// the progression between its endpoint indices, and the interpreter
-	// would have charged 2 bytes of dirty-bit traffic per store.
+	// Dirty marking. Exact stores (affine, unconditional, top-level) on
+	// slots without data-dependent stores mark in bulk: the footprint is
+	// the arithmetic progression between the endpoint indices. Slots
+	// with any inexact store had the dirty buffers bound above, so the
+	// store closures already marked precisely what executed; fold their
+	// per-worker chunk lanes now. Either way the interpreter would have
+	// charged 2 bytes of dirty-bit traffic per executed store, which the
+	// per-slot store counts reproduce exactly (base stores every
+	// iteration, arm stores per observed arm execution).
 	for ai := range spec.Accesses {
 		a := &spec.Accesses[ai]
-		if a.Kind != ir.AccessStore {
+		if a.Kind != ir.AccessStore || !a.Exact() {
 			continue
 		}
 		ui := ex.uiBySlot[a.Slot]
 		nd := &nds[ui]
-		if !nd.wantDirty {
+		if !nd.wantDirty || spec.InexactStores[a.Slot] {
 			continue
 		}
 		c := r.state(k.Arrays[ui].Decl).copies[g]
+		if c.transformed {
+			// Per-iteration marking already ran (dirty buffers were
+			// bound): the physical stride of a logical-affine store is
+			// not affine through the layout remap.
+			continue
+		}
 		markDirtyAffine(c, gs.v0[ai], gs.v1[ai], n)
-		ctrs.BytesWritten += 2 * n
+	}
+	for ui, use := range k.Arrays {
+		if !nds[ui].wantDirty {
+			continue
+		}
+		slot := use.Decl.Slot
+		c := r.state(use.Decl).copies[g]
+		if spec.InexactStores[slot] || c.transformed {
+			c.mergeChunkLanes()
+		}
+		stores := spec.Base.Stores[slot] * n
+		for j := range spec.Arms {
+			stores += spec.Arms[j].Stores[slot] * gs.branch[j]
+		}
+		ctrs.BytesWritten += 2 * stores
 	}
 	return ctrs, true, nil
 }
@@ -304,6 +448,9 @@ func (ex *specExec) ensureScratch(r *Runtime, gs *specGPU, dev *sim.Device) {
 			gs.accA = make([]int64, len(spec.Accesses))
 			gs.accB = make([]int64, len(spec.Accesses))
 		}
+		if spec.Prover != nil {
+			gs.penv = spec.Prover.NewPEnv()
+		}
 	}
 	if len(gs.envs) < dev.Spec.Workers {
 		gs.envs = make([]*ir.DEnv, dev.Spec.Workers)
@@ -322,6 +469,101 @@ func (ex *specExec) ensureScratch(r *Runtime, gs *specGPU, dev *sim.Device) {
 	}
 }
 
+// prove discharges every computed access for this GPU's chunk: the
+// interval prover walks the abstract body over [p.lo, p.hi-1] with
+// scalar seeds from the host environment and value intervals of
+// read-only int arrays resolved by memoized min/max scans of the
+// resident subregion; each recorded computed-access interval must then
+// lie inside the copy's residency (reduces: the logical array). False
+// means fall back (gs.reason set); nothing was mutated.
+func (ex *specExec) prove(r *Runtime, k *ir.Kernel, env *ir.Env, g int, gs *specGPU, p span, n int64) bool {
+	spec := ex.spec
+	pe := gs.penv
+	pe.Load = func(slot int, idx ir.Ival) ir.Ival {
+		if !idx.Bounded() {
+			return ir.IvalTop()
+		}
+		ui := ex.uiBySlot[slot]
+		if ui < 0 {
+			return ir.IvalTop()
+		}
+		use := k.Arrays[ui]
+		if use.Written || use.Reduced {
+			// The kernel mutates this array, so a value scan would be
+			// stale after every launch. Top is sound; precision only
+			// matters when the values feed computed indices, and a
+			// kernel that indexes through an array it also writes
+			// belongs on the interpreter anyway.
+			return ir.IvalTop()
+		}
+		c := r.state(use.Decl).copies[g]
+		if !c.valid || c.i32 == nil || idx.Lo < c.lo || idx.Hi > c.hi {
+			// The load's own recorded access interval fails its range
+			// check below, so an unbounded value costs nothing extra.
+			return ir.IvalTop()
+		}
+		lo, hi := idx.Lo, idx.Hi
+		if c.transformed {
+			// Logical→physical is a permutation of the residency, so
+			// scanning the whole resident buffer yields a sound (and for
+			// full-residency loads, exact) superset of the values at any
+			// logical subrange.
+			lo, hi = c.lo, c.hi
+		}
+		ent := (*scanEntry)(nil)
+		for i := range gs.scans {
+			s := &gs.scans[i]
+			if s.slot == slot && s.lo == lo && s.hi == hi {
+				if s.epoch == c.wepoch {
+					return s.val
+				}
+				ent = s // stale content: rescan in place
+				break
+			}
+		}
+		vals := c.i32[lo-c.lo : hi-c.lo+1]
+		v := ir.Ival{Lo: int64(vals[0]), Hi: int64(vals[0])}
+		for _, x := range vals[1:] {
+			if int64(x) < v.Lo {
+				v.Lo = int64(x)
+			}
+			if int64(x) > v.Hi {
+				v.Hi = int64(x)
+			}
+		}
+		if ent == nil {
+			gs.scans = append(gs.scans, scanEntry{slot: slot, lo: lo, hi: hi})
+			ent = &gs.scans[len(gs.scans)-1]
+		}
+		ent.epoch, ent.val = c.wepoch, v
+		return v
+	}
+	spec.Prover.Prove(pe, env, p.lo, p.hi-1)
+	pe.Load = nil
+	for ai := range spec.Accesses {
+		a := &spec.Accesses[ai]
+		if a.Affine {
+			continue
+		}
+		iv := pe.Access[ai]
+		ui := ex.uiBySlot[a.Slot]
+		st := r.state(k.Arrays[ui].Decl)
+		if a.Kind == ir.AccessReduce {
+			if !iv.Bounded() || iv.Lo < 0 || iv.Hi >= st.n {
+				gs.reason = "indirect"
+				return false
+			}
+			continue
+		}
+		c := st.copies[g]
+		if !c.valid || !iv.Bounded() || iv.Lo < c.lo || iv.Hi > c.hi {
+			gs.reason = "indirect"
+			return false
+		}
+	}
+	return true
+}
+
 // prepVec derives each access's affine coefficients over the chunk from
 // its endpoint values and decides whether the tiled body's statement-
 // blocked schedule is element-equivalent to the per-iteration schedule.
@@ -333,6 +575,12 @@ func (ex *specExec) ensureScratch(r *Runtime, gs *specGPU, dev *sim.Device) {
 func (ex *specExec) prepVec(gs *specGPU, p span, n int64) bool {
 	spec := ex.spec
 	for ai := range spec.Accesses {
+		if !spec.Accesses[ai].Affine {
+			// Computed access: no coefficients; the tiled body gathers
+			// or scatters through per-lane index vectors instead.
+			gs.accA[ai], gs.accB[ai] = 0, 0
+			continue
+		}
 		var A int64
 		if n > 1 {
 			A = (gs.v1[ai] - gs.v0[ai]) / (n - 1)
@@ -345,6 +593,11 @@ func (ex *specExec) prepVec(gs *specGPU, p span, n int64) bool {
 		for j := i + 1; j < len(acc); j++ {
 			if acc[i].Slot != acc[j].Slot {
 				continue
+			}
+			if !acc[i].Affine || !acc[j].Affine {
+				// A computed range cannot be ordered against anything
+				// on the same array.
+				return false
 			}
 			ki, kj := acc[i].Kind, acc[j].Kind
 			var conflict bool

@@ -45,6 +45,12 @@ type gpuCopy struct {
 	coreLo, coreHi int64
 	// version is the hostVersion the content descends from.
 	version int64
+	// wepoch increments whenever the copy's contents may have changed
+	// (realloc, host→device fill, d2d run copy, any launch that writes
+	// or reduces the array). The specialized executor's prover keys its
+	// cross-launch min/max value-scan cache on it, so read-only index
+	// arrays are scanned once, not once per launch.
+	wepoch int64
 
 	buf *sim.Buffer
 	f32 []float32

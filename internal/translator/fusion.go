@@ -1,0 +1,92 @@
+package translator
+
+import (
+	"accmulti/internal/cc"
+	"accmulti/internal/ir"
+)
+
+// Cross-kernel launch fusion, translator half (the runtime half is
+// internal/rt/fuse.go). Two parallel loops that appear as consecutive
+// statements of one block always launch back to back with no host code
+// between them; when the pair is provably independent the runtime may
+// run both kernels' Phase B in a single fan-out, saving one host
+// barrier and one goroutine spawn round per pair. The translator marks
+// eligible pairs via Kernel.FuseNext; the runtime still applies its own
+// per-launch gates (mode, degradation rung, residency, reload-skip
+// no-op proof) before actually fusing.
+
+// markFusablePairs walks the host program and links consecutive
+// parallel loops of the same block that pass the static fusability
+// test. Runs after stripFlappingTransforms so the kernels' final array
+// configuration is in force.
+func (t *xlate) markFusablePairs() {
+	t.walkFusable(t.prog.Main.Body)
+}
+
+func (t *xlate) walkFusable(s cc.Stmt) {
+	switch st := s.(type) {
+	case *cc.Block:
+		for i := 0; i+1 < len(st.Stmts); i++ {
+			f1, ok1 := st.Stmts[i].(*cc.ForStmt)
+			f2, ok2 := st.Stmts[i+1].(*cc.ForStmt)
+			if !ok1 || !ok2 || f1.Parallel == nil || f2.Parallel == nil {
+				continue
+			}
+			k1, k2 := t.kernelOf[f1], t.kernelOf[f2]
+			if k1 != nil && k2 != nil && fusable(k1, k2) {
+				k1.FuseNext = k2
+			}
+		}
+		for _, sub := range st.Stmts {
+			t.walkFusable(sub)
+		}
+	case *cc.ForStmt:
+		// A parallel loop's body is the kernel, not host code; only
+		// host (sequential) loops can contain further launch pairs.
+		if st.Parallel == nil {
+			t.walkFusable(st.Body)
+		}
+	case *cc.WhileStmt:
+		t.walkFusable(st.Body)
+	case *cc.IfStmt:
+		t.walkFusable(st.Then)
+		if st.Else != nil {
+			t.walkFusable(st.Else)
+		}
+	}
+}
+
+// fusable is the static half of the fusion safety argument. Both
+// kernels must be specialized (straight-line bodies: no break, no
+// inner loops, so a fused chunk cannot abort halfway), carry no scalar
+// or array reductions (reductions write host scalars / merge across
+// copies between the launches, which the fused ordering would
+// reorder), and be disjoint at declaration level: an array one kernel
+// writes must not appear in the other kernel at all, in either
+// direction. Declaration-level disjointness is what makes the fused
+// interleaving — k2's chunks running before k1's communication step on
+// other GPUs — observationally identical to the sequential pair: no
+// device copy either kernel touches is ever mutated by the other.
+func fusable(k1, k2 *ir.Kernel) bool {
+	if k1.Spec == nil || k2.Spec == nil {
+		return false
+	}
+	if len(k1.ScalarReds) > 0 || len(k2.ScalarReds) > 0 {
+		return false
+	}
+	if k1.HasArrayReduction || k2.HasArrayReduction {
+		return false
+	}
+	return writesDisjoint(k1, k2) && writesDisjoint(k2, k1)
+}
+
+// writesDisjoint reports that no array written (or reduced) by a is
+// touched by b in any way.
+func writesDisjoint(a, b *ir.Kernel) bool {
+	for _, u := range a.Arrays {
+		if (u.Written || u.Reduced) && b.Use(u.Decl) != nil {
+			return false
+		}
+	}
+	return true
+}

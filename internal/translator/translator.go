@@ -30,7 +30,7 @@ const (
 
 // Translate converts an analyzed program into an executable module.
 func Translate(prog *cc.Program) (*ir.Module, error) {
-	t := &xlate{prog: prog, m: &ir.Module{Prog: prog}}
+	t := &xlate{prog: prog, m: &ir.Module{Prog: prog}, kernelOf: map[*cc.ForStmt]*ir.Kernel{}}
 	t.m.ArraySizes = make([]ir.ExprI, prog.NumArrays)
 	for _, d := range prog.ArrayDecls() {
 		sz, err := ir.CompileExprI(d.Size)
@@ -50,6 +50,7 @@ func Translate(prog *cc.Program) (*ir.Module, error) {
 	}
 	t.m.Main = main
 	stripFlappingTransforms(t.m)
+	t.markFusablePairs()
 	t.m.GeneratedSource = emit(t.m)
 	return t.m, nil
 }
@@ -89,6 +90,9 @@ func stripFlappingTransforms(m *ir.Module) {
 type xlate struct {
 	prog *cc.Program
 	m    *ir.Module
+	// kernelOf maps each parallel loop statement to its translated
+	// kernel, for the post-pass that marks fusable adjacent pairs.
+	kernelOf map[*cc.ForStmt]*ir.Kernel
 }
 
 func (t *xlate) dataRegion(b *cc.Block, body ir.Stmt) (ir.Stmt, error) {
@@ -135,6 +139,7 @@ func (t *xlate) parallelFor(st *cc.ForStmt) (ir.Stmt, error) {
 		return nil, err
 	}
 	t.m.Kernels = append(t.m.Kernels, k)
+	t.kernelOf[st] = k
 	return func(env *ir.Env) error { return env.H.Launch(k, env) }, nil
 }
 
@@ -214,7 +219,7 @@ func (t *xlate) buildKernel(st *cc.ForStmt) (*ir.Kernel, error) {
 			break
 		}
 	}
-	k.Spec = ir.BuildKernelSpec(st.Body, loopVar, t.prog)
+	k.Spec, k.SpecReason = ir.BuildKernelSpec(st.Body, loopVar, t.prog)
 	return k, nil
 }
 
