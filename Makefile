@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short cover bench bench-quick bench-baseline bench-pr6 bench-pr8 eval eval-json examples clean check fuzz-smoke accvet trace-check
+.PHONY: all build vet lint test test-short cover bench bench-quick bench-baseline bench-pr6 bench-pr8 bench-pr9 eval eval-json examples clean check fuzz-smoke accvet trace-check loadtest-smoke
 
 # Optional linters: used when present on PATH, skipped (with a pinned
 # install hint) when absent — `make lint` must work in a hermetic
@@ -29,8 +29,18 @@ check: lint
 	$(GO) test -race -short -timeout 1200s ./...
 	$(MAKE) trace-check
 	$(MAKE) bench-quick
+	$(MAKE) loadtest-smoke
 	$(MAKE) accvet
 	$(MAKE) fuzz-smoke
+
+# loadtest-smoke is the fast correctness pass over the accd load-test
+# harness: a small concurrent run of the mixed corpus where every
+# response code, cache verdict and phase invariant is asserted, plus
+# the serve equivalence check (concurrent responses byte-identical to
+# the serial baseline).
+loadtest-smoke:
+	$(GO) test -run 'TestLoadTestSmoke' ./internal/bench
+	$(GO) test -run 'TestServeEquivalenceUnderLoad' ./internal/serve
 
 # trace-check pins the observability layer: the committed golden
 # Chrome traces (regenerate with -update-trace-goldens), the
@@ -102,12 +112,17 @@ bench:
 # results verified both sides), plus one iteration of
 # each wall-clock gate benchmark (legacy-vs-optimized loader,
 # replicated-write diff, plan resolution, and the Phase-B
-# interpreter-vs-specialized pairs). Cheap enough to run in every
-# `make check`.
+# interpreter-vs-specialized pairs), the accd program-cache gate
+# (warm-cache throughput >= 5x cold-cache on the mixed service
+# corpus), and the accd equivalence gate (256-way concurrent responses
+# bit-identical to serial, under the race detector). Cheap enough to
+# run in every `make check`.
 bench-quick:
 	$(GO) test -run 'TestSteadyStateAllocBudget|TestSpecLaunchSteadyStateAllocBudget|TestTraceDisabledAllocBudget|TestPhaseBSpeedupGate|TestAsyncSpeedupGate|TestPaperAppSpeedupGate' \
 		-bench 'BenchmarkIteratedStencilLoader|BenchmarkReplicatedWriteDiff|BenchmarkLaunchPlanResolve|BenchmarkPhaseBSaxpy|BenchmarkPhaseBStencil' \
 		-benchtime=1x -benchmem ./internal/rt
+	$(GO) test -run 'TestLoadTestCacheGate' ./internal/bench
+	$(GO) test -race -run 'TestServeEquivalenceUnderLoad|TestProgramReentrantUnderRace' ./internal/serve ./internal/core
 
 # bench-baseline regenerates the committed wall-clock baseline
 # (BENCH_PR4.json): end-to-end elapsed-time measurements with the host
@@ -131,6 +146,15 @@ bench-pr6:
 # report-invariance bit asserted per workload.
 bench-pr8:
 	$(GO) run ./cmd/accbench -json -verify appstudy > BENCH_PR8.json
+
+# bench-pr9 regenerates the committed accd service study
+# (BENCH_PR9.json): throughput and latency percentiles of the
+# compile-and-run daemon under a mixed concurrent workload, cold
+# (every request compiles) vs warm (every request hits the
+# content-hash program cache). The headline is the warm/cold
+# throughput ratio — the structural win of the cache.
+bench-pr9:
+	$(GO) run ./cmd/accbench -json loadtest > BENCH_PR9.json
 
 # Regenerate the paper's evaluation (Tables I-II, Figs 7-9, ablations,
 # cluster study) with result verification. -no-async keeps the

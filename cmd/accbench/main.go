@@ -6,10 +6,12 @@
 //	accbench [-scale f] [-apps MD,KMEANS,BFS] [-verify] [-seed n] [targets...]
 //
 // Targets: table1 table2 fig7 fig8 fig9 ablations cluster wallclock
-// async appstudy all (default: all; wallclock and appstudy are opt-in
-// — they measure real elapsed host time, not simulated time, so they
-// only run when asked for; appstudy is the BENCH_PR8.json
-// interpreter-vs-specialized Phase-B study). The Proposal configurations run under the pipelined scheduler
+// async appstudy loadtest all (default: all; wallclock, appstudy and
+// loadtest are opt-in — they measure real elapsed host time, not
+// simulated time, so they only run when asked for; appstudy is the
+// BENCH_PR8.json interpreter-vs-specialized Phase-B study, loadtest
+// the BENCH_PR9.json warm-vs-cold accd service study sized with
+// -lt-workers/-lt-requests). The Proposal configurations run under the pipelined scheduler
 // unless -no-async asks for the paper's bulk-synchronous schedule;
 // the async target compares the two over the shipped example apps
 // (the BENCH_PR6.json study).
@@ -34,31 +36,31 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"accmulti/internal/bench"
-	"accmulti/internal/trace"
+	"accmulti/internal/cliutil"
 )
 
 func main() {
+	var rf cliutil.RunFlags
 	var (
-		scale       = flag.Float64("scale", 1.0, "multiplier on the per-app default bench scales")
-		appScale    = flag.String("appscale", "", "per-app input fractions, e.g. MD=1.0,BFS=0.05")
-		appsFlag    = flag.String("apps", "", "comma-separated subset of MD,KMEANS,BFS")
-		verify      = flag.Bool("verify", false, "verify every run against the Go references")
-		noSpec      = flag.Bool("no-specialize", false, "disable the specialized kernel executors (Phase B fast path)")
-		noAsync     = flag.Bool("no-async", false, "run the Proposal configurations bulk-synchronously (the paper's schedule)")
-		seed        = flag.Int64("seed", 0, "input generator seed (0 = default)")
-		jsonOut     = flag.Bool("json", false, "emit the selected sections as JSON instead of text")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
-		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
-		traceFile   = flag.String("trace", "", "write a Chrome trace-event JSON file covering every measured run")
-		metricsFile = flag.String("metrics", "", "write the aggregate metrics registry as JSON")
+		scale      = flag.Float64("scale", 1.0, "multiplier on the per-app default bench scales")
+		appScale   = flag.String("appscale", "", "per-app input fractions, e.g. MD=1.0,BFS=0.05")
+		appsFlag   = flag.String("apps", "", "comma-separated subset of MD,KMEANS,BFS")
+		verify     = flag.Bool("verify", false, "verify every run against the Go references")
+		seed       = flag.Int64("seed", 0, "input generator seed (0 = default)")
+		jsonOut    = flag.Bool("json", false, "emit the selected sections as JSON instead of text")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+		ltWorkers  = flag.Int("lt-workers", 0, "loadtest: concurrent clients (0 = default)")
+		ltRequests = flag.Int("lt-requests", 0, "loadtest: requests per phase (0 = default)")
 	)
+	rf.RegisterAblations(flag.CommandLine)
+	rf.RegisterSinks(flag.CommandLine)
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -85,23 +87,12 @@ func main() {
 		}()
 	}
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Verify: *verify, NoSpecialize: *noSpec, Async: !*noAsync}
-	if *traceFile != "" || *metricsFile != "" {
-		cfg.Trace = trace.New()
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Verify: *verify, NoSpecialize: rf.NoSpecialize, Async: !rf.NoAsync}
+	if tracer := rf.NewTracer(); tracer != nil {
+		cfg.Trace = tracer
 		defer func() {
-			if *traceFile != "" {
-				if err := writeFileWith(*traceFile, func(w io.Writer) error {
-					return trace.WriteChrome(w, cfg.Trace)
-				}); err != nil {
-					fatal(err)
-				}
-			}
-			if *metricsFile != "" {
-				if err := writeFileWith(*metricsFile, func(w io.Writer) error {
-					return cfg.Trace.Metrics().WriteJSON(w)
-				}); err != nil {
-					fatal(err)
-				}
+			if err := rf.WriteSinks(tracer); err != nil {
+				fatal(err)
 			}
 		}()
 	}
@@ -141,6 +132,7 @@ func main() {
 		wallclock []bench.WallClockRow
 		asyncRows []bench.AsyncRow
 		appstudy  []bench.AppStudyRow
+		loadtest  *bench.LoadTestReport
 		err       error
 	)
 	if all || want["table2"] {
@@ -178,9 +170,15 @@ func main() {
 			fatal(err)
 		}
 	}
+	if want["loadtest"] { // opt-in: measures real time, not simulated
+		ltCfg := bench.LoadTestConfig{Workers: *ltWorkers, Requests: *ltRequests, Seed: *seed}
+		if loadtest, err = bench.LoadTest(ltCfg); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *jsonOut {
-		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster, wallclock, asyncRows, appstudy); err != nil {
+		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster, wallclock, asyncRows, appstudy, loadtest); err != nil {
 			fatal(err)
 		}
 		return
@@ -231,19 +229,9 @@ func main() {
 	if appstudy != nil {
 		bench.RenderAppStudy(os.Stdout, appstudy)
 	}
-}
-
-// writeFileWith streams fn's output into path.
-func writeFileWith(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if loadtest != nil {
+		bench.RenderLoadTest(os.Stdout, loadtest)
 	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func fatal(err error) {

@@ -38,12 +38,11 @@ import (
 	"strings"
 	"time"
 
+	"accmulti/internal/cliutil"
 	"accmulti/internal/core"
 	"accmulti/internal/diag"
 	"accmulti/internal/ir"
 	"accmulti/internal/rt"
-	"accmulti/internal/sim"
-	"accmulti/internal/trace"
 )
 
 type setFlags []string
@@ -53,11 +52,10 @@ func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
 	var sets setFlags
+	var rf cliutil.RunFlags
 	machine := flag.String("machine", "desktop", "platform: desktop or super")
 	gpus := flag.Int("gpus", 0, "override GPU count (0 = platform default)")
 	mode := flag.String("mode", "proposal", "proposal, openmp, baseline or cuda")
-	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (about://tracing)")
-	metricsFile := flag.String("metrics", "", "write the aggregate metrics registry as JSON")
 	narrate := flag.Bool("narrate", false, "print one line per runtime event (loader, kernels, comm)")
 	kernels := flag.Bool("kernels", false, "print a per-kernel statistics table after the run")
 	printArr := flag.String("print", "", "print this array's first elements after the run")
@@ -65,10 +63,9 @@ func main() {
 	vetJSON := flag.Bool("json", false, "with -vet: print diagnostics as a JSON array")
 	auditRun := flag.Bool("audit", false, "verify every device copy against a sequential shadow oracle")
 	auditTol := flag.Float64("audit-tol", 0, "relative tolerance for float reductions under -audit (0 = default)")
-	faults := flag.String("faults", "", "deterministic fault plan, e.g. seed=7,oomgpu=1,oomalloc=5,shrink=0.5,transfail=0.01")
-	noDegrade := flag.Bool("no-degrade", false, "make injected faults fatal instead of degrading gracefully")
-	noSpec := flag.Bool("no-specialize", false, "disable the specialized kernel executors (Phase B fast path)")
-	noAsync := flag.Bool("no-async", false, "disable the pipelined scheduler: report strictly bulk-synchronous phase times")
+	rf.RegisterSinks(flag.CommandLine)
+	rf.RegisterFaults(flag.CommandLine)
+	rf.RegisterAblations(flag.CommandLine)
 	flag.Var(&sets, "set", "bind a scalar parameter, name=value (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -87,46 +84,25 @@ func main() {
 		fatal(err)
 	}
 
-	var spec sim.MachineSpec
-	switch *machine {
-	case "desktop":
-		spec = sim.Desktop()
-	case "super", "supercomputer":
-		spec = sim.SupercomputerNode()
-	default:
-		fatal(fmt.Errorf("unknown machine %q", *machine))
-	}
-	if *gpus > 0 {
-		spec = spec.WithGPUs(*gpus)
+	spec, err := cliutil.Machine(*machine, *gpus)
+	if err != nil {
+		fatal(err)
 	}
 
 	var opts rt.Options
-	switch *mode {
-	case "proposal":
-		opts.Mode = rt.ModeMultiGPU
-	case "openmp":
-		opts.Mode = rt.ModeCPU
-	case "baseline":
-		opts.Mode = rt.ModeBaseline
-	case "cuda":
-		opts.Mode = rt.ModeCUDA
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	opts.Mode, err = cliutil.Mode(*mode)
+	if err != nil {
+		fatal(err)
 	}
 	if *narrate {
 		opts.Trace = os.Stderr
 	}
-	var tracer *trace.Tracer
-	if *traceFile != "" || *metricsFile != "" {
-		tracer = trace.New()
-	}
-	opts.DisableDegradation = *noDegrade
-	opts.DisableSpecialize = *noSpec
+	tracer := rf.NewTracer()
 	// The CLI defaults to the pipelined schedule: same results and
 	// accounting, overlapped makespan. -no-async restores the pure
 	// bulk-synchronous timeline.
-	opts.Async = !*noAsync
-	plan, err := sim.ParseFaultPlan(*faults)
+	rf.ApplyTo(&opts)
+	plan, err := rf.FaultPlan()
 	if err != nil {
 		fatal(err)
 	}
@@ -178,21 +154,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *traceFile != "" {
-		if err := writeFileWith(*traceFile, func(w io.Writer) error {
-			return trace.WriteChrome(w, tracer)
-		}); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("trace: %d spans -> %s\n", len(tracer.Spans()), *traceFile)
+	if err := rf.WriteSinks(tracer); err != nil {
+		fatal(err)
 	}
-	if *metricsFile != "" {
-		if err := writeFileWith(*metricsFile, func(w io.Writer) error {
-			return tracer.Metrics().WriteJSON(w)
-		}); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("metrics: -> %s\n", *metricsFile)
+	if rf.TraceFile != "" {
+		fmt.Printf("trace: %d spans -> %s\n", len(tracer.Spans()), rf.TraceFile)
+	}
+	if rf.MetricsFile != "" {
+		fmt.Printf("metrics: -> %s\n", rf.MetricsFile)
 	}
 	fmt.Printf("machine: %s (%d GPUs), mode %s\n", spec.Name, spec.NumGPUs, opts.Mode)
 	fmt.Println(res.Report)
@@ -247,7 +216,6 @@ func main() {
 	}
 }
 
-// writeFileWith streams fn's output into path.
 // printSpecSummary reports how much of Phase B ran on the specialized
 // executors, with the interpreter fallbacks broken down by runtime
 // reason and the outright-rejected kernels by compile-time reason.
@@ -271,18 +239,6 @@ func printSpecSummary(r *rt.Runtime) {
 	}
 	printReasons("fallback reasons", r.SpecFallbackReasons())
 	printReasons("rejected kernels (chunks, by compile reason)", r.SpecRejects())
-}
-
-func writeFileWith(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func fatal(err error) {

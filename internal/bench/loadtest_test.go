@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestLoadTestSmoke is the fast correctness pass over the load-test
+// harness (`make loadtest-smoke`): every corpus entry must respond the
+// way the corpus says it should, the cold phase must miss the cache on
+// every request, and the warm phase must hit it on every request.
+func TestLoadTestSmoke(t *testing.T) {
+	cfg := LoadTestConfig{Workers: 8, Requests: 32}
+	rep, err := LoadTest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []LoadPhase{rep.Cold, rep.Warm} {
+		if p.Errors != 0 {
+			t.Errorf("%s phase: %d unexpected response codes", p.Phase, p.Errors)
+		}
+		if p.OK+p.Rejected != p.Requests {
+			t.Errorf("%s phase: OK %d + rejected %d != requests %d",
+				p.Phase, p.OK, p.Rejected, p.Requests)
+		}
+		if p.Rejected == 0 {
+			t.Errorf("%s phase: the broken corpus entries produced no rejections", p.Phase)
+		}
+	}
+	if rep.Cold.CacheHits != 0 {
+		t.Errorf("cold phase: %d cache hits, want 0 (every body is salted)", rep.Cold.CacheHits)
+	}
+	if rep.Warm.CacheMisses != 0 {
+		t.Errorf("warm phase: %d cache misses, want 0 (the cache was pre-warmed)", rep.Warm.CacheMisses)
+	}
+	if rep.WarmColdRatio <= 0 {
+		t.Errorf("warm/cold ratio %.2f, want > 0", rep.WarmColdRatio)
+	}
+}
+
+// TestLoadTestCacheGate is the PR's performance acceptance gate: at the
+// default load-test size, warm-cache throughput must be at least 5x
+// cold-cache throughput. The corpus mixes run and compile-only
+// requests, so this is the structural win of the content-hash program
+// cache, not a micro-benchmark. Wired into `make bench-quick`.
+func TestLoadTestCacheGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock gate; skipped in -short mode")
+	}
+	rep, err := LoadTest(LoadTestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cold.Errors != 0 || rep.Warm.Errors != 0 {
+		t.Fatalf("unexpected response codes: cold %d, warm %d", rep.Cold.Errors, rep.Warm.Errors)
+	}
+	const minRatio = 5.0
+	t.Logf("cold %.0f req/s, warm %.0f req/s, ratio %.1fx",
+		rep.Cold.Throughput, rep.Warm.Throughput, rep.WarmColdRatio)
+	if rep.WarmColdRatio < minRatio {
+		t.Errorf("warm-cache throughput only %.1fx cold-cache, gate requires >= %.1fx",
+			rep.WarmColdRatio, minRatio)
+	}
+}

@@ -48,6 +48,9 @@ func partition(lower, upper int64, n int) []span {
 // count shrinks one device at a time — re-partitioning the iteration
 // space each rung. Each step is recorded in the report's Events.
 func (r *Runtime) Launch(k *ir.Kernel, env *ir.Env) error {
+	if err := r.interrupted(); err != nil {
+		return err
+	}
 	if r.fusedDone == k {
 		// This kernel already executed, fused with its predecessor
 		// (see fuse.go); only the per-call entry bookkeeping remains.

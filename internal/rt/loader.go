@@ -22,6 +22,9 @@ import (
 // the kernel launches, where the footprints are known — this is what
 // lets distribution-based arrays load only their partitions.
 func (r *Runtime) EnterData(reg *ir.DataRegion, _ *ir.Env) error {
+	if err := r.interrupted(); err != nil {
+		return err
+	}
 	r.regionDepth++
 	if r.opts.Mode == ModeCPU {
 		return nil
@@ -90,6 +93,9 @@ func (r *Runtime) ExitData(reg *ir.DataRegion, _ *ir.Env) error {
 // content now; update device re-establishes the host copy as canonical
 // (the loader re-ships it before the next kernel that needs it).
 func (r *Runtime) Update(u *ir.UpdateOp, _ *ir.Env) error {
+	if err := r.interrupted(); err != nil {
+		return err
+	}
 	if r.opts.Mode == ModeCPU {
 		return nil
 	}

@@ -143,6 +143,15 @@ type Options struct {
 	// transfers and final array contents must be bit-identical either
 	// way; the fused-vs-unfused A/B tests pin that.
 	DisableFusion bool
+	// Interrupt, when non-nil, is polled at the run loop's directive
+	// boundaries (data-region entry, update directives, kernel
+	// launches). The first non-nil return aborts the run with an
+	// *InterruptedError wrapping the cause; device memory is still
+	// released by Run's epilogue. This is how an embedding service
+	// threads per-request timeout and cancellation through the run
+	// loop without plumbing a context into every hook. A run that is
+	// never interrupted is bit-identical to one with Interrupt nil.
+	Interrupt func() error
 	// DisableSpecialize turns the specialized kernel executors off:
 	// every launch runs the instrumented closure-tree interpreter, as
 	// before PR 4. Exists for the report-invariance tests and wall-clock
@@ -285,6 +294,30 @@ type fpKey struct {
 type fpVal struct {
 	lo, hi int64
 	epoch  int64
+}
+
+// InterruptedError reports a run aborted by Options.Interrupt (a
+// per-request timeout or cancellation in an embedding service).
+type InterruptedError struct {
+	// Cause is what Options.Interrupt returned (e.g. a context error).
+	Cause error
+}
+
+func (e *InterruptedError) Error() string { return "rt: run interrupted: " + e.Cause.Error() }
+
+// Unwrap exposes the cause to errors.Is/As (context.DeadlineExceeded,
+// context.Canceled).
+func (e *InterruptedError) Unwrap() error { return e.Cause }
+
+// interrupted polls the Interrupt hook at a run-loop boundary.
+func (r *Runtime) interrupted() error {
+	if r.opts.Interrupt == nil {
+		return nil
+	}
+	if err := r.opts.Interrupt(); err != nil {
+		return &InterruptedError{Cause: err}
+	}
+	return nil
 }
 
 // bumpHost marks the host copy of st canonical.

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"accmulti/internal/core"
+	"accmulti/internal/ir"
+)
+
+const cacheSrc = `
+int n;
+float x[n], out[n];
+
+void main() {
+    int i;
+    #pragma acc data copyin(x) copyout(out)
+    {
+        #pragma acc localaccess(x) stride(1)
+        #pragma acc localaccess(out) stride(1)
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) {
+            out[i] = x[i] * x[i];
+        }
+    }
+}
+`
+
+func TestCacheKey(t *testing.T) {
+	a := CacheKey("src", "fp1")
+	if a != CacheKey("src", "fp1") {
+		t.Fatal("key not stable")
+	}
+	if a == CacheKey("src", "fp2") {
+		t.Error("fingerprint not folded into key")
+	}
+	if a == CacheKey("src2", "fp1") {
+		t.Error("source not folded into key")
+	}
+	// The separator must keep (fingerprint, source) unambiguous.
+	if CacheKey("bc", "a") == CacheKey("c", "ab") {
+		t.Error("fingerprint/source boundary ambiguous")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	c := NewCache(8, func(src string) (*core.Program, error) {
+		calls.Add(1)
+		<-gate
+		return core.Compile(src)
+	}, nil)
+
+	const workers = 32
+	var wg sync.WaitGroup
+	entries := make([]*Entry, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _ := c.GetOrCompile(cacheSrc)
+			entries[i] = e
+		}(i)
+	}
+	// Let every worker reach the cache before the one compile finishes.
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compile called %d times, want 1 (singleflight)", got)
+	}
+	for i, e := range entries {
+		if e != entries[0] {
+			t.Fatalf("worker %d got a different entry", i)
+		}
+		if e.Err != nil {
+			t.Fatalf("worker %d: %v", i, e.Err)
+		}
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	var calls atomic.Int64
+	compile := func(src string) (*core.Program, error) {
+		calls.Add(1)
+		return core.Compile(cacheSrc)
+	}
+	c := NewCache(2, compile, nil)
+
+	src := func(i int) string { return fmt.Sprintf("/* v%d */", i) }
+	c.GetOrCompile(src(1))
+	c.GetOrCompile(src(2))
+	// Touch 1 so 2 becomes the least recently used.
+	if _, hit := c.GetOrCompile(src(1)); !hit {
+		t.Fatal("expected hit on src 1")
+	}
+	c.GetOrCompile(src(3)) // must evict 2
+
+	if _, hit := c.GetOrCompile(src(2)); hit {
+		t.Error("src 2 should have been evicted")
+	}
+	// Re-inserting 2 evicts the LRU of {1, 3}, which is 1.
+	if _, hit := c.GetOrCompile(src(1)); hit {
+		t.Error("src 1 should have been evicted by re-inserting 2")
+	}
+	if got := calls.Load(); got != 5 {
+		t.Errorf("compile calls = %d, want 5 (3 inserts + 2 refills)", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheNegativeResult(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCache(8, func(src string) (*core.Program, error) {
+		calls.Add(1)
+		return core.Compile(src)
+	}, nil)
+	bad := "int n void main() { }"
+	e1, _ := c.GetOrCompile(bad)
+	if e1.Err == nil {
+		t.Fatal("expected a compile error")
+	}
+	e2, hit := c.GetOrCompile(bad)
+	if !hit || e2 != e1 {
+		t.Error("compile error was not cached")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("broken source compiled %d times, want 1", calls.Load())
+	}
+}
+
+// TestCacheNoBindingLeak is the cache-correctness gate: a Program
+// served from the cache must behave exactly like a freshly compiled
+// one, no matter what bindings earlier requests ran it with.
+func TestCacheNoBindingLeak(t *testing.T) {
+	c := NewCache(8, nil, nil)
+	e, _ := c.GetOrCompile(cacheSrc)
+	if e.Err != nil {
+		t.Fatal(e.Err)
+	}
+
+	run := func(p *core.Program, fill float32) (string, float64) {
+		t.Helper()
+		n := 64
+		x := ir.NewHostArray(p.Source.Scope["x"], int64(n))
+		for i := range x.F32 {
+			x.F32[i] = fill
+		}
+		res, err := p.Run(ir.NewBindings().SetScalar("n", float64(n)).SetArray("x", x), core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := res.Instance.Array("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return digest(out), float64(out.F32[0])
+	}
+
+	// Pollute: run the cached program with one set of bindings.
+	if _, v := run(e.Program, 2); v != 4 {
+		t.Fatalf("first run out[0] = %g, want 4", v)
+	}
+	// The same cached entry with different bindings must match a fresh
+	// compile bit for bit.
+	fresh, err := core.Compile(cacheSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, wantV := run(fresh, 3)
+	gotEntry, hit := c.GetOrCompile(cacheSrc)
+	if !hit {
+		t.Fatal("expected cache hit")
+	}
+	gotDigest, gotV := run(gotEntry.Program, 3)
+	if gotV != wantV || gotDigest != wantDigest {
+		t.Fatalf("cached program diverged from fresh compile: out[0] %g vs %g, digest %s vs %s",
+			gotV, wantV, gotDigest, wantDigest)
+	}
+	// Zero bindings after a non-zero run: any leaked state shows up.
+	freshDigest, _ := run(fresh, 0)
+	cachedDigest, _ := run(gotEntry.Program, 0)
+	if cachedDigest != freshDigest {
+		t.Fatal("cached program observed prior binding state")
+	}
+}

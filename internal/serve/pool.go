@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"accmulti/internal/sim"
+)
+
+// MachinePool recycles simulated machines between requests, keyed by
+// platform spec. Machines are cheap to build but a busy daemon churns
+// thousands per second; reuse also pins the invariant the re-entrancy
+// contract depends on — a run must leave its machine pristine.
+//
+// Only pristine machines are accepted back: every device empty and the
+// capacities unmodified. A machine that ran with an armed fault plan
+// is never reusable (MemShrink permanently scales device capacities),
+// so callers drop those instead of returning them.
+type MachinePool struct {
+	mu sync.Mutex
+	// free holds idle machines per spec key, most recently released
+	// last (LIFO reuse keeps caches warm in the Go runtime's sense).
+	free    map[string][]*sim.Machine
+	maxIdle int
+	idle    int
+	mets    *serviceMetrics
+}
+
+// NewMachinePool creates a pool keeping at most maxIdle idle machines
+// across all specs. mets may be nil.
+func NewMachinePool(maxIdle int, mets *serviceMetrics) *MachinePool {
+	if maxIdle < 0 {
+		maxIdle = 0
+	}
+	return &MachinePool{free: map[string][]*sim.Machine{}, maxIdle: maxIdle, mets: mets}
+}
+
+func specKey(spec sim.MachineSpec) string {
+	return fmt.Sprintf("%s/%d", spec.Name, spec.NumGPUs)
+}
+
+// Get leases a machine of the given spec: an idle pooled instance when
+// one matches, a freshly instantiated machine otherwise.
+func (p *MachinePool) Get(spec sim.MachineSpec) (*sim.Machine, error) {
+	key := specKey(spec)
+	p.mu.Lock()
+	if l := p.free[key]; len(l) > 0 {
+		m := l[len(l)-1]
+		p.free[key] = l[:len(l)-1]
+		p.idle--
+		p.mu.Unlock()
+		if p.mets != nil {
+			p.mets.Inc("pool.reuse", 1)
+		}
+		return m, nil
+	}
+	p.mu.Unlock()
+	if p.mets != nil {
+		p.mets.Inc("pool.create", 1)
+	}
+	return sim.NewMachine(spec)
+}
+
+// Put returns a machine to the pool. It reports false — and drops the
+// machine — when the machine is not pristine or the idle budget is
+// full. Callers must not Put a machine that ran with faults armed.
+func (p *MachinePool) Put(m *sim.Machine) bool {
+	if !Pristine(m) {
+		if p.mets != nil {
+			p.mets.Inc("pool.discard-dirty", 1)
+		}
+		return false
+	}
+	key := specKey(m.Spec)
+	p.mu.Lock()
+	if p.idle >= p.maxIdle {
+		p.mu.Unlock()
+		if p.mets != nil {
+			p.mets.Inc("pool.discard-full", 1)
+		}
+		return false
+	}
+	p.free[key] = append(p.free[key], m)
+	p.idle++
+	p.mu.Unlock()
+	return true
+}
+
+// Idle returns the pooled idle-machine count.
+func (p *MachinePool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.idle
+}
+
+// Pristine reports whether a machine is indistinguishable from a
+// freshly instantiated one: no device holds memory and every GPU's
+// capacity matches the spec (an armed MemShrink fault plan scales
+// capacities in place, poisoning the instance for reuse).
+func Pristine(m *sim.Machine) bool {
+	if m.CPU().UsedBytes() != 0 {
+		return false
+	}
+	for _, g := range m.GPUs() {
+		if g.UsedBytes() != 0 || g.Spec.MemBytes != m.Spec.GPU.MemBytes {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"testing"
+
+	"accmulti/internal/sim"
+)
+
+func TestPoolReuse(t *testing.T) {
+	p := NewMachinePool(4, nil)
+	spec := sim.Desktop()
+	m1, err := p.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Put(m1) {
+		t.Fatal("pristine machine rejected")
+	}
+	m2, err := p.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m1 {
+		t.Error("pool did not reuse the idle machine")
+	}
+	// A different spec never reuses across keys.
+	other, err := p.Get(sim.SupercomputerNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == m1 {
+		t.Error("spec keying broken")
+	}
+}
+
+func TestPoolRejectsDirtyMachine(t *testing.T) {
+	p := NewMachinePool(4, nil)
+	m, err := sim.NewMachine(sim.Desktop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _, err := m.GPUs()[0].AllocFloat32("leak", sim.MemUser, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Pristine(m) {
+		t.Fatal("machine with a live allocation reported pristine")
+	}
+	if p.Put(m) {
+		t.Fatal("pool accepted a dirty machine")
+	}
+	if err := m.GPUs()[0].Free(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !Pristine(m) {
+		t.Fatal("machine not pristine after freeing")
+	}
+	if !p.Put(m) {
+		t.Fatal("pool rejected a clean machine")
+	}
+}
+
+func TestPoolRejectsFaultPoisonedMachine(t *testing.T) {
+	m, err := sim.NewMachine(sim.Desktop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sim.ParseFaultPlan("shrink=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// InjectFaults scales the device capacities in place; even with all
+	// memory freed, the machine must never go back into the pool.
+	m.InjectFaults(plan)
+	if m.GPUs()[0].Spec.MemBytes == m.Spec.GPU.MemBytes {
+		t.Fatal("fault plan did not shrink capacity")
+	}
+	if Pristine(m) {
+		t.Fatal("capacity-shrunk machine reported pristine")
+	}
+	p := NewMachinePool(4, nil)
+	if p.Put(m) {
+		t.Fatal("pool accepted a fault-poisoned machine")
+	}
+}
+
+func TestPoolIdleBudget(t *testing.T) {
+	p := NewMachinePool(1, nil)
+	spec := sim.Desktop()
+	m1, _ := p.Get(spec)
+	m2, _ := p.Get(spec)
+	if !p.Put(m1) {
+		t.Fatal("first Put should fit the budget")
+	}
+	if p.Put(m2) {
+		t.Fatal("second Put should exceed the budget")
+	}
+	if p.Idle() != 1 {
+		t.Fatalf("idle = %d, want 1", p.Idle())
+	}
+}

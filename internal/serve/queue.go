@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"errors"
+	"math/bits"
+	"sync"
+)
+
+// Admission-control errors, surfaced as structured HTTP responses.
+var (
+	// ErrOverloaded rejects a request when the queue is at depth
+	// (HTTP 429 with Retry-After).
+	ErrOverloaded = errors.New("serve: admission queue full")
+	// ErrDraining rejects queued and new requests during graceful
+	// shutdown (HTTP 503 with a structured shutdown error body).
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// job is one admission request. The scheduler owns state; the waiting
+// request goroutine blocks on grant.
+type job struct {
+	class  int
+	weight int64
+	// grant receives exactly one value: nil when a run slot is granted,
+	// or a terminal admission error (draining). Buffered so the
+	// scheduler never blocks sending it.
+	grant chan error
+	state jobState
+}
+
+type jobState int
+
+const (
+	jobQueued jobState = iota
+	jobGranted
+	jobCanceled
+)
+
+// classQueue is one weight class's FIFO plus its fair-queueing pass.
+type classQueue struct {
+	jobs []*job
+	// pass is the class's accumulated virtual service: stride
+	// scheduling dispatches the non-empty class with the smallest
+	// pass, then charges it the dispatched job's weight. Classes of
+	// light requests therefore win more dispatch slots per unit of
+	// device-memory footprint, and no class starves.
+	pass int64
+}
+
+// scheduler is the admission controller: a bounded weighted-fair queue
+// in front of a fixed number of run slots. Weight is the request's
+// estimated device-memory footprint; classes bucket footprints by
+// power of two so the queue stays O(classes) per dispatch.
+type scheduler struct {
+	mu       sync.Mutex
+	capacity int
+	depth    int
+
+	running int
+	queued  int
+	classes map[int]*classQueue
+	// vtime is the global virtual time: the pass of the last class
+	// dispatched from. Newly busy classes start at vtime so an idle
+	// class cannot hoard credit and then monopolize the slots.
+	vtime    int64
+	draining bool
+	// drained is closed when draining and the last running job left.
+	drained chan struct{}
+	mets    *serviceMetrics
+}
+
+func newScheduler(capacity, depth int, mets *serviceMetrics) *scheduler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &scheduler{
+		capacity: capacity,
+		depth:    depth,
+		classes:  map[int]*classQueue{},
+		drained:  make(chan struct{}),
+		mets:     mets,
+	}
+}
+
+// weightClass buckets a device-memory footprint (bytes) into a fair-
+// queueing class: the bit length of the footprint in 64 KiB units, so
+// requests within ~2x of each other share a FIFO.
+func weightClass(footprint int64) int {
+	if footprint < 0 {
+		footprint = 0
+	}
+	return bits.Len64(uint64(footprint) >> 16)
+}
+
+// jobWeight is the virtual-service charge of one request: its
+// footprint in KiB, floored at 1 so zero-footprint requests still
+// consume a dispatch slot's worth of credit.
+func jobWeight(footprint int64) int64 {
+	w := footprint >> 10
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// submit asks for a run slot. It returns the job to wait on, or an
+// admission error (queue full, draining).
+func (s *scheduler) submit(footprint int64) (*job, error) {
+	j := &job{
+		class:  weightClass(footprint),
+		weight: jobWeight(footprint),
+		grant:  make(chan error, 1),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if s.running < s.capacity && s.queued == 0 {
+		// Fast path: a slot is free and nobody is ahead of us.
+		s.running++
+		j.state = jobGranted
+		j.grant <- nil
+		return j, nil
+	}
+	if s.queued >= s.depth {
+		if s.mets != nil {
+			s.mets.Inc("queue.rejected", 1)
+		}
+		return nil, ErrOverloaded
+	}
+	q := s.classes[j.class]
+	if q == nil {
+		q = &classQueue{}
+		s.classes[j.class] = q
+	}
+	if len(q.jobs) == 0 && q.pass < s.vtime {
+		q.pass = s.vtime
+	}
+	q.jobs = append(q.jobs, j)
+	s.queued++
+	if s.mets != nil {
+		s.mets.Inc("queue.enqueued", 1)
+	}
+	return j, nil
+}
+
+// dispatch grants free slots to queued jobs in weighted-fair order.
+// Caller holds s.mu.
+func (s *scheduler) dispatch() {
+	for s.running < s.capacity && s.queued > 0 {
+		// Pick the non-empty class with the smallest (pass, class).
+		var best *classQueue
+		bestClass := 0
+		for cl, q := range s.classes {
+			if len(q.jobs) == 0 {
+				continue
+			}
+			if best == nil || q.pass < best.pass || (q.pass == best.pass && cl < bestClass) {
+				best, bestClass = q, cl
+			}
+		}
+		if best == nil {
+			// Every queued counter referred to canceled jobs already
+			// removed from their FIFOs; resynchronize.
+			s.queued = 0
+			return
+		}
+		j := best.jobs[0]
+		best.jobs = best.jobs[1:]
+		if j.state == jobCanceled {
+			continue // queued was decremented at cancellation
+		}
+		s.queued--
+		s.vtime = best.pass
+		best.pass += j.weight
+		s.running++
+		j.state = jobGranted
+		j.grant <- nil
+	}
+}
+
+// cancel withdraws a queued job (request timeout/disconnect while
+// waiting). It reports false when the job was already granted — the
+// caller then owns a run slot and must release it.
+func (s *scheduler) cancel(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != jobQueued {
+		return false
+	}
+	j.state = jobCanceled
+	s.queued--
+	if s.mets != nil {
+		s.mets.Inc("queue.canceled", 1)
+	}
+	return true
+}
+
+// release returns a run slot and hands it to the next queued job.
+func (s *scheduler) release() {
+	s.mu.Lock()
+	s.running--
+	s.dispatch()
+	if s.draining && s.running == 0 {
+		select {
+		case <-s.drained:
+		default:
+			close(s.drained)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// drain flips the scheduler into shutdown: every queued job receives
+// ErrDraining immediately, new submissions are refused, and the
+// returned channel closes when the last in-flight run finishes.
+func (s *scheduler) drain() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.draining = true
+		for _, q := range s.classes {
+			for _, j := range q.jobs {
+				if j.state == jobQueued {
+					j.state = jobCanceled
+					s.queued--
+					j.grant <- ErrDraining
+				}
+			}
+			q.jobs = nil
+		}
+	}
+	if s.running == 0 {
+		select {
+		case <-s.drained:
+		default:
+			close(s.drained)
+		}
+	}
+	return s.drained
+}
+
+// load returns the running and queued counts (telemetry).
+func (s *scheduler) load() (running, queued int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running, s.queued
+}

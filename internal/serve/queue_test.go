@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func granted(t *testing.T, j *job) error {
+	t.Helper()
+	select {
+	case err := <-j.grant:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("grant never arrived")
+		return nil
+	}
+}
+
+func mustQueued(t *testing.T, j *job) {
+	t.Helper()
+	select {
+	case err := <-j.grant:
+		t.Fatalf("job granted early (err=%v)", err)
+	default:
+	}
+}
+
+func TestSchedulerFastPath(t *testing.T) {
+	s := newScheduler(2, 4, nil)
+	j1, err := s.submit(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := granted(t, j1); err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := s.submit(1 << 20)
+	if err := granted(t, j2); err != nil {
+		t.Fatal(err)
+	}
+	if running, queued := s.load(); running != 2 || queued != 0 {
+		t.Fatalf("load = (%d, %d), want (2, 0)", running, queued)
+	}
+	s.release()
+	s.release()
+}
+
+func TestSchedulerOverload(t *testing.T) {
+	s := newScheduler(1, 2, nil)
+	j, _ := s.submit(0) // takes the slot
+	granted(t, j)
+	if _, err := s.submit(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.submit(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.submit(0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+}
+
+// TestSchedulerWeightedFairness pins the stride-scheduling dispatch
+// order: with a heavy class (16 MiB jobs) and a light class (64 KiB
+// jobs) both backlogged, the light class wins several dispatches for
+// each heavy one — proportional to the footprint ratio — and the
+// heavy class still never starves.
+func TestSchedulerWeightedFairness(t *testing.T) {
+	s := newScheduler(1, 16, nil)
+	hold, _ := s.submit(0)
+	granted(t, hold)
+
+	const heavy = 16 << 20 // class 9, weight 16384
+	const light = 64 << 10 // class 1, weight 64
+	var heavyJobs, lightJobs []*job
+	for i := 0; i < 2; i++ {
+		j, err := s.submit(heavy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heavyJobs = append(heavyJobs, j)
+	}
+	for i := 0; i < 4; i++ {
+		j, err := s.submit(light)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lightJobs = append(lightJobs, j)
+	}
+
+	// Drain one at a time, recording who got each slot.
+	var order []string
+	pending := map[*job]string{
+		heavyJobs[0]: "H1", heavyJobs[1]: "H2",
+		lightJobs[0]: "L1", lightJobs[1]: "L2",
+		lightJobs[2]: "L3", lightJobs[3]: "L4",
+	}
+	cur := hold
+	for len(pending) > 0 {
+		_ = cur
+		s.release()
+		var next *job
+		for j := range pending {
+			select {
+			case err := <-j.grant:
+				if err != nil {
+					t.Fatal(err)
+				}
+				if next != nil {
+					t.Fatal("two jobs granted for one slot")
+				}
+				next = j
+			default:
+			}
+		}
+		if next == nil {
+			t.Fatalf("no job granted; order so far %v", order)
+		}
+		order = append(order, pending[next])
+		delete(pending, next)
+		cur = next
+	}
+	s.release()
+
+	// Both classes start at pass 0; ties break toward the lighter
+	// class. L1 (pass 0→64), H1 (0→16384), then L2..L4 catch the light
+	// class up, then H2.
+	want := []string{"L1", "H1", "L2", "L3", "L4", "H2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := newScheduler(1, 4, nil)
+	hold, _ := s.submit(0)
+	granted(t, hold)
+
+	queuedJob, _ := s.submit(0)
+	mustQueued(t, queuedJob)
+	if !s.cancel(queuedJob) {
+		t.Fatal("cancel of a queued job must succeed")
+	}
+	if s.cancel(hold) {
+		t.Fatal("cancel of a granted job must report false")
+	}
+
+	// The canceled job never gets the freed slot; the next live one does.
+	liveJob, _ := s.submit(0)
+	s.release()
+	if err := granted(t, liveJob); err != nil {
+		t.Fatal(err)
+	}
+	mustQueued(t, queuedJob)
+	s.release()
+	if running, queued := s.load(); running != 0 || queued != 0 {
+		t.Fatalf("load = (%d, %d), want (0, 0)", running, queued)
+	}
+}
+
+func TestSchedulerDrain(t *testing.T) {
+	s := newScheduler(1, 4, nil)
+	hold, _ := s.submit(0)
+	granted(t, hold)
+	queuedJob, _ := s.submit(0)
+
+	done := s.drain()
+	if err := granted(t, queuedJob); !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued job got %v, want ErrDraining", err)
+	}
+	if _, err := s.submit(0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new submit got %v, want ErrDraining", err)
+	}
+	select {
+	case <-done:
+		t.Fatal("drained before the in-flight job released")
+	default:
+	}
+	s.release()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	// Draining twice is idempotent.
+	select {
+	case <-s.drain():
+	default:
+		t.Fatal("second drain must return a closed channel")
+	}
+}

@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"accmulti/internal/apps"
+)
+
+// stencilSrc is a multi-launch iterated stencil: enough kernel
+// launches per request that interrupt polls and queueing are
+// exercised, still fast at small n.
+const stencilSrc = `
+int n, steps;
+float a[n], b[n];
+
+void main() {
+    int t, i;
+    #pragma acc data copy(a) create(b)
+    {
+        for (t = 0; t < steps; t++) {
+            #pragma acc localaccess(a) stride(1, 1, 1)
+            #pragma acc localaccess(b) stride(1)
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                if (i > 0 && i < n - 1) {
+                    b[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+                } else {
+                    b[i] = a[i];
+                }
+            }
+            #pragma acc localaccess(b) stride(1)
+            #pragma acc localaccess(a) stride(1)
+            #pragma acc parallel loop
+            for (i = 0; i < n; i++) {
+                a[i] = b[i];
+            }
+        }
+    }
+}
+`
+
+// reduceSrc exercises the reduction path and scalar results.
+const reduceSrc = `
+int n;
+float x[n], out[n];
+float total;
+
+void main() {
+    int i;
+    total = 0.0;
+    #pragma acc data copyin(x) copyout(out)
+    {
+        #pragma acc localaccess(x) stride(1)
+        #pragma acc localaccess(out) stride(1)
+        #pragma acc parallel loop reduction(+:total)
+        for (i = 0; i < n; i++) {
+            out[i] = x[i] * x[i];
+            total += out[i];
+        }
+    }
+}
+`
+
+// vetBadSrc reads b[i+1] under a stride(1) localaccess — accvet
+// rejects it with an error-severity ACCV001.
+const vetBadSrc = `
+int n;
+float a[n];
+float b[n];
+
+void main() {
+    int i;
+    #pragma acc data copy(a, b)
+    {
+        #pragma acc parallel loop
+        #pragma acc localaccess(b) stride(1)
+        for (i = 0; i < n; i++) {
+            a[i] = b[i + 1];
+        }
+    }
+}
+`
+
+func post(t *testing.T, h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func marshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// mixedCorpus is the load-test request mix: stencil and reduction
+// kernels at several sizes, generator-driven paper apps, a vet-
+// rejected source and a source that does not compile.
+func mixedCorpus(t *testing.T) [][]byte {
+	t.Helper()
+	var corpus [][]byte
+	add := func(r *RunRequest) { corpus = append(corpus, marshal(t, r)) }
+
+	add(&RunRequest{Source: stencilSrc, Scalars: map[string]float64{"n": 64, "steps": 4}})
+	add(&RunRequest{Source: stencilSrc, Scalars: map[string]float64{"n": 128, "steps": 2},
+		Machine: "super", ReturnArrays: []string{"a"}})
+	add(&RunRequest{Source: reduceSrc, Scalars: map[string]float64{"n": 96},
+		Arrays: map[string]*ArrayPayload{"x": {F32: seq32(96)}}})
+	add(&RunRequest{Source: reduceSrc, Scalars: map[string]float64{"n": 48}, Mode: "openmp"})
+	add(&RunRequest{Source: reduceSrc, Scalars: map[string]float64{"n": 48},
+		Options: RunOptions{NoAsync: true, NoSpecialize: true}})
+	add(&RunRequest{Source: stencilSrc, Generator: nil, Vet: true,
+		Scalars: map[string]float64{"n": 32, "steps": 1}})
+	add(&RunRequest{Source: vetBadSrc, Vet: true, Scalars: map[string]float64{"n": 32}})
+	add(&RunRequest{Source: "int n void main() { }"})
+	add(&RunRequest{Source: stencilSrc + "/* variant */", Scalars: map[string]float64{"n": 64, "steps": 3}})
+	md, err := apps.ByName("MD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(&RunRequest{Source: md.Source, Generator: &GeneratorSpec{App: "MD", Scale: 0.002, Seed: 7}})
+	return corpus
+}
+
+func seq32(n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(i%7) * 0.5
+	}
+	return s
+}
+
+type verdict struct {
+	code int
+	body string
+}
+
+// TestServeEquivalenceUnderLoad is the exact-validation gate: every
+// response under >=256-way concurrency must be bit-identical to the
+// same request served serially by a fresh server. Run under -race this
+// also stresses the shared Program/cache/pool/scheduler state.
+func TestServeEquivalenceUnderLoad(t *testing.T) {
+	corpus := mixedCorpus(t)
+
+	// Serial baseline on its own server instance.
+	baseline := make([]verdict, len(corpus))
+	serial := New(Config{})
+	for i, body := range corpus {
+		rec := post(t, serial.Handler(), "/v1/run", body)
+		baseline[i] = verdict{rec.Code, rec.Body.String()}
+	}
+	// Sanity: the corpus covers success, compile failure and vet
+	// rejection, or the equivalence claim is hollow.
+	counts := map[int]int{}
+	for _, v := range baseline {
+		counts[v.code]++
+	}
+	if counts[http.StatusOK] == 0 || counts[http.StatusUnprocessableEntity] < 2 {
+		t.Fatalf("corpus verdict mix too narrow: %v", counts)
+	}
+
+	const workers = 256
+	loaded := New(Config{})
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 2; k++ {
+				i := (w + k*workers/2) % len(corpus)
+				rec := post(t, loaded.Handler(), "/v1/run", corpus[i])
+				if rec.Code != baseline[i].code {
+					errc <- fmt.Errorf("worker %d req %d: status %d, serial %d (body %.200s)",
+						w, i, rec.Code, baseline[i].code, rec.Body.String())
+					return
+				}
+				if rec.Body.String() != baseline[i].body {
+					errc <- fmt.Errorf("worker %d req %d: body diverged from serial baseline", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestRunEndpointBasics(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+
+	// Success with scalar results, digests and a returned array.
+	body := marshal(t, &RunRequest{
+		Source:       reduceSrc,
+		Scalars:      map[string]float64{"n": 8},
+		Arrays:       map[string]*ArrayPayload{"x": {F32: []float32{1, 2, 3, 4, 5, 6, 7, 8}}},
+		ReturnArrays: []string{"out"},
+	})
+	rec := post(t, h, "/v1/run", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Accd-Cache") != "miss" {
+		t.Errorf("first request cache header = %q", rec.Header().Get("X-Accd-Cache"))
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Scalars["total"] != 204 { // sum of squares of 1..8
+		t.Errorf("total = %g, want 204", resp.Scalars["total"])
+	}
+	if resp.Arrays["out"] == nil || resp.Arrays["out"].F32[2] != 9 {
+		t.Errorf("returned array wrong: %+v", resp.Arrays["out"])
+	}
+	if len(resp.Digests) != 2 {
+		t.Errorf("digests = %v, want x and out", resp.Digests)
+	}
+
+	// Second request hits the cache.
+	rec = post(t, h, "/v1/run", body)
+	if rec.Header().Get("X-Accd-Cache") != "hit" {
+		t.Errorf("second request cache header = %q", rec.Header().Get("X-Accd-Cache"))
+	}
+
+	// Malformed JSON and unknown fields are 400s.
+	if rec := post(t, h, "/v1/run", []byte("{")); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", rec.Code)
+	}
+	if rec := post(t, h, "/v1/run", []byte(`{"sauce":"x"}`)); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", rec.Code)
+	}
+
+	// Compile failure is a structured 422.
+	rec = post(t, h, "/v1/run", marshal(t, &RunRequest{Source: "int n void main() { }"}))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("compile error: status %d", rec.Code)
+	}
+	var eresp ErrorResponse
+	json.Unmarshal(rec.Body.Bytes(), &eresp)
+	if eresp.Error.Code != "compile_error" {
+		t.Errorf("error code = %q", eresp.Error.Code)
+	}
+
+	// Vet rejection carries the diagnostics.
+	rec = post(t, h, "/v1/run", marshal(t, &RunRequest{
+		Source: vetBadSrc, Vet: true, Scalars: map[string]float64{"n": 16},
+	}))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("vet rejection: status %d: %s", rec.Code, rec.Body.String())
+	}
+	eresp = ErrorResponse{}
+	json.Unmarshal(rec.Body.Bytes(), &eresp)
+	if eresp.Error.Code != "vet_rejected" {
+		t.Errorf("error code = %q", eresp.Error.Code)
+	}
+	if !strings.Contains(string(eresp.Error.Diagnostics), "ACCV001") {
+		t.Errorf("diagnostics missing ACCV001: %s", eresp.Error.Diagnostics)
+	}
+
+	// Unknown machine/mode/app are 400s.
+	for _, r := range []*RunRequest{
+		{Source: reduceSrc, Machine: "laptop"},
+		{Source: reduceSrc, Mode: "warp"},
+		{Source: reduceSrc, Generator: &GeneratorSpec{App: "DOOM"}},
+		{Source: reduceSrc, Arrays: map[string]*ArrayPayload{"nope": {F32: []float32{1}}}},
+		{Source: reduceSrc, Faults: "shrink=nope"},
+	} {
+		if rec := post(t, h, "/v1/run", marshal(t, r)); rec.Code != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400", r, rec.Code)
+		}
+	}
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	rec := post(t, h, "/v1/compile", marshal(t, &CompileRequest{Source: reduceSrc, Vet: true, EmitSource: true}))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp CompileResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Key != CacheKey(reduceSrc, CompilerFingerprint) {
+		t.Error("response key is not the content hash")
+	}
+	if resp.GeneratedSource == "" {
+		t.Error("emit_source returned nothing")
+	}
+	// The compile endpoint warms the run cache.
+	rec = post(t, h, "/v1/run", marshal(t, &RunRequest{Source: reduceSrc, Scalars: map[string]float64{"n": 8}}))
+	if rec.Header().Get("X-Accd-Cache") != "hit" {
+		t.Errorf("run after compile: cache header = %q", rec.Header().Get("X-Accd-Cache"))
+	}
+}
+
+// gatedServer builds a server whose runs block on the returned gate
+// after admission — the deterministic way to hold a run slot while a
+// test observes overload or drain behaviour. Requests with n == 63
+// (the gate marker) block until the gate closes.
+func gatedServer(cfg Config) (*Server, chan struct{}) {
+	gate := make(chan struct{})
+	cfg.runGate = func(r *RunRequest) {
+		if r.Scalars["n"] == 63 {
+			<-gate
+		}
+	}
+	return New(cfg), gate
+}
+
+func gatedBody(t *testing.T) []byte {
+	return marshal(t, &RunRequest{
+		Source:  stencilSrc,
+		Scalars: map[string]float64{"n": 63, "steps": 2},
+	})
+}
+
+// waitLoad polls /healthz until the scheduler shows the wanted load.
+func waitLoad(t *testing.T, h http.Handler, running, queued int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var st struct {
+			Running int `json:"running"`
+			Queued  int `json:"queued"`
+		}
+		rec := get(t, h, "/healthz")
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err == nil &&
+			st.Running == running && st.Queued == queued {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("load never reached (%d running, %d queued)", running, queued)
+}
+
+func TestOverloadReturns429(t *testing.T) {
+	s, gate := gatedServer(Config{Concurrency: 1, QueueDepth: -1})
+	h := s.Handler()
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- post(t, h, "/v1/run", gatedBody(t)) }()
+	waitLoad(t, h, 1, 0)
+
+	rec := post(t, h, "/v1/run", marshal(t, &RunRequest{Source: reduceSrc, Scalars: map[string]float64{"n": 8}}))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var eresp ErrorResponse
+	json.Unmarshal(rec.Body.Bytes(), &eresp)
+	if eresp.Error.Code != "overloaded" {
+		t.Errorf("error code = %q", eresp.Error.Code)
+	}
+	close(gate)
+	if rec := <-done; rec.Code != http.StatusOK {
+		t.Fatalf("in-flight request: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRequestTimeoutDuringRun(t *testing.T) {
+	s := New(Config{Concurrency: 1})
+	body := marshal(t, &RunRequest{
+		Source:    stencilSrc,
+		Scalars:   map[string]float64{"n": 4096, "steps": 2000},
+		TimeoutMS: 1,
+	})
+	rec := post(t, s.Handler(), "/v1/run", body)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	var eresp ErrorResponse
+	json.Unmarshal(rec.Body.Bytes(), &eresp)
+	if eresp.Error.Code != "timeout" {
+		t.Errorf("error code = %q", eresp.Error.Code)
+	}
+}
+
+// TestGracefulDrain pins the shutdown contract: in-flight requests
+// finish with their normal responses, queued requests get the
+// structured shutting_down error, new requests are refused, and Drain
+// returns once the last run leaves.
+func TestGracefulDrain(t *testing.T) {
+	s, gate := gatedServer(Config{Concurrency: 1, QueueDepth: 8})
+	h := s.Handler()
+
+	inflight := make(chan *httptest.ResponseRecorder, 1)
+	go func() { inflight <- post(t, h, "/v1/run", gatedBody(t)) }()
+	waitLoad(t, h, 1, 0)
+	queuedCh := make(chan *httptest.ResponseRecorder, 1)
+	go func() { queuedCh <- post(t, h, "/v1/run", gatedBody(t)) }()
+	waitLoad(t, h, 1, 1)
+
+	// Drain flushes the queued request immediately; the in-flight one
+	// is released once the queued 503 has been observed.
+	drainErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() { drainErr <- s.Drain(ctx) }()
+
+	rec := <-queuedCh
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("queued request: status %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	var eresp ErrorResponse
+	json.Unmarshal(rec.Body.Bytes(), &eresp)
+	if eresp.Error.Code != "shutting_down" {
+		t.Errorf("queued request error code = %q", eresp.Error.Code)
+	}
+
+	close(gate)
+	if rec := <-inflight; rec.Code != http.StatusOK {
+		t.Fatalf("in-flight request: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	rec = post(t, h, "/v1/run", marshal(t, &RunRequest{Source: reduceSrc, Scalars: map[string]float64{"n": 8}}))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", rec.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	post(t, h, "/v1/run", marshal(t, &RunRequest{Source: reduceSrc, Scalars: map[string]float64{"n": 8}}))
+	post(t, h, "/v1/run", marshal(t, &RunRequest{Source: reduceSrc, Scalars: map[string]float64{"n": 8}}))
+	rec := get(t, h, "/v1/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, rec.Body.String())
+	}
+	body := rec.Body.String()
+	for _, counter := range []string{"cache.hit", "cache.miss", "run.ok"} {
+		if !strings.Contains(body, counter) {
+			t.Errorf("metrics missing %q:\n%s", counter, body)
+		}
+	}
+}
