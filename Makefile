@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short cover bench bench-quick bench-baseline bench-pr6 bench-pr8 bench-pr9 eval eval-json examples clean check fuzz-smoke accvet trace-check loadtest-smoke
+.PHONY: all build vet lint test test-short cover bench bench-quick bench-baseline bench-pr6 bench-pr8 bench-pr9 bench-pr10 eval eval-json examples clean check fuzz-smoke accvet trace-check loadtest-smoke
 
 # Optional linters: used when present on PATH, skipped (with a pinned
 # install hint) when absent — `make lint` must work in a hermetic
@@ -44,12 +44,15 @@ loadtest-smoke:
 
 # trace-check pins the observability layer: the committed golden
 # Chrome traces (regenerate with -update-trace-goldens), the
-# metrics-vs-report-vet cross-check, the structural overlap gates on
-# the pipelined schedule, and the report/byte invariance of tracing
-# across option matrices, GOMAXPROCS=1, and repeated async runs.
+# metrics-vs-report-vet cross-checks (including the multi-node
+# ACCV007-vs-NIC-tag one), the structural overlap gates on
+# the pipelined schedule, the report/byte invariance of tracing
+# across option matrices, GOMAXPROCS=1, and repeated async runs, the
+# NIC-lane discipline on cluster topologies, and the degenerate
+# 1xN == N topology equivalence (arrays, reports and trace bytes).
 trace-check:
-	$(GO) test -run 'TestTraceGolden|TestTraceMetricsCrossCheck|TestAsyncOverlapObserved' ./internal/core
-	$(GO) test -run 'TestTraceReportInvariance|TestTraceGOMAXPROCS1ByteStability|TestTraceByteStabilityStress|TestTraceStructureSeedCorpus|TestAsyncByteStabilityStress' ./internal/rt
+	$(GO) test -run 'TestTraceGolden|TestTraceMetricsCrossCheck|TestMultiNodeTraceMetricsCrossCheck|TestAsyncOverlapObserved' ./internal/core
+	$(GO) test -run 'TestTraceReportInvariance|TestTraceGOMAXPROCS1ByteStability|TestTraceByteStabilityStress|TestTraceStructureSeedCorpus|TestAsyncByteStabilityStress|TestMultiNodeTraceLanes|TestNodeLossKeepsTraceWellFormed|TestDegenerateTopologyEquivalence' ./internal/rt
 
 # accvet runs the directive-verification pass the way CI consumes it:
 # accc -vet must accept every known-good shipped program, and the
@@ -116,9 +119,11 @@ bench:
 # (warm-cache throughput >= 5x cold-cache on the mixed service
 # corpus), and the accd equivalence gate (256-way concurrent responses
 # bit-identical to serial, under the race detector). Cheap enough to
-# run in every `make check`.
+# run in every `make check`. The multi-node speedup gate holds the
+# NIC-aware async schedule to >=1.2x over sync on the halo-bound
+# 2-node stencil (report equivalence modulo time included).
 bench-quick:
-	$(GO) test -run 'TestSteadyStateAllocBudget|TestSpecLaunchSteadyStateAllocBudget|TestTraceDisabledAllocBudget|TestPhaseBSpeedupGate|TestAsyncSpeedupGate|TestPaperAppSpeedupGate' \
+	$(GO) test -run 'TestSteadyStateAllocBudget|TestSpecLaunchSteadyStateAllocBudget|TestTraceDisabledAllocBudget|TestPhaseBSpeedupGate|TestAsyncSpeedupGate|TestMultiNodeSpeedupGate|TestPaperAppSpeedupGate' \
 		-bench 'BenchmarkIteratedStencilLoader|BenchmarkReplicatedWriteDiff|BenchmarkLaunchPlanResolve|BenchmarkPhaseBSaxpy|BenchmarkPhaseBStencil' \
 		-benchtime=1x -benchmem ./internal/rt
 	$(GO) test -run 'TestLoadTestCacheGate' ./internal/bench
@@ -155,6 +160,14 @@ bench-pr8:
 # throughput ratio — the structural win of the cache.
 bench-pr9:
 	$(GO) run ./cmd/accbench -json loadtest > BENCH_PR9.json
+
+# bench-pr10 regenerates the committed node study (BENCH_PR10.json):
+# simulated makespans of the shipped example apps on cluster
+# topologies (1x3 degenerate control, 2x2, 2x3) under the
+# bulk-synchronous and NIC-aware pipelined schedules, with the
+# report-equivalence bit asserted per point.
+bench-pr10:
+	$(GO) run ./cmd/accbench -json node > BENCH_PR10.json
 
 # Regenerate the paper's evaluation (Tables I-II, Figs 7-9, ablations,
 # cluster study) with result verification. -no-async keeps the

@@ -6,12 +6,13 @@
 //	accbench [-scale f] [-apps MD,KMEANS,BFS] [-verify] [-seed n] [targets...]
 //
 // Targets: table1 table2 fig7 fig8 fig9 ablations cluster wallclock
-// async appstudy loadtest all (default: all; wallclock, appstudy and
-// loadtest are opt-in — they measure real elapsed host time, not
+// async appstudy node loadtest all (default: all; wallclock, appstudy
+// and loadtest are opt-in — they measure real elapsed host time, not
 // simulated time, so they only run when asked for; appstudy is the
 // BENCH_PR8.json interpreter-vs-specialized Phase-B study, loadtest
 // the BENCH_PR9.json warm-vs-cold accd service study sized with
-// -lt-workers/-lt-requests). The Proposal configurations run under the pipelined scheduler
+// -lt-workers/-lt-requests; node is the BENCH_PR10.json cluster-topology
+// sync-vs-async study). The Proposal configurations run under the pipelined scheduler
 // unless -no-async asks for the paper's bulk-synchronous schedule;
 // the async target compares the two over the shipped example apps
 // (the BENCH_PR6.json study).
@@ -132,6 +133,7 @@ func main() {
 		wallclock []bench.WallClockRow
 		asyncRows []bench.AsyncRow
 		appstudy  []bench.AppStudyRow
+		nodeRows  []bench.NodeRow
 		loadtest  *bench.LoadTestReport
 		err       error
 	)
@@ -170,6 +172,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if all || want["node"] {
+		if nodeRows, err = bench.NodeStudy(cfg); err != nil {
+			fatal(err)
+		}
+	}
 	if want["loadtest"] { // opt-in: measures real time, not simulated
 		ltCfg := bench.LoadTestConfig{Workers: *ltWorkers, Requests: *ltRequests, Seed: *seed}
 		if loadtest, err = bench.LoadTest(ltCfg); err != nil {
@@ -178,7 +185,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster, wallclock, asyncRows, appstudy, loadtest); err != nil {
+		if err := bench.WriteJSON(os.Stdout, figRes, table2, ablations, cluster, wallclock, asyncRows, appstudy, nodeRows, loadtest); err != nil {
 			fatal(err)
 		}
 		return
@@ -228,6 +235,10 @@ func main() {
 	}
 	if appstudy != nil {
 		bench.RenderAppStudy(os.Stdout, appstudy)
+	}
+	if nodeRows != nil {
+		bench.RenderNode(os.Stdout, nodeRows)
+		fmt.Println()
 	}
 	if loadtest != nil {
 		bench.RenderLoadTest(os.Stdout, loadtest)

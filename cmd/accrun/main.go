@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	accrun [-machine desktop|super] [-gpus n] [-mode proposal|openmp|baseline|cuda]
+//	accrun [-machine desktop|super|NxM[:opts]] [-gpus n] [-mode proposal|openmp|baseline|cuda]
 //	       [-vet [-json]] [-audit] [-faults seed=7,oomgpu=1,oomalloc=5,...] [-no-async]
 //	       [-trace out.trace.json] [-metrics out.metrics.json] [-narrate]
 //	       [-set n=1000 -set a=2.5 ...] [-print arr] file.c
@@ -25,6 +25,14 @@
 // -vet runs the accvet directive checks first, printing diagnostics to
 // stderr and refusing to execute a program with verification errors;
 // -json switches the diagnostic rendering to a JSON array.
+//
+// -machine also accepts a cluster topology, nodes x GPUs-per-node with
+// optional overrides: `2x4`, `2x2:nic=1G:niclat=10`,
+// `2x4:base=desktop:pcie=8G`. Arrays block-partition across nodes and
+// then across each node's GPUs; traffic crossing nodes is staged over
+// the modeled network and shows up on per-NIC trace lanes. A topology
+// fixes the GPU count, so it cannot be combined with -gpus. The
+// degenerate `1xN` is bit-identical to the flat N-GPU machine.
 package main
 
 import (
@@ -53,7 +61,7 @@ func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
 func main() {
 	var sets setFlags
 	var rf cliutil.RunFlags
-	machine := flag.String("machine", "desktop", "platform: desktop or super")
+	machine := flag.String("machine", "desktop", "platform: desktop, super, or a topology like 2x4:nic=1G")
 	gpus := flag.Int("gpus", 0, "override GPU count (0 = platform default)")
 	mode := flag.String("mode", "proposal", "proposal, openmp, baseline or cuda")
 	narrate := flag.Bool("narrate", false, "print one line per runtime event (loader, kernels, comm)")

@@ -529,6 +529,27 @@ func (v *vetter) predictExchange(wLoop *translator.LoopAccess, loops []*translat
 	}
 }
 
+// ExchangeTransfers quantifies an ACCV007 prediction on a concrete
+// machine topology: a distributed written array with resident halo
+// windows exchanges per writer launch two pushes for each adjacent GPU
+// pair — 2*(gpus-1) transfers in total, of which the pairs straddling
+// a node boundary travel the NIC, 2*(nodes-1) transfers. The runtime's
+// block partition keeps GPU-index-adjacent chunks contiguous (the
+// two-level split preserves node-boundary alignment), so the counts
+// hold on multi-node machines too; the trace cross-check tests pin
+// predicted counts against the runtime's halo-exchange events and the
+// "nic"-tagged spans.
+func ExchangeTransfers(nodes, gpus int) (total, interNode int) {
+	if gpus < 2 {
+		return 0, 0
+	}
+	total = 2 * (gpus - 1)
+	if nodes > 1 {
+		interNode = 2 * (nodes - 1)
+	}
+	return total, interNode
+}
+
 // affineText renders coef*i + off for messages.
 func affineText(coef, off int64, ivar string) string {
 	switch {

@@ -18,8 +18,10 @@ import (
 )
 
 // Machine resolves the -machine/-gpus flag pair to a platform spec:
-// "desktop" or "super"/"supercomputer", with gpus > 0 overriding the
-// platform's GPU count.
+// "desktop" or "super"/"supercomputer" (with gpus > 0 overriding the
+// platform's GPU count), or a multi-node topology in the
+// "NxM[:key=val]*" grammar of topology.go, e.g. "2x4:pcie=8G:nic=1G"
+// (which fixes the GPU count itself, so gpus must be 0).
 func Machine(name string, gpus int) (sim.MachineSpec, error) {
 	var spec sim.MachineSpec
 	switch name {
@@ -28,7 +30,10 @@ func Machine(name string, gpus int) (sim.MachineSpec, error) {
 	case "super", "supercomputer":
 		spec = sim.SupercomputerNode()
 	default:
-		return sim.MachineSpec{}, fmt.Errorf("unknown machine %q (want desktop or super)", name)
+		if isTopology(name) {
+			return parseTopology(name, gpus)
+		}
+		return sim.MachineSpec{}, fmt.Errorf("unknown machine %q (want desktop, super, or a topology like 2x4:pcie=8G:nic=1G)", name)
 	}
 	if gpus > 0 {
 		spec = spec.WithGPUs(gpus)

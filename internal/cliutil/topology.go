@@ -1,0 +1,155 @@
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"accmulti/internal/sim"
+)
+
+// The -machine topology grammar: "NxM[:key=val]*" describes a cluster
+// of N nodes with M GPUs each, e.g.
+//
+//	2x4:pcie=8G:nic=1G
+//
+// The NxM prefix is mandatory and fixes the GPU count, so combining a
+// topology with -gpus is an error. The option keys:
+//
+//	base=desktop|super  node hardware model (default super, matching
+//	                    sim.Cluster's supercomputer-class nodes)
+//	pcie=<bw>           intra-node host link bandwidth (Bus.HostLinkGBs)
+//	peer=<bw>           intra-node GPU peer bandwidth (Bus.PeerGBs)
+//	nic=<bw>            inter-node network bandwidth (Network.GBs)
+//	niclat=<µs>         inter-node per-message latency (Network.LatencyUS)
+//
+// Bandwidths take an optional G (1e9 bytes/s, the default unit) or M
+// (1e6 bytes/s) suffix. Every segment between colons must be a
+// non-empty key=value pair: empty segments — including the trailing
+// colon older ad-hoc parsers silently accepted — are errors, as are
+// unknown and repeated keys. The topology_test.go table pins all of
+// this.
+
+// isTopology reports whether the -machine argument is spelled in the
+// topology grammar (its first segment looks like NxM).
+func isTopology(name string) bool {
+	head, _, _ := strings.Cut(name, ":")
+	n, m, ok := strings.Cut(head, "x")
+	if !ok || n == "" || m == "" {
+		return false
+	}
+	for _, s := range [2]string{n, m} {
+		for _, c := range s {
+			if c < '0' || c > '9' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// parseTopology resolves a topology spec to a validated machine spec.
+func parseTopology(spec string, gpus int) (sim.MachineSpec, error) {
+	if gpus > 0 {
+		return sim.MachineSpec{}, fmt.Errorf("topology %q already fixes the GPU count; drop -gpus", spec)
+	}
+	segs := strings.Split(spec, ":")
+	nStr, mStr, _ := strings.Cut(segs[0], "x")
+	nodes, err := strconv.Atoi(nStr)
+	if err != nil {
+		return sim.MachineSpec{}, fmt.Errorf("topology %q: bad node count %q", spec, nStr)
+	}
+	gpn, err := strconv.Atoi(mStr)
+	if err != nil {
+		return sim.MachineSpec{}, fmt.Errorf("topology %q: bad per-node GPU count %q", spec, mStr)
+	}
+	if nodes < 1 || gpn < 1 {
+		return sim.MachineSpec{}, fmt.Errorf("topology %q: node and GPU counts must be >= 1", spec)
+	}
+
+	// Validate the option segments and resolve the base model first, so
+	// bus overrides apply on top of it no matter where base= appears.
+	seen := map[string]bool{}
+	for _, seg := range segs[1:] {
+		if seg == "" {
+			return sim.MachineSpec{}, fmt.Errorf("topology %q: empty option segment (trailing or doubled ':')", spec)
+		}
+		key, val, ok := strings.Cut(seg, "=")
+		if !ok || val == "" {
+			return sim.MachineSpec{}, fmt.Errorf("topology %q: option %q is not key=value", spec, seg)
+		}
+		if seen[key] {
+			return sim.MachineSpec{}, fmt.Errorf("topology %q: repeated option %q", spec, key)
+		}
+		seen[key] = true
+	}
+	m := sim.Cluster(nodes, gpn)
+	for _, seg := range segs[1:] {
+		if key, val, _ := strings.Cut(seg, "="); key == "base" {
+			switch val {
+			case "super", "supercomputer":
+				// sim.Cluster's default node model.
+			case "desktop":
+				name, network := m.Name, m.Network
+				m = sim.Desktop().WithGPUs(nodes * gpn)
+				m.Name, m.Nodes, m.Network = name, nodes, network
+			default:
+				return sim.MachineSpec{}, fmt.Errorf("topology %q: base=%q (want desktop or super)", spec, val)
+			}
+		}
+	}
+	for _, seg := range segs[1:] {
+		key, val, _ := strings.Cut(seg, "=")
+		switch key {
+		case "base":
+			// Resolved above.
+		case "pcie":
+			if m.Bus.HostLinkGBs, err = parseBandwidth(val); err != nil {
+				return sim.MachineSpec{}, fmt.Errorf("topology %q: pcie=%q: %v", spec, val, err)
+			}
+		case "peer":
+			if m.Bus.PeerGBs, err = parseBandwidth(val); err != nil {
+				return sim.MachineSpec{}, fmt.Errorf("topology %q: peer=%q: %v", spec, val, err)
+			}
+		case "nic":
+			if m.Network.GBs, err = parseBandwidth(val); err != nil {
+				return sim.MachineSpec{}, fmt.Errorf("topology %q: nic=%q: %v", spec, val, err)
+			}
+		case "niclat":
+			lat, err := strconv.ParseFloat(val, 64)
+			if err != nil || lat < 0 {
+				return sim.MachineSpec{}, fmt.Errorf("topology %q: niclat=%q: want microseconds >= 0", spec, val)
+			}
+			m.Network.LatencyUS = lat
+		default:
+			return sim.MachineSpec{}, fmt.Errorf("topology %q: unknown option %q (want base, pcie, peer, nic or niclat)", spec, key)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return sim.MachineSpec{}, fmt.Errorf("topology %q: %v", spec, err)
+	}
+	return m, nil
+}
+
+// parseBandwidth parses a bandwidth in 1e9 bytes/s with an optional G
+// (default unit) or M suffix; peer=0 is a valid spelling for "no peer
+// path" so zero is allowed.
+func parseBandwidth(val string) (float64, error) {
+	scale := 1.0
+	num := val
+	switch {
+	case strings.HasSuffix(val, "G"):
+		num = strings.TrimSuffix(val, "G")
+	case strings.HasSuffix(val, "M"):
+		num = strings.TrimSuffix(val, "M")
+		scale = 1e-3
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("want a number with optional G or M suffix")
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("bandwidth must be >= 0")
+	}
+	return f * scale, nil
+}

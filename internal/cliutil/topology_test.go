@@ -1,0 +1,124 @@
+package cliutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"accmulti/internal/sim"
+)
+
+func TestTopologyGrammar(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want func() sim.MachineSpec
+	}{
+		{name: "bare", spec: "2x4", want: func() sim.MachineSpec { return sim.Cluster(2, 4) }},
+		{name: "degenerate single node", spec: "1x3", want: func() sim.MachineSpec { return sim.Cluster(1, 3) }},
+		{name: "bus and nic overrides", spec: "2x4:pcie=8G:nic=1G", want: func() sim.MachineSpec {
+			m := sim.Cluster(2, 4)
+			m.Bus.HostLinkGBs = 8
+			m.Network.GBs = 1
+			return m
+		}},
+		{name: "desktop base", spec: "2x2:base=desktop", want: func() sim.MachineSpec {
+			c := sim.Cluster(2, 2)
+			m := sim.Desktop().WithGPUs(4)
+			m.Name, m.Nodes, m.Network = c.Name, 2, c.Network
+			return m
+		}},
+		{name: "base resolves first regardless of position", spec: "2x2:pcie=8G:base=desktop", want: func() sim.MachineSpec {
+			c := sim.Cluster(2, 2)
+			m := sim.Desktop().WithGPUs(4)
+			m.Name, m.Nodes, m.Network = c.Name, 2, c.Network
+			m.Bus.HostLinkGBs = 8
+			return m
+		}},
+		{name: "megabyte suffix", spec: "2x2:nic=500M", want: func() sim.MachineSpec {
+			m := sim.Cluster(2, 2)
+			m.Network.GBs = 0.5
+			return m
+		}},
+		{name: "nic latency", spec: "2x2:niclat=10.5", want: func() sim.MachineSpec {
+			m := sim.Cluster(2, 2)
+			m.Network.LatencyUS = 10.5
+			return m
+		}},
+		{name: "peer zero is a valid spelling", spec: "2x2:peer=0:base=super", want: func() sim.MachineSpec {
+			m := sim.Cluster(2, 2)
+			m.Bus.PeerGBs = 0
+			return m
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Machine(tc.spec, 0)
+			if err != nil {
+				t.Fatalf("Machine(%q): %v", tc.spec, err)
+			}
+			if want := tc.want(); !reflect.DeepEqual(got, want) {
+				t.Errorf("Machine(%q) =\n%+v\nwant\n%+v", tc.spec, got, want)
+			}
+		})
+	}
+}
+
+func TestTopologyGrammarErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		msg  string // substring the error must carry
+	}{
+		{"2x4:", "empty option segment"},
+		{"2x4::nic=1G", "empty option segment"},
+		{"2x4:nic", "not key=value"},
+		{"2x4:nic=", "not key=value"},
+		{"2x4:nic=1G:nic=2G", "repeated option"},
+		{"2x4:bogus=1", "unknown option"},
+		{"0x4", "must be >= 1"},
+		{"2x0", "must be >= 1"},
+		{"2x4:base=phone", "want desktop or super"},
+		{"2x4:nic=-1", "bandwidth must be >= 0"},
+		{"2x4:nic=xG", "want a number"},
+		{"2x4:niclat=-3", "microseconds >= 0"},
+		{"9x2", ""}, // 18 GPUs: rejected by spec validation
+	}
+	for _, tc := range cases {
+		_, err := Machine(tc.spec, 0)
+		if err == nil {
+			t.Errorf("Machine(%q) should fail", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.msg) {
+			t.Errorf("Machine(%q) error %q does not mention %q", tc.spec, err, tc.msg)
+		}
+	}
+
+	// A topology fixes the GPU count itself; combining it with -gpus
+	// must be rejected, not silently resolved either way.
+	if _, err := Machine("2x4", 3); err == nil || !strings.Contains(err.Error(), "drop -gpus") {
+		t.Errorf("Machine(2x4, gpus=3) = %v, want the drop -gpus error", err)
+	}
+}
+
+func TestMachineDispatch(t *testing.T) {
+	// Non-topology spellings keep their existing behaviour.
+	if m, err := Machine("desktop", 0); err != nil || m.Name != "Desktop Machine" {
+		t.Errorf("desktop: %+v, %v", m.Name, err)
+	}
+	if m, err := Machine("super", 2); err != nil || m.NumGPUs != 2 {
+		t.Errorf("super with gpus=2: %+v, %v", m.NumGPUs, err)
+	}
+	// Strings that only vaguely resemble a topology fall through to the
+	// unknown-machine error (and its message advertises the grammar).
+	for _, bad := range []string{"x4", "2x", "2x4x8", "axb", "cluster"} {
+		if _, err := Machine(bad, 0); err == nil || !strings.Contains(err.Error(), "unknown machine") {
+			t.Errorf("Machine(%q) = %v, want unknown machine", bad, err)
+		}
+	}
+	// Topology specs dispatch through the grammar.
+	m, err := Machine("2x2:nic=1G", 0)
+	if err != nil || m.Nodes != 2 || m.NumGPUs != 4 || m.Network.GBs != 1 {
+		t.Errorf("2x2:nic=1G: %+v, %v", m, err)
+	}
+}

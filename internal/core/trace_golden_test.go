@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
+	"accmulti/internal/analysis"
 	"accmulti/internal/ir"
 	"accmulti/internal/rt"
 	"accmulti/internal/sim"
@@ -114,6 +116,31 @@ func traceCases(t *testing.T) []struct {
 			},
 		},
 		{
+			// The same stencil on a 2-node x 2-GPU cluster: the golden
+			// pins the node-level trace layout — halo pushes on the
+			// per-node NIC lanes, labeled "nic" when they cross the
+			// network and "p2p" when they stay inside a node, and
+			// copy-ins to node 1 tagged with the NIC path.
+			name:   "stencil1d-2x2",
+			golden: filepath.Join(exDir, "stencil1d", "stencil1d.2x2.trace.json"),
+			run: func(t *testing.T, tr *trace.Tracer) *Result {
+				const n, steps = 1 << 20, 3
+				prog, err := Compile(stencilSrc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a := &ir.HostArray{F32: make([]float32, n)}
+				a.F32[n/2] = 1000
+				bind := ir.NewBindings().
+					SetScalar("n", n).SetScalar("steps", steps).SetArray("a", a)
+				res, err := prog.Run(bind, Config{Machine: sim.Cluster(2, 2), Trace: tr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			},
+		},
+		{
 			name:   "kmeans",
 			golden: filepath.Join(exDir, "kmeans", "kmeans.trace.json"),
 			run: func(t *testing.T, tr *trace.Tracer) *Result {
@@ -144,7 +171,7 @@ func traceCases(t *testing.T) []struct {
 			name:   "stencil_exchange",
 			golden: filepath.Join(exDir, "vet", "stencil_exchange.trace.json"),
 			run: func(t *testing.T, tr *trace.Tracer) *Result {
-				res, err := runExchange(exchangeFile, 4, tr)
+				res, err := runExchange(exchangeFile, sim.Desktop().WithGPUs(4), tr)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -155,8 +182,8 @@ func traceCases(t *testing.T) []struct {
 }
 
 // runExchange runs examples/vet/stencil_exchange.c at n=256 on the given
-// GPU count; shared with the metrics cross-check below.
-func runExchange(path string, gpus int, tr *trace.Tracer) (*Result, error) {
+// machine; shared with the metrics cross-checks below.
+func runExchange(path string, spec sim.MachineSpec, tr *trace.Tracer) (*Result, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -172,7 +199,7 @@ func runExchange(path string, gpus int, tr *trace.Tracer) (*Result, error) {
 		a.F32[i] = float32(i % 17)
 	}
 	bind := ir.NewBindings().SetScalar("n", n).SetArray("a", a).SetArray("b", b)
-	return prog.Run(bind, Config{Machine: sim.Desktop().WithGPUs(gpus), Trace: tr})
+	return prog.Run(bind, Config{Machine: spec, Trace: tr})
 }
 
 func chromeTrace(t *testing.T, tr *trace.Tracer) []byte {
@@ -242,7 +269,7 @@ func TestTraceMetricsCrossCheck(t *testing.T) {
 	const gpus = 4
 	path := filepath.Join("..", "..", "examples", "vet", "stencil_exchange.c")
 	tr := trace.New()
-	res, err := runExchange(path, gpus, tr)
+	res, err := runExchange(path, sim.Desktop().WithGPUs(gpus), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,5 +350,77 @@ func TestTraceMetricsCrossCheck(t *testing.T) {
 	}
 	if got, want := haloCount["b"], 9*perRound; got != want {
 		t.Errorf(`halo spans for "b" = %d, ACCV007 predicts %d (9 rounds x %d)`, got, want, perRound)
+	}
+}
+
+// TestMultiNodeTraceMetricsCrossCheck re-runs the showcase program on a
+// 2-node x 2-GPU cluster and ties the static prediction to the node
+// topology: analysis.ExchangeTransfers gives the per-round transfer
+// count and how many of those must cross the network, and the trace's
+// halo spans must realize exactly that split — "nic"-tagged spans for
+// the node-boundary pair, unmarked or "p2p" spans inside a node. The
+// runtime's halo-exchange events must report the same inter-node count.
+func TestMultiNodeTraceMetricsCrossCheck(t *testing.T) {
+	const nodes, gpus = 2, 4
+	spec := sim.Cluster(nodes, gpus/nodes)
+	path := filepath.Join("..", "..", "examples", "vet", "stencil_exchange.c")
+	tr := trace.New()
+	res, err := runExchange(path, spec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perRound, interPerRound := analysis.ExchangeTransfers(nodes, gpus)
+	rounds := map[string]int{"a": 10, "b": 9} // see TestTraceMetricsCrossCheck
+	haloCount := map[string]int{}
+	nicCount := map[string]int{}
+	for _, s := range tr.Spans() {
+		if s.Kind != trace.KindHalo {
+			continue
+		}
+		haloCount[s.Name]++
+		if s.Detail == "nic" {
+			nicCount[s.Name]++
+			if !spec.CrossNode(s.Src, s.Dst) {
+				t.Errorf("halo span %q (%d -> %d) tagged nic inside one node", s.Name, s.Src, s.Dst)
+			}
+		} else if spec.CrossNode(s.Src, s.Dst) {
+			t.Errorf("halo span %q (%d -> %d) crosses nodes without the nic tag", s.Name, s.Src, s.Dst)
+		}
+	}
+	for name, r := range rounds {
+		if got, want := haloCount[name], r*perRound; got != want {
+			t.Errorf("halo spans for %q = %d, ExchangeTransfers predicts %d (%d rounds x %d)",
+				name, got, want, r, perRound)
+		}
+		if got, want := nicCount[name], r*interPerRound; got != want {
+			t.Errorf("nic-tagged halo spans for %q = %d, ExchangeTransfers predicts %d (%d rounds x %d)",
+				name, got, want, r, interPerRound)
+		}
+	}
+
+	// The runtime's own halo-exchange events report the inter-node count
+	// the comm manager actually scheduled; summed, it must equal the
+	// nic-tagged span population.
+	interRe := regexp.MustCompile(`\((\d+) inter-node\)`)
+	eventInter := 0
+	for _, ev := range res.Report.Events {
+		if ev.Kind != "halo-exchange" {
+			continue
+		}
+		mm := interRe.FindStringSubmatch(ev.Detail)
+		if mm == nil {
+			t.Fatalf("multi-node halo-exchange event without inter-node count: %s", ev.Detail)
+		}
+		n, _ := strconv.Atoi(mm[1])
+		eventInter += n
+	}
+	wantInter := 0
+	for _, n := range nicCount {
+		wantInter += n
+	}
+	if eventInter != wantInter {
+		t.Errorf("halo-exchange events report %d inter-node transfers, trace has %d nic-tagged halo spans",
+			eventInter, wantInter)
 	}
 }

@@ -48,6 +48,8 @@ func checkAsyncVsSync(t testing.TB, p randProg) {
 		sim.Desktop().WithGPUs(1),
 		sim.Desktop(),
 		sim.SupercomputerNode(),
+		sim.Cluster(2, 2),
+		sim.Cluster(3, 2),
 	} {
 		sync, err := p.runFull(t, spec, rt.Options{}, nil)
 		if err != nil {
@@ -142,6 +144,7 @@ func TestAsyncAuditedCorpus(t *testing.T) {
 				sim.Desktop().WithGPUs(1),
 				sim.Desktop(),
 				sim.SupercomputerNode(),
+				sim.Cluster(2, 2),
 			} {
 				opts := rt.Options{Async: true, Auditor: audit.New(audit.Options{})}
 				out, out2, hist, total := p.run(t, spec, opts)

@@ -28,11 +28,20 @@ func (r *Runtime) commSync(k *ir.Kernel, env *ir.Env, gpus []*sim.Device, partia
 				halo := r.syncOverlaps(st, gpus)
 				if len(halo) > 0 {
 					var bytes int64
+					inter := 0
 					for _, t := range halo {
 						bytes += t.Bytes
+						if r.mach.Spec.CrossNode(t.Src, t.Dst) {
+							inter++
+						}
 					}
-					r.addEvent("halo-exchange", fmt.Sprintf(
-						"kernel %s: array %s, %d transfer(s), %d bytes", k.Name, use.Decl.Name, len(halo), bytes))
+					if r.mach.Spec.NodeCount() > 1 {
+						r.addEvent("halo-exchange", fmt.Sprintf(
+							"kernel %s: array %s, %d transfer(s) (%d inter-node), %d bytes", k.Name, use.Decl.Name, len(halo), inter, bytes))
+					} else {
+						r.addEvent("halo-exchange", fmt.Sprintf(
+							"kernel %s: array %s, %d transfer(s), %d bytes", k.Name, use.Decl.Name, len(halo), bytes))
+					}
 				}
 				p2p = append(p2p, halo...)
 			} else {
@@ -206,12 +215,7 @@ func (r *Runtime) scanDirty(st *arrayState, gpus []*sim.Device, g int, d *srcDif
 		}
 		d.runs = appendNonzeroRuns(d.runs, src.dirty, 0, src.localLen())
 		payload := src.localLen()*st.elemSize + src.localLen() // data + dirty bits
-		for g2 := range gpus {
-			if g2 != g {
-				d.transfers = append(d.transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: payload, Src: g, Dst: g2,
-					Label: st.decl.Name, Lo: src.lo, Hi: src.hi, Tag: sim.TagDirty})
-			}
-		}
+		d.transfers = r.chunkFanOut(d.transfers, st, len(gpus), g, payload, src.lo, src.hi)
 		return
 	}
 	for ch := range src.chunkDirty {
@@ -227,13 +231,56 @@ func (r *Runtime) scanDirty(st *arrayState, gpus []*sim.Device, g int, d *srcDif
 		// elements the first-level dirty bits mark.
 		d.runs = appendNonzeroRuns(d.runs, src.dirty, lo, hi)
 		chunkBytes := (hi - lo) * st.elemSize
-		for g2 := range gpus {
+		d.transfers = r.chunkFanOut(d.transfers, st, len(gpus), g, chunkBytes, src.lo+lo, src.lo+hi-1)
+	}
+}
+
+// chunkFanOut appends the priced transfers that ship one source chunk
+// (or whole-replica payload under the single-level ablation) to every
+// other active replica, choosing paths by topology. On a single-node
+// machine every destination receives directly from the source — the
+// exact transfer list the pre-topology runtime emitted. On a
+// multi-node machine the fan-out goes two-level: same-node replicas
+// receive directly over the intra-node bus, and each remote node
+// receives one NIC shipment to its leader (the node's first active
+// GPU), which relays to the node's remaining replicas locally — so a
+// chunk crosses the network once per node, not once per GPU. The
+// functional apply stage is unaffected: only the priced routes change.
+func (r *Runtime) chunkFanOut(dst []sim.Transfer, st *arrayState, ngpus, g int, bytes, lo, hi int64) []sim.Transfer {
+	spec := &r.mach.Spec
+	push := func(src, g2 int) {
+		dst = append(dst, sim.Transfer{Kind: sim.PeerToPeer, Bytes: bytes, Src: src, Dst: g2,
+			Label: st.decl.Name, Lo: lo, Hi: hi, Tag: sim.TagDirty})
+	}
+	if spec.NodeCount() <= 1 {
+		for g2 := 0; g2 < ngpus; g2++ {
 			if g2 != g {
-				d.transfers = append(d.transfers, sim.Transfer{Kind: sim.PeerToPeer, Bytes: chunkBytes, Src: g, Dst: g2,
-					Label: st.decl.Name, Lo: src.lo + lo, Hi: src.lo + hi - 1, Tag: sim.TagDirty})
+				push(g, g2)
 			}
 		}
+		return dst
 	}
+	gpn := spec.GPUsPerNode()
+	srcNode := spec.NodeOf(g)
+	for base := 0; base < ngpus; base += gpn {
+		end := base + gpn
+		if end > ngpus {
+			end = ngpus
+		}
+		if spec.NodeOf(base) == srcNode {
+			for g2 := base; g2 < end; g2++ {
+				if g2 != g {
+					push(g, g2)
+				}
+			}
+			continue
+		}
+		push(g, base) // across the NIC to the remote node's leader
+		for g2 := base + 1; g2 < end; g2++ {
+			push(base, g2) // intra-node relay
+		}
+	}
+	return dst
 }
 
 // deliverMisses routes buffered remote writes on distributed arrays to

@@ -3,6 +3,7 @@ package rt
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -38,6 +39,38 @@ func partition(lower, upper int64, n int) []span {
 	return parts
 }
 
+// partitionTopo splits [lower, upper) across n devices respecting the
+// machine's node topology: the iteration space is first block-split
+// across nodes, then each node's block is split across its GPUs — the
+// two-level decomposition of the multi-node loader. On a single-node
+// machine (or a degraded prefix smaller than one node) this reduces to
+// the flat partition. Node-block boundaries coincide with the flat
+// split's boundaries at node multiples, so GPU-index-adjacent chunks
+// stay contiguous; only intra-node rounding may differ from the flat
+// split, and never by more than one element per boundary.
+func (r *Runtime) partitionTopo(lower, upper int64, n int) []span {
+	spec := &r.mach.Spec
+	gpn := spec.GPUsPerNode()
+	if spec.NodeCount() <= 1 || gpn < 1 || n <= gpn {
+		return partition(lower, upper, n)
+	}
+	total := upper - lower
+	if total < 0 {
+		total = 0
+	}
+	parts := make([]span, n)
+	for base := 0; base < n; base += gpn {
+		cnt := gpn
+		if base+cnt > n {
+			cnt = n - base
+		}
+		nlo := lower + total*int64(base)/int64(n)
+		nhi := lower + total*int64(base+cnt)/int64(n)
+		copy(parts[base:base+cnt], partition(nlo, nhi, cnt))
+	}
+	return parts
+}
+
 // Launch executes one parallel loop: data loading, concurrent kernel
 // execution on every GPU, and the inter-GPU communication step — the
 // three-phase BSP cycle of the paper's Figure 3.
@@ -46,7 +79,11 @@ func partition(lower, upper int64, n int) []span {
 // DisableDegradation is set): the launch retries down a degradation
 // ladder — distributed arrays fall back to replication, then the GPU
 // count shrinks one device at a time — re-partitioning the iteration
-// space each rung. Each step is recorded in the report's Events.
+// space each rung. A lost node (the losenode fault) takes a steeper
+// rung: every array is evacuated to the host — the drain model keeps
+// lost memory readable, only new allocations fail — and the run
+// permanently redistributes across the surviving node prefix. Each
+// step is recorded in the report's Events.
 func (r *Runtime) Launch(k *ir.Kernel, env *ir.Env) error {
 	if err := r.interrupted(); err != nil {
 		return err
@@ -76,13 +113,29 @@ func (r *Runtime) Launch(k *ir.Kernel, env *ir.Env) error {
 		if err == nil {
 			break
 		}
-		var oom *sim.OutOfMemoryError
-		if r.opts.DisableDegradation || !errors.As(err, &oom) {
+		if r.opts.DisableDegradation {
 			return err
 		}
+		var oom *sim.OutOfMemoryError
+		var lost *sim.NodeLostError
 		// Degradation ladder: give up placement sophistication first,
-		// parallelism second.
+		// parallelism second. Node loss jumps straight to the surviving
+		// prefix — there is no point retrying placement on a node that
+		// refuses allocations.
 		switch {
+		case errors.As(err, &lost):
+			keep := lost.Node * r.mach.Spec.GPUsPerNode()
+			if keep < 1 || keep >= len(gpus) {
+				return err
+			}
+			if err := r.nodeLossReset(); err != nil {
+				return err
+			}
+			gpus = gpus[:keep]
+			r.usableGPUs = keep
+			r.addEvent("node-loss", fmt.Sprintf("kernel %s: %v; redistributing across the %d surviving GPU(s)", k.Name, lost, keep))
+		case !errors.As(err, &oom):
+			return err
 		case !r.forceReplicate && r.kernelDistributes(k):
 			r.forceReplicate = true
 			r.addEvent("oom-fallback", fmt.Sprintf("kernel %s: %v; retrying with distribution disabled (replica placement)", k.Name, oom))
@@ -136,6 +189,33 @@ func (r *Runtime) kernelDistributes(k *ir.Kernel) bool {
 func (r *Runtime) resetKernelArrays(k *ir.Kernel) error {
 	for _, use := range k.Arrays {
 		st := r.state(use.Decl)
+		tr, err := r.gatherToHost(st)
+		if err != nil {
+			return err
+		}
+		if err := r.account(tr, &r.rep.CPUGPUTime); err != nil {
+			return err
+		}
+		if err := st.release(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeLossReset evacuates every resident array to the host and
+// releases all device copies — the node-loss rung's drain step. The
+// fault model keeps a lost node's memory readable (the node is
+// cordoned, not vaporized), so gathers from its GPUs still succeed;
+// only new allocations fail. Arrays are processed in name order
+// because r.arrays is a map and the gather transfers are priced.
+func (r *Runtime) nodeLossReset() error {
+	states := make([]*arrayState, 0, len(r.arrays))
+	for _, st := range r.arrays {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].decl.Name < states[j].decl.Name })
+	for _, st := range states {
 		tr, err := r.gatherToHost(st)
 		if err != nil {
 			return err

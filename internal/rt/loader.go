@@ -217,19 +217,39 @@ var (
 // occupies the virtual-time window the pricing advanced, and every
 // transfer in it becomes one span over that window — H2D on the
 // destination GPU's lane, gathers on the source GPU's lane, GPU-GPU
-// traffic on the comms lane (kind halo-exchange or d2d by tag).
+// traffic on the comms lane (kind halo-exchange or d2d by tag). On a
+// multi-node machine GPU-GPU spans land on the destination node's NIC
+// lane instead, with Detail marking the path — "nic" for cross-node
+// traffic, "p2p" for intra-node peers — and host transfers crossing a
+// node boundary carry the "nic" detail on their GPU lane.
 func (r *Runtime) emitTransferSpans(tr *trace.Tracer, transfers []sim.Transfer, begin, end time.Duration) {
 	m := tr.Metrics()
+	spec := &r.mach.Spec
+	multi := spec.NodeCount() > 1
 	for _, t := range transfers {
 		s := trace.Span{Begin: begin, End: end, Name: t.Label,
 			Bytes: t.Bytes, Lo: t.Lo, Hi: t.Hi, Src: t.Src, Dst: t.Dst}
 		switch t.Kind {
 		case sim.HostToDevice:
 			s.Kind, s.Lane = trace.KindH2D, t.Dst
+			if multi && spec.CrossNode(t.Src, t.Dst) {
+				s.Detail = "nic"
+			}
 		case sim.DeviceToHost:
 			s.Kind, s.Lane = trace.KindGather, t.Src
+			if multi && spec.CrossNode(t.Src, t.Dst) {
+				s.Detail = "nic"
+			}
 		default:
 			s.Lane = trace.LaneComms
+			if multi {
+				s.Lane = trace.LaneNIC(spec.NodeOf(t.Dst))
+				if spec.CrossNode(t.Src, t.Dst) {
+					s.Detail = "nic"
+				} else {
+					s.Detail = "p2p"
+				}
+			}
 			if t.Tag == sim.TagHalo {
 				s.Kind = trace.KindHalo
 			} else {

@@ -121,7 +121,7 @@ func (r *Runtime) planEvent(k *ir.Kernel, outcome string) {
 // computePlan builds the partition and needs from scratch — the exact
 // serial computation the pre-cache runtime performed every launch.
 func (r *Runtime) computePlan(k *ir.Kernel, env *ir.Env, ngpus int, lower, upper int64) ([]span, [][]need) {
-	parts := partition(lower, upper, ngpus)
+	parts := r.partitionTopo(lower, upper, ngpus)
 	if r.opts.BalanceLoad {
 		if bal := r.balancedPartition(k, env, lower, upper, ngpus); bal != nil {
 			parts = bal

@@ -198,6 +198,8 @@ func checkAuditedEquivalence(t testing.TB, p randProg) {
 		sim.Desktop().WithGPUs(1),
 		sim.Desktop(),
 		sim.SupercomputerNode(),
+		sim.Cluster(2, 2),
+		sim.Cluster(3, 2),
 	} {
 		opts := rt.Options{Auditor: audit.New(audit.Options{})}
 		out, out2, hist, total := p.run(t, spec, opts)
@@ -223,6 +225,7 @@ func TestRandomProgramsMultiGPUEquivalence(t *testing.T) {
 			sim.Desktop().WithGPUs(1),
 			sim.Desktop(),
 			sim.SupercomputerNode(),
+			sim.Cluster(2, 2),
 		} {
 			out, out2, hist, total := p.run(t, spec, rt.Options{})
 			compareI32(t, p.src, spec.Name, "out_", out, refOut)

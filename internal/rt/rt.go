@@ -224,6 +224,11 @@ type Runtime struct {
 	// rung of the OOM degradation ladder: localaccess arrays place as
 	// full replicas for that attempt.
 	forceReplicate bool
+	// usableGPUs, when non-zero, caps the device set for the rest of
+	// the run: the node-loss rung of the degradation ladder sets it to
+	// the index-aligned GPU prefix preceding the lost node. Unlike the
+	// per-launch OOM shrink, a lost node never comes back.
+	usableGPUs int
 
 	// planCache memoizes resolved launch plans (partition + per-GPU
 	// needs) across launches of the same kernel; see plancache.go for
@@ -410,11 +415,17 @@ func (r *Runtime) Run(inst *ir.Instance) error {
 
 // gpus returns the devices this mode uses.
 func (r *Runtime) gpus() []*sim.Device {
+	all := r.mach.GPUs()
+	if r.usableGPUs > 0 && r.usableGPUs < len(all) {
+		// A node was lost earlier in the run: only the surviving
+		// prefix remains addressable.
+		all = all[:r.usableGPUs]
+	}
 	switch r.opts.Mode {
 	case ModeBaseline, ModeCUDA:
-		return r.mach.GPUs()[:1]
+		return all[:1]
 	default:
-		return r.mach.GPUs()
+		return all
 	}
 }
 
@@ -460,7 +471,7 @@ type Event struct {
 	// Time is the simulated clock when the action was taken.
 	Time time.Duration
 	// Kind classifies the action: "transfer-retry", "transfer-giveup",
-	// "oom-fallback", "oom-giveup" or "halo-exchange".
+	// "oom-fallback", "oom-giveup", "node-loss" or "halo-exchange".
 	Kind string
 	// Detail is a human-readable description.
 	Detail string

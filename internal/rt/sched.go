@@ -105,7 +105,18 @@ type asyncSched struct {
 	// busFree is the transfer engine's next free time. Sub-batches
 	// serialize on it so concurrent-transfer pricing stays exactly the
 	// aggregate-bandwidth batch model of sim.BusSpec.TransferTime.
+	// Used on single-node machines only (nodeFree == nil).
 	busFree time.Duration
+	// nodeFree is each node's transfer fabric (its PCIe complex plus
+	// its NIC port) next-free time; allocated only on multi-node
+	// machines, where it replaces busFree: a sub-batch serializes on
+	// the fabrics of every node it touches plus — for cross-node
+	// members — the shared network, so NIC pushes between one node
+	// pair can overlap intra-node traffic elsewhere, matching the
+	// cluster cost model's per-node overlap.
+	nodeFree []time.Duration
+	// netFree is the shared inter-node network's next-free time.
+	netFree time.Duration
 	// hostBarrier rises to the completion of every device-to-host
 	// delivery: host code may read it, so later H2D loads and kernel
 	// launches (host scalars) conservatively wait for it.
@@ -120,11 +131,15 @@ type asyncSched struct {
 }
 
 func newAsyncSched(r *Runtime) *asyncSched {
-	return &asyncSched{
+	s := &asyncSched{
 		r:       r,
 		gpuFree: make([]time.Duration, r.mach.NumGPUs()),
 		hazards: map[string]*arrHazard{},
 	}
+	if n := r.mach.Spec.NodeCount(); n > 1 {
+		s.nodeFree = make([]time.Duration, n)
+	}
+	return s
 }
 
 // bump advances the makespan.
@@ -134,14 +149,38 @@ func (s *asyncSched) bump(t time.Duration) {
 	}
 }
 
-// penalize occupies the bus with fault-retry time (failed attempts and
-// backoff windows priced by account's retry loop).
+// penalize occupies the transfer resources with fault-retry time
+// (failed attempts and backoff windows priced by account's retry
+// loop). On multi-node machines the retry loop's serialization is
+// conservative: every fabric and the network wait it out.
 func (s *asyncSched) penalize(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	s.busFree += d
 	s.bump(s.busFree)
+	if s.nodeFree != nil {
+		for n := range s.nodeFree {
+			s.nodeFree[n] += d
+			s.bump(s.nodeFree[n])
+		}
+		s.netFree += d
+	}
+}
+
+// resFree is the earliest time the transfer's resources are all free:
+// both endpoints' node fabrics, plus the shared network for cross-node
+// traffic. Multi-node machines only.
+func (s *asyncSched) resFree(t sim.Transfer) time.Duration {
+	spec := &s.r.mach.Spec
+	free := s.nodeFree[spec.NodeOf(t.Src)]
+	if f := s.nodeFree[spec.NodeOf(t.Dst)]; f > free {
+		free = f
+	}
+	if spec.CrossNode(t.Src, t.Dst) && s.netFree > free {
+		free = s.netFree
+	}
+	return free
 }
 
 func (s *asyncSched) haz(label string) *arrHazard {
@@ -343,9 +382,33 @@ func (s *asyncSched) batch(transfers []sim.Transfer, penalty time.Duration) {
 				minReady = rdy
 			}
 		}
-		t0 := s.busFree
-		if minReady > t0 {
+		var t0 time.Duration
+		if s.nodeFree == nil {
+			t0 = s.busFree
+			if minReady > t0 {
+				t0 = minReady
+			}
+		} else {
+			// Multi-node: the sub-batch starts when its members' hazards
+			// AND their transfer resources (node fabrics, the network for
+			// cross-node members) have settled. Lifting t0 can admit more
+			// members, whose resources can lift it further — iterate to
+			// the fixpoint (monotone, bounded by the busiest resource).
 			t0 = minReady
+			for {
+				lift := t0
+				for pi, i := range pend {
+					if ready[pi] <= t0 {
+						if f := s.resFree(transfers[i]); f > lift {
+							lift = f
+						}
+					}
+				}
+				if lift == t0 {
+					break
+				}
+				t0 = lift
+			}
 		}
 		// Everything ready by the issue time shares the sub-batch.
 		sub := s.subBatch[:0]
@@ -392,6 +455,12 @@ func (s *asyncSched) batch(transfers []sim.Transfer, penalty time.Duration) {
 				}
 				t0 = r
 			}
+			if s.nodeFree != nil {
+				// The joining straggler's resources must be free too.
+				if f := s.resFree(transfers[rest[best]]); f > t0 {
+					t0 = f
+				}
+			}
 			sub = append(sub, transfers[rest[best]])
 			copy(rest[best:], rest[best+1:])
 			copy(ready[best:], ready[best+1:])
@@ -405,7 +474,18 @@ func (s *asyncSched) batch(transfers []sim.Transfer, penalty time.Duration) {
 			s.emitAsyncTransferSpans(tr, sub, t0, end)
 		}
 		s.subBatch = sub
-		s.busFree = end
+		if s.nodeFree == nil {
+			s.busFree = end
+		} else {
+			spec := &s.r.mach.Spec
+			for _, t := range sub {
+				s.nodeFree[spec.NodeOf(t.Src)] = end
+				s.nodeFree[spec.NodeOf(t.Dst)] = end
+				if spec.CrossNode(t.Src, t.Dst) {
+					s.netFree = end
+				}
+			}
+		}
 		s.bump(end)
 		pend = rest
 	}
@@ -415,15 +495,29 @@ func (s *asyncSched) batch(transfers []sim.Transfer, penalty time.Duration) {
 
 // emitAsyncTransferSpans renders one sub-batch as spans over its
 // scheduled window. Unlike the synchronous layout (H2D and gathers on
-// GPU lanes), every transfer span lands on the comms lane: transfers
+// GPU lanes), every transfer span lands on a comms lane: transfers
 // overlap kernels under the async schedule, and the per-lane nesting
-// invariant of trace.CheckWellFormed must keep holding. The bus
-// timeline is monotone, so the comms lane stays well-formed; the
-// metric increments are identical to the synchronous path.
+// invariant of trace.CheckWellFormed must keep holding. Single-node
+// machines use the one comms lane, whose bus timeline is monotone; on
+// multi-node machines each span lands on its destination node's NIC
+// lane (tagged "nic" for cross-node traffic, "p2p" for intra-node
+// peers), which stays well-formed because the sub-batch serialized on
+// that node's fabric. The metric increments are identical to the
+// synchronous path.
 func (s *asyncSched) emitAsyncTransferSpans(tr *trace.Tracer, transfers []sim.Transfer, begin, end time.Duration) {
 	m := tr.Metrics()
+	spec := &s.r.mach.Spec
 	for _, t := range transfers {
-		sp := trace.Span{Begin: begin, End: end, Lane: trace.LaneComms, Name: t.Label,
+		lane, detail := trace.LaneComms, ""
+		if s.nodeFree != nil {
+			lane = trace.LaneNIC(spec.NodeOf(t.Dst))
+			if spec.CrossNode(t.Src, t.Dst) {
+				detail = "nic"
+			} else if t.Kind == sim.PeerToPeer {
+				detail = "p2p"
+			}
+		}
+		sp := trace.Span{Begin: begin, End: end, Lane: lane, Detail: detail, Name: t.Label,
 			Bytes: t.Bytes, Lo: t.Lo, Hi: t.Hi, Src: t.Src, Dst: t.Dst}
 		switch t.Kind {
 		case sim.HostToDevice:

@@ -21,7 +21,10 @@ import (
 type RunRequest struct {
 	// Source is the OpenACC C program.
 	Source string `json:"source"`
-	// Machine selects the platform: "desktop" (default) or "super".
+	// Machine selects the platform: "desktop" (default), "super", or
+	// a cluster topology in the NxM[:key=val]* grammar shared with the
+	// CLIs (e.g. "2x4", "2x2:nic=1G:niclat=10", "2x4:base=desktop").
+	// A topology fixes the GPU count, so it rejects a GPUs override.
 	Machine string `json:"machine,omitempty"`
 	// GPUs overrides the platform GPU count (0 = platform default).
 	GPUs int `json:"gpus,omitempty"`

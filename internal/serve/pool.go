@@ -36,7 +36,12 @@ func NewMachinePool(maxIdle int, mets *serviceMetrics) *MachinePool {
 }
 
 func specKey(spec sim.MachineSpec) string {
-	return fmt.Sprintf("%s/%d", spec.Name, spec.NumGPUs)
+	// The full spec, not Name/NumGPUs: topology requests can share a
+	// name while differing in bus or network overrides (e.g.
+	// "2x2:nic=1G" vs "2x2:nic=2G"), and a pooled machine must never
+	// be leased with the wrong cost model. MachineSpec is a flat value
+	// type, so %+v is a faithful deterministic key.
+	return fmt.Sprintf("%+v", spec)
 }
 
 // Get leases a machine of the given spec: an idle pooled instance when

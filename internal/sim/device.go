@@ -80,9 +80,14 @@ func (d *Device) AllocBytes(name string, class MemClass, bytes int64, data any) 
 	if bytes < 0 {
 		return nil, fmt.Errorf("sim: %s: negative allocation %d for %q", d, bytes, name)
 	}
-	if d.faults != nil && d.faults.allocFails(d.ID) {
-		return nil, &OutOfMemoryError{Device: d.String(), DeviceID: d.ID, Requested: bytes,
-			Used: d.UsedBytes(), Capacity: d.Spec.MemBytes, Name: name, Injected: true}
+	if d.faults != nil {
+		if node, lost := d.faults.nodeLost(d.ID); lost {
+			return nil, &NodeLostError{Node: node, GPU: d.ID, Device: d.String()}
+		}
+		if d.faults.allocFails(d.ID) {
+			return nil, &OutOfMemoryError{Device: d.String(), DeviceID: d.ID, Requested: bytes,
+				Used: d.UsedBytes(), Capacity: d.Spec.MemBytes, Name: name, Injected: true}
+		}
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -40,6 +40,14 @@ type FaultPlan struct {
 	// succeeds. Raise it past the runtime's retry budget to test the
 	// hard-failure path.
 	TransferFailCap int
+	// LoseNode drains one node of a multi-node machine: every
+	// allocation on that node's GPUs returns a NodeLostError for the
+	// rest of the run, permanently — unlike the one-shot OOM injection.
+	// The loss models a cordoned node: resident memory stays readable
+	// (so in-flight data can be evacuated), but no new work lands
+	// there. Node 0 hosts the program and cannot be lost; zero
+	// disables the injection.
+	LoseNode int
 }
 
 // failCap normalizes TransferFailCap.
@@ -52,7 +60,7 @@ func (p *FaultPlan) failCap() int {
 
 // Active reports whether the plan injects anything.
 func (p *FaultPlan) Active() bool {
-	return p != nil && (p.MemShrink > 0 && p.MemShrink < 1 || p.OOMAlloc > 0 || p.TransferFailRate > 0)
+	return p != nil && (p.MemShrink > 0 && p.MemShrink < 1 || p.OOMAlloc > 0 || p.TransferFailRate > 0 || p.LoseNode > 0)
 }
 
 // String renders the plan in the spec syntax ParseFaultPlan accepts.
@@ -72,6 +80,9 @@ func (p *FaultPlan) String() string {
 		if p.TransferFailCap > 0 {
 			parts = append(parts, fmt.Sprintf("transcap=%d", p.TransferFailCap))
 		}
+	}
+	if p.LoseNode > 0 {
+		parts = append(parts, fmt.Sprintf("losenode=%d", p.LoseNode))
 	}
 	if len(parts) == 0 {
 		return "none"
@@ -93,6 +104,15 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 			return nil, fmt.Errorf("sim: fault plan: %q is not key=value", field)
 		}
 		switch key {
+		case "losenode":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("sim: fault plan: %s=%q: %v", key, val, err)
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("sim: fault plan: losenode must be >= 1 (node 0 hosts the program), got %d", n)
+			}
+			p.LoseNode = n
 		case "seed", "oomgpu", "oomalloc", "transcap":
 			n, err := strconv.Atoi(val)
 			if err != nil {
@@ -126,7 +146,7 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 				p.TransferFailRate = f
 			}
 		default:
-			return nil, fmt.Errorf("sim: fault plan: unknown key %q (want seed, shrink, oomgpu, oomalloc, transfail, transcap)", key)
+			return nil, fmt.Errorf("sim: fault plan: unknown key %q (want seed, shrink, oomgpu, oomalloc, transfail, transcap, losenode)", key)
 		}
 	}
 	return p, nil
@@ -142,6 +162,15 @@ type faultState struct {
 	allocCounts map[int]int // allocations seen per device ID
 	oomFired    bool
 	consecFails int
+	// lostGPUs maps device IDs on the lost node to its node index.
+	// Written once when the plan is armed, read-only afterwards.
+	lostGPUs map[int]int
+}
+
+// nodeLost reports whether device id sits on a drained node.
+func (fs *faultState) nodeLost(devID int) (int, bool) {
+	node, ok := fs.lostGPUs[devID]
+	return node, ok
 }
 
 // InjectFaults arms the plan on this machine: GPU capacities shrink
@@ -160,6 +189,17 @@ func (m *Machine) InjectFaults(plan *FaultPlan) {
 		rng:         rand.New(rand.NewSource(plan.Seed)),
 		allocCounts: map[int]int{},
 	}
+	if plan.LoseNode > 0 {
+		// A losenode index beyond the machine's node count matches no
+		// GPU and degenerates to a no-op, exactly like an oomgpu index
+		// the machine does not have.
+		fs.lostGPUs = map[int]int{}
+		for _, g := range m.gpus {
+			if m.Spec.NodeOf(g.ID) == plan.LoseNode {
+				fs.lostGPUs[g.ID] = plan.LoseNode
+			}
+		}
+	}
 	m.faults = fs
 	for _, g := range m.gpus {
 		g.faults = fs
@@ -167,6 +207,22 @@ func (m *Machine) InjectFaults(plan *FaultPlan) {
 			g.Spec.MemBytes = int64(float64(g.Spec.MemBytes) * plan.MemShrink)
 		}
 	}
+}
+
+// NodeLostError reports an allocation refused because the device's
+// node was drained by an armed fault plan (FaultPlan.LoseNode). Unlike
+// OutOfMemoryError it is permanent: the runtime's answer is to
+// redistribute onto the surviving nodes, not to retry a smaller
+// placement on the same device.
+type NodeLostError struct {
+	// Node is the drained node's index; GPU the refusing device.
+	Node, GPU int
+	// Device names the device for diagnostics.
+	Device string
+}
+
+func (e *NodeLostError) Error() string {
+	return fmt.Sprintf("sim: %s unreachable: node %d lost (injected fault)", e.Device, e.Node)
 }
 
 // FaultPlan returns the armed plan, or nil.

@@ -20,7 +20,7 @@ func TestParseFaultPlan(t *testing.T) {
 	if rt, err := ParseFaultPlan(p.String()); err != nil || *rt != want {
 		t.Errorf("round trip: %+v, %v", rt, err)
 	}
-	for _, bad := range []string{"seed", "seed=x", "shrink=2", "shrink=0", "transfail=1.5", "bogus=1"} {
+	for _, bad := range []string{"seed", "seed=x", "shrink=2", "shrink=0", "transfail=1.5", "bogus=1", "losenode=0", "losenode=-1", "losenode=x"} {
 		if _, err := ParseFaultPlan(bad); err == nil {
 			t.Errorf("ParseFaultPlan(%q) should fail", bad)
 		}
@@ -28,6 +28,54 @@ func TestParseFaultPlan(t *testing.T) {
 	empty, err := ParseFaultPlan("")
 	if err != nil || empty.Active() {
 		t.Errorf("empty spec must parse to an inactive plan (%+v, %v)", empty, err)
+	}
+}
+
+func TestLoseNodeDrainsItsGPUs(t *testing.T) {
+	p, err := ParseFaultPlan("losenode=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LoseNode != 1 || !p.Active() {
+		t.Fatalf("plan = %+v, want active losenode=1", *p)
+	}
+	if rt, err := ParseFaultPlan(p.String()); err != nil || *rt != *p {
+		t.Errorf("round trip: %+v, %v", rt, err)
+	}
+
+	mach, err := NewMachine(Cluster(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.InjectFaults(p)
+	// Node 0's GPUs allocate normally.
+	for g := 0; g < 2; g++ {
+		if _, _, err := mach.GPU(g).AllocFloat32("a", MemUser, 16); err != nil {
+			t.Fatalf("gpu%d (node 0) alloc: %v", g, err)
+		}
+	}
+	// Node 1's GPUs refuse every allocation, persistently — a lost
+	// node never comes back (unlike the one-shot injected OOM).
+	for g := 2; g < 4; g++ {
+		for i := 0; i < 3; i++ {
+			_, _, err := mach.GPU(g).AllocFloat32("b", MemUser, 16)
+			var lost *NodeLostError
+			if !errors.As(err, &lost) {
+				t.Fatalf("gpu%d alloc %d: want NodeLostError, got %v", g, i, err)
+			}
+			if lost.Node != 1 || lost.GPU != g {
+				t.Errorf("lost = %+v, want node 1 gpu %d", lost, g)
+			}
+		}
+	}
+
+	// A losenode index beyond the machine's node count is a no-op.
+	clean, _ := NewMachine(Cluster(2, 2))
+	clean.InjectFaults(&FaultPlan{LoseNode: 5})
+	for g := 0; g < 4; g++ {
+		if _, _, err := clean.GPU(g).AllocFloat32("c", MemUser, 16); err != nil {
+			t.Fatalf("gpu%d alloc under out-of-range losenode: %v", g, err)
+		}
 	}
 }
 

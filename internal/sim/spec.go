@@ -180,6 +180,14 @@ func (m *MachineSpec) NodeOf(g int) int {
 	return g / m.GPUsPerNode()
 }
 
+// CrossNode reports whether a transfer between the endpoints src and
+// dst (device IDs; negative means the host, which lives on node 0)
+// crosses a node boundary and therefore travels the network instead of
+// an intra-node bus path.
+func (m *MachineSpec) CrossNode(src, dst int) bool {
+	return m.NodeCount() > 1 && m.NodeOf(src) != m.NodeOf(dst)
+}
+
 // Validate reports an error if the spec is not usable.
 func (m *MachineSpec) Validate() error {
 	if m.Name == "" {

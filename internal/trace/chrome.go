@@ -17,42 +17,52 @@ import (
 // committed as goldens.
 //
 // Lane → Chrome thread id mapping: host = 0, comms = 1, GPU g = 2+g,
-// so the viewer shows host and comms rows above one row per GPU.
+// so the viewer shows host and comms rows above one row per GPU. The
+// per-node NIC lanes of multi-node machines map to tids from 1000 up
+// (NIC n = 1000+n), safely past the at-most-16 GPU tids, so they sort
+// below the GPU rows.
 
 const (
 	tidHost  = 0
 	tidComms = 1
 	tidGPU0  = 2
+	tidNIC0  = 1000
 )
 
 func laneTID(lane int) int {
-	switch lane {
-	case LaneHost:
+	switch {
+	case lane == LaneHost:
 		return tidHost
-	case LaneComms:
+	case lane == LaneComms:
 		return tidComms
+	case lane <= laneNICBase:
+		return tidNIC0 + (laneNICBase - lane)
 	default:
 		return tidGPU0 + lane
 	}
 }
 
 func tidLane(tid int) int {
-	switch tid {
-	case tidHost:
+	switch {
+	case tid == tidHost:
 		return LaneHost
-	case tidComms:
+	case tid == tidComms:
 		return LaneComms
+	case tid >= tidNIC0:
+		return laneNICBase - (tid - tidNIC0)
 	default:
 		return tid - tidGPU0
 	}
 }
 
 func laneName(lane int) string {
-	switch lane {
-	case LaneHost:
+	switch {
+	case lane == LaneHost:
 		return "host"
-	case LaneComms:
+	case lane == LaneComms:
 		return "comms"
+	case lane <= laneNICBase:
+		return fmt.Sprintf("nic %d", laneNICBase-lane)
 	default:
 		return fmt.Sprintf("gpu %d", lane)
 	}

@@ -95,9 +95,27 @@ func (k Kind) IsTransfer() bool {
 const (
 	// LaneHost carries host-strand spans (degrade, plan-cache).
 	LaneHost = -1
-	// LaneComms carries GPU-GPU transfer spans.
+	// LaneComms carries GPU-GPU transfer spans (single-node machines).
 	LaneComms = -2
+	// laneNICBase is LaneNIC(0); lanes at or below it belong to the
+	// per-node NIC family of multi-node machines.
+	laneNICBase = -3
 )
+
+// LaneNIC returns the comms lane of node n's network interface. On a
+// multi-node machine every transfer span lands on the NIC lane of its
+// destination's node — cross-node traffic tagged "nic", intra-node
+// peer traffic tagged "p2p" — so the viewer shows one comms row per
+// node. Single-node machines keep the plain comms lane.
+func LaneNIC(node int) int { return laneNICBase - node }
+
+// NICLaneNode inverts LaneNIC (ok=false for non-NIC lanes).
+func NICLaneNode(lane int) (int, bool) {
+	if lane <= laneNICBase {
+		return laneNICBase - lane, true
+	}
+	return 0, false
+}
 
 // Span is one traced operation. Begin and End are simulated-clock
 // stamps (End == Begin for instants). Lo..Hi is the inclusive logical
